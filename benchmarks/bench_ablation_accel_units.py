@@ -1,0 +1,35 @@
+"""Ablation: in-memory logic units per PIM accelerator (paper: four).
+
+More units raise compute throughput; the streaming kernels saturate the
+vault's internal bandwidth quickly, which is why four small units
+suffice (Section 4.2.2).
+"""
+
+import pytest
+
+from repro.config import PimAcceleratorConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.workloads.chrome.targets import browser_pim_targets, compression_target
+
+
+def sweep_units(units: int):
+    system = SystemConfig(pim_accelerator=PimAcceleratorConfig(logic_units=units))
+    return ExperimentRunner(system).evaluate(browser_pim_targets())
+
+
+@pytest.mark.parametrize("units", [1, 2, 4, 8])
+def test_accelerator_units(benchmark, units):
+    result = benchmark.pedantic(sweep_units, args=(units,), rounds=1, iterations=1)
+    print(
+        "\n%d units: mean PIM-Acc speedup %.2f" % (units, result.mean_pim_acc_speedup)
+    )
+
+
+def test_four_units_saturate_streaming_kernels():
+    four = sweep_units(4)
+    eight = sweep_units(8)
+    tiling_gain = (
+        eight.by_name("texture_tiling").pim_acc_speedup
+        / four.by_name("texture_tiling").pim_acc_speedup
+    )
+    assert tiling_gain < 1.1  # memory-bound: doubling compute buys <10%

@@ -1,0 +1,32 @@
+"""Ablation: internal-to-off-chip bandwidth ratio (paper: 8x).
+
+Sweeps the 3D-stack's internal bandwidth from 2x to 16x the off-chip
+channel and reports the mean PIM-Acc speedup on the browser kernels.
+"""
+
+import pytest
+
+from repro.config import GB, StackedMemoryConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.workloads.chrome.targets import browser_pim_targets
+
+
+def sweep_ratio(ratio: float):
+    system = SystemConfig(
+        stacked_memory=StackedMemoryConfig(internal_bandwidth=ratio * 32 * GB)
+    )
+    return ExperimentRunner(system).evaluate(browser_pim_targets())
+
+
+@pytest.mark.parametrize("ratio", [2, 4, 8, 16])
+def test_bandwidth_ratio(benchmark, ratio):
+    result = benchmark.pedantic(sweep_ratio, args=(ratio,), rounds=1, iterations=1)
+    print(
+        "\ninternal/off-chip = %dx: mean PIM-Acc speedup %.2f"
+        % (ratio, result.mean_pim_acc_speedup)
+    )
+
+
+def test_more_internal_bandwidth_never_hurts():
+    speeds = [sweep_ratio(r).mean_pim_acc_speedup for r in (2, 4, 8, 16)]
+    assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))

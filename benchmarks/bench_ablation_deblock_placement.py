@@ -1,0 +1,37 @@
+"""Ablation: deblocking-filter placement in the HW decoder (Section 6.3.2).
+
+The paper moves the deblocking filter into memory alongside MC, even
+though the filter itself generates little off-chip traffic, because
+leaving it on the SoC would force the reconstructed frame to bounce
+between memory and the chip.  This bench quantifies that choice: PIM-MC
+with an on-SoC deblocking filter pays for two extra reconstructed-frame
+trips per frame.
+"""
+
+from repro.energy.components import default_energy_parameters
+from repro.workloads.vp9.hardware import HardwareDecoderModel, PimPlacement
+
+
+def energy_with_deblock_on_soc(model: HardwareDecoderModel) -> float:
+    """PIM-Acc but with deblocking kept on the SoC: the reconstructed
+    frame crosses the channel twice more (out for filtering, back in)."""
+    base = model.energy(False, PimPlacement.PIM_ACC)
+    t = model.traffic(False)
+    recon = t.components["Reconstructed Frame"]
+    params = default_energy_parameters()
+    extra = 2 * recon * params.offchip_energy_per_byte
+    return base.total + extra
+
+
+def test_deblock_placement(benchmark):
+    model = HardwareDecoderModel(3840, 2160)
+    in_memory = benchmark.pedantic(
+        lambda: model.energy(False, PimPlacement.PIM_ACC).total,
+        rounds=1, iterations=1,
+    )
+    on_soc = energy_with_deblock_on_soc(model)
+    print(
+        "\ndeblock in memory: %.2f mJ; deblock on SoC: %.2f mJ (+%.0f%%)"
+        % (in_memory * 1e3, on_soc * 1e3, 100 * (on_soc / in_memory - 1))
+    )
+    assert on_soc > in_memory * 1.1  # the paper's design choice pays off

@@ -1,0 +1,43 @@
+"""Ablation: partitioning a PIM kernel across vaults.
+
+The paper places one PIM core/accelerator per vault (16 total) and notes
+that several targets are data-parallel.  This bench sweeps how many
+vaults cooperate on one kernel: a 4K frame's macroblocks stripe across
+vaults naturally, so sub-pixel interpolation scales until the per-vault
+compute stops being the bottleneck.
+"""
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.workloads.vp9.targets import sub_pixel_interpolation_target
+
+
+@pytest.mark.parametrize("vaults", [1, 2, 4, 8, 16])
+def test_vault_scaling(benchmark, vaults):
+    engine = OffloadEngine()
+    target = sub_pixel_interpolation_target(frames=10)
+    execution = benchmark.pedantic(
+        engine.run_pim_core, args=(target,), kwargs={"vaults_used": vaults},
+        rounds=1, iterations=1,
+    )
+    cpu = engine.run_cpu(target)
+    print(
+        "\n%2d vaults: %.2f ms (%.2fx over CPU)"
+        % (vaults, execution.time_s * 1e3, cpu.time_s / execution.time_s)
+    )
+
+
+def test_scaling_is_monotone_and_saturates():
+    engine = OffloadEngine()
+    target = sub_pixel_interpolation_target(frames=10)
+    times = {
+        v: engine.run_pim_core(target, vaults_used=v).time_s
+        for v in (1, 2, 4, 8, 16)
+    }
+    values = [times[v] for v in (1, 2, 4, 8, 16)]
+    assert all(b <= a * 1.001 for a, b in zip(values, values[1:]))
+    # Near-linear early, sub-linear late (launch overheads + latency floor).
+    early_gain = times[1] / times[4]
+    late_gain = times[4] / times[16]
+    assert early_gain > late_gain * 0.9

@@ -1,0 +1,26 @@
+"""Extension: device battery-life impact of PIM (motivation, Section 1)."""
+
+from repro.energy.battery import BatteryModel, UsageMix
+
+
+def test_battery_estimate(benchmark):
+    model = BatteryModel()
+    estimate = benchmark.pedantic(model.estimate, rounds=1, iterations=1)
+    print(
+        "\ndefault mix: CPU-only %.1f h, PIM %.1f h (+%.1f%%)"
+        % (estimate.cpu_only_hours, estimate.pim_hours, 100 * estimate.improvement)
+    )
+    assert estimate.improvement > 0.05
+
+
+def test_usage_mix_sweep():
+    model = BatteryModel()
+    mixes = {
+        "browsing-heavy": UsageMix(0.8, 0.1, 0.02, 0.08),
+        "video-heavy": UsageMix(0.1, 0.8, 0.02, 0.08),
+        "ml-heavy": UsageMix(0.1, 0.1, 0.02, 0.78),
+    }
+    print()
+    for name, mix in mixes.items():
+        e = model.estimate(mix)
+        print("%-16s +%.1f%% battery life" % (name, 100 * e.improvement))

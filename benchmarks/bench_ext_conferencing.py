@@ -1,0 +1,14 @@
+"""Extension: two-way video call (simultaneous encode + decode)."""
+
+from repro.workloads.vp9.conferencing import evaluate_conferencing
+
+
+def test_conferencing(benchmark):
+    r = benchmark.pedantic(evaluate_conferencing, rounds=1, iterations=1)
+    print(
+        "\n1 s HD call: CPU %.2f J -> PIM %.2f J (-%.0f%%), offloadable "
+        "share %.0f%%"
+        % (r.cpu_energy_j, r.pim_energy_j, 100 * r.energy_reduction,
+           100 * r.offloadable_share)
+    )
+    assert r.energy_reduction > 0.15

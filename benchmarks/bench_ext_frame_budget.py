@@ -1,0 +1,18 @@
+"""Extension: the 60 FPS scroll frame budget with and without PIM."""
+
+from repro.workloads.chrome.frame_budget import FRAME_BUDGET_S, scroll_survey
+from repro.workloads.chrome.pages import PAGES
+
+
+def test_frame_budget(benchmark):
+    survey = benchmark.pedantic(
+        scroll_survey, args=(PAGES,), rounds=1, iterations=1
+    )
+    print("\nframe budget = %.1f ms" % (FRAME_BUDGET_S * 1e3))
+    for ft in survey:
+        print(
+            "%-16s CPU %5.2f ms (%3.0f fps) -> PIM %5.2f ms (%3.0f fps)"
+            % (ft.page, ft.cpu_only_s * 1e3, ft.cpu_fps,
+               ft.with_pim_s * 1e3, ft.pim_fps)
+        )
+        assert ft.with_pim_s <= ft.cpu_only_s * 1.001

@@ -1,0 +1,18 @@
+"""Extension: functional lossless frame compression backs the hardware
+model's FRAME_COMPRESSION_FACTOR = 0.6 constant."""
+
+from repro.workloads.vp9.framecompress import measure_compression_factor
+from repro.workloads.vp9.hardware import FRAME_COMPRESSION_FACTOR
+from repro.workloads.vp9.video import synthetic_video
+
+
+def test_frame_compression_factor(benchmark):
+    frames = synthetic_video(128, 128, 4, motion=2.0, noise=2.0, seed=3)
+    factor = benchmark.pedantic(
+        measure_compression_factor, args=(frames,), rounds=1, iterations=1
+    )
+    print(
+        "\nmeasured factor %.2f vs hardware-model constant %.2f"
+        % (factor, FRAME_COMPRESSION_FACTOR)
+    )
+    assert abs(factor - FRAME_COMPRESSION_FACTOR) < 0.2

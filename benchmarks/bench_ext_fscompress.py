@@ -1,0 +1,22 @@
+"""Extension: user-transparent file-system compression (Section 4.3.2)."""
+
+from repro.workloads.chrome.fscompress import FsCompressionModel, FsConfig
+
+MB = 1024.0 * 1024.0
+
+
+def test_fs_compression(benchmark):
+    model = FsCompressionModel()
+    results = benchmark.pedantic(
+        model.compare, args=(400 * MB, 100 * MB), rounds=1, iterations=1
+    )
+    print()
+    for r in results:
+        print(
+            "%-18s %7.1f mJ  %6.1f ms  flash %5.0f MB"
+            % (r.config.value, r.energy_j * 1e3, r.latency_s * 1e3,
+               r.flash_bytes / MB)
+        )
+    by = {r.config: r for r in results}
+    assert by[FsConfig.PIM].energy_j < by[FsConfig.NONE].energy_j
+    assert by[FsConfig.PIM].energy_j < by[FsConfig.CPU].energy_j

@@ -1,0 +1,20 @@
+"""Extension: page-load time with PIM-offloaded tiling/blitting."""
+
+from repro.workloads.chrome.pageload import evaluate_page_load
+from repro.workloads.chrome.pages import PAGES
+
+
+def test_page_load(benchmark):
+    results = benchmark.pedantic(
+        lambda: [evaluate_page_load(p) for p in PAGES.values()],
+        rounds=1, iterations=1,
+    )
+    print()
+    for r in results:
+        print(
+            "%-16s load %6.1f ms -> %6.1f ms with PIM (-%.0f%%), kernels "
+            "carry %.0f%% of load energy"
+            % (r.page, r.cpu_time_s * 1e3, r.pim_time_s * 1e3,
+               100 * r.load_time_reduction, 100 * r.kernel_share_of_load)
+        )
+        assert r.load_time_reduction > 0

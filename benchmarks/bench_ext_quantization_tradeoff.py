@@ -1,0 +1,17 @@
+"""Extension: float32 vs quantized vs quantized+PIM inference energy."""
+
+from repro.workloads.tensorflow.float_baseline import quantization_tradeoff
+from repro.workloads.tensorflow.models import resnet_v2_152
+
+
+def test_quantization_tradeoff(benchmark):
+    t = benchmark.pedantic(
+        quantization_tradeoff, args=(resnet_v2_152(),), rounds=1, iterations=1
+    )
+    print(
+        "\nfloat %.2f J | quantized %.2f J (-%.0f%%) | quantized+PIM %.2f J "
+        "(-%.0f%%)"
+        % (t.float_energy_j, t.quantized_energy_j, 100 * t.quantization_saving,
+           t.quantized_pim_energy_j, 100 * t.pim_saving)
+    )
+    assert t.float_energy_j > t.quantized_energy_j > t.quantized_pim_energy_j

@@ -1,0 +1,21 @@
+"""Extension: rate-distortion comparison of encoder configurations."""
+
+from repro.workloads.vp9.rd import bd_psnr, rd_curve
+from repro.workloads.vp9.video import synthetic_video
+
+
+def test_rd_split_vs_whole(benchmark):
+    clip = synthetic_video(64, 64, 5, motion=2.5, objects=3, seed=13)
+
+    def run():
+        with_split = rd_curve(clip, qsteps=(8, 24, 64), allow_split=True)
+        without = rd_curve(clip, qsteps=(8, 24, 64), allow_split=False)
+        return with_split, without
+
+    with_split, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    delta = bd_psnr(without, with_split)
+    print("\nRD points (split enabled):")
+    for p in with_split:
+        print("  q=%3.0f  %.3f bpp  %.1f dB" % (p.qstep, p.bits_per_pixel, p.psnr_db))
+    print("BD-PSNR of 8x8 split vs whole-block: %+.2f dB" % delta)
+    assert delta > -0.3

@@ -1,0 +1,15 @@
+"""Extension: end-to-end consumer scenarios with PIM."""
+
+from repro.analysis.scenarios import evaluate_all
+
+
+def test_scenarios(benchmark):
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    print()
+    for r in results:
+        print(
+            "%-32s -%4.0f%% energy, %.2fx faster, +%.0f battery min"
+            % (r.scenario, 100 * r.energy_reduction, r.speedup,
+               r.battery_minutes_saved())
+        )
+        assert r.energy_reduction > 0.05

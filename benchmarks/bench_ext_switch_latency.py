@@ -1,0 +1,14 @@
+"""Extension: user-facing tab-switch latency with PIM decompression."""
+
+from repro.workloads.chrome.zram import switch_latency
+
+
+def test_switch_latency(benchmark):
+    latency = benchmark.pedantic(switch_latency, rounds=1, iterations=1)
+    print(
+        "\nswitch to a compressed 150 MB tab: CPU %.0f ms, PIM-Core %.0f ms, "
+        "PIM-Acc %.0f ms (%.2fx)"
+        % (latency.cpu_only_s * 1e3, latency.pim_core_s * 1e3,
+           latency.pim_acc_s * 1e3, latency.pim_acc_speedup)
+    )
+    assert latency.pim_acc_speedup > 1.2

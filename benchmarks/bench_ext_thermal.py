@@ -1,0 +1,36 @@
+"""Extension: thermal envelopes -- SoC throttling relief and the
+logic-layer power budget check."""
+
+from repro.analysis.headline import all_pim_targets
+from repro.energy.thermal import ThermalModel
+from repro.workloads.vp9.profiles import encoder_functions
+
+
+def test_throttling_relief(benchmark):
+    model = ThermalModel()
+    functions = encoder_functions(1280, 720, 30)
+    cpu, pim = benchmark.pedantic(
+        model.workload_throttling, args=(functions,), rounds=1, iterations=1
+    )
+    print(
+        "\nHD capture: SoC power %.1f W -> %.1f W with PIM "
+        "(throttle %.2fx -> %.2fx)"
+        % (cpu.raw_power_w, pim.raw_power_w,
+           1 / cpu.throttle_factor, 1 / pim.throttle_factor)
+    )
+    assert pim.raw_power_w < cpu.raw_power_w
+
+
+def test_logic_layer_budget(benchmark):
+    model = ThermalModel()
+    checks = benchmark.pedantic(
+        model.check_all_targets, args=(all_pim_targets(),), rounds=1,
+        iterations=1,
+    )
+    print()
+    for c in checks:
+        print(
+            "%-26s %5.2f W  (%4.1f%% of logic-layer budget)"
+            % (c.target, c.pim_power_w, 100 * c.fraction_of_budget)
+        )
+        assert c.fits

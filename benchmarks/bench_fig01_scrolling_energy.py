@@ -1,0 +1,11 @@
+"""Figure 1: energy breakdown for page scrolling across six pages."""
+
+from repro.analysis.chrome_figures import fig01_scrolling_energy
+
+
+def test_fig01(benchmark, show):
+    result = benchmark(fig01_scrolling_energy)
+    show(result)
+    assert result.anchor_within(
+        "avg tiling+blitting share of scrolling energy", 0.10
+    )

@@ -1,0 +1,9 @@
+"""Figure 2: component/function energy breakdown, Google Docs scroll."""
+
+from repro.analysis.chrome_figures import fig02_docs_breakdown
+
+
+def test_fig02(benchmark, show):
+    result = benchmark(fig02_docs_breakdown)
+    show(result)
+    assert result.anchor_within("data movement fraction of total energy", 0.10)

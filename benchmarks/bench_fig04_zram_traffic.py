@@ -1,0 +1,10 @@
+"""Figure 4: ZRAM swap traffic during 50-tab switching."""
+
+from repro.analysis.chrome_figures import fig04_zram_traffic
+
+
+def test_fig04(benchmark, show):
+    result = benchmark(fig04_zram_traffic)
+    show(result)
+    assert result.anchor_within("total swapped out (GB)", 0.40)
+    assert result.anchor_within("total swapped in (GB)", 0.40)

@@ -1,0 +1,9 @@
+"""Figure 6: TensorFlow Mobile energy breakdown, four networks."""
+
+from repro.analysis.tensorflow_figures import fig06_tf_energy
+
+
+def test_fig06(benchmark, show):
+    result = benchmark(fig06_tf_energy)
+    show(result)
+    assert result.anchor_within("avg packing+quantization energy share", 0.10)

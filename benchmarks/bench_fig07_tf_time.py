@@ -1,0 +1,9 @@
+"""Figure 7: TensorFlow Mobile execution-time breakdown."""
+
+from repro.analysis.tensorflow_figures import fig07_tf_time
+
+
+def test_fig07(benchmark, show):
+    result = benchmark(fig07_tf_time)
+    show(result)
+    assert result.anchor_within("avg packing+quantization time share", 0.08)

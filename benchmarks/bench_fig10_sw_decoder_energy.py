@@ -1,0 +1,9 @@
+"""Figure 10: VP9 software decoder energy by function (4K)."""
+
+from repro.analysis.video_figures import fig10_sw_decoder_energy
+
+
+def test_fig10(benchmark, show):
+    result = benchmark(fig10_sw_decoder_energy)
+    show(result)
+    assert result.anchor_within("sub-pixel interpolation share", 0.10)

@@ -1,0 +1,9 @@
+"""Figure 11: VP9 software decoder energy by hardware component."""
+
+from repro.analysis.video_figures import fig11_sw_decoder_components
+
+
+def test_fig11(benchmark, show):
+    result = benchmark(fig11_sw_decoder_components)
+    show(result)
+    assert result.anchor_within("data-movement fraction of decoder energy", 0.08)

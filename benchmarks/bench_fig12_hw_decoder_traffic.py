@@ -1,0 +1,9 @@
+"""Figure 12: VP9 hardware decoder off-chip traffic."""
+
+from repro.analysis.video_figures import fig12_hw_decoder_traffic
+
+
+def test_fig12(benchmark, show):
+    result = benchmark(fig12_hw_decoder_traffic)
+    show(result)
+    assert result.anchor_within("HD nocomp ref-frame traffic share", 0.08)

@@ -1,0 +1,9 @@
+"""Figure 15: VP9 software encoder energy by function (HD)."""
+
+from repro.analysis.video_figures import fig15_sw_encoder_energy
+
+
+def test_fig15(benchmark, show):
+    result = benchmark(fig15_sw_encoder_energy)
+    show(result)
+    assert result.anchor_within("motion estimation share", 0.08)

@@ -1,0 +1,9 @@
+"""Figure 16: VP9 hardware encoder off-chip traffic."""
+
+from repro.analysis.video_figures import fig16_hw_encoder_traffic
+
+
+def test_fig16(benchmark, show):
+    result = benchmark(fig16_hw_encoder_traffic)
+    show(result)
+    assert result.anchor_within("HD nocomp reference-frame share", 0.08)

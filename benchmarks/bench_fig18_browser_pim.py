@@ -1,0 +1,10 @@
+"""Figure 18: browser kernels, CPU-Only vs PIM-Core vs PIM-Acc."""
+
+from repro.analysis.chrome_figures import fig18_browser_pim
+
+
+def test_fig18(benchmark, show):
+    result = benchmark(fig18_browser_pim)
+    show(result)
+    assert result.anchor_within("mean PIM-Core energy reduction", 0.08)
+    assert result.anchor_within("mean PIM-Acc energy reduction", 0.10)

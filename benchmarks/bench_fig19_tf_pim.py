@@ -1,0 +1,9 @@
+"""Figure 19: TensorFlow kernels on PIM + GEMM-count sweep."""
+
+from repro.analysis.tensorflow_figures import fig19_tf_pim
+
+
+def test_fig19(benchmark, show):
+    result = benchmark(fig19_tf_pim)
+    show(result)
+    assert result.anchor_within("mean PIM-Core energy reduction", 0.09)

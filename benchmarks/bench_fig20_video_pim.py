@@ -1,0 +1,9 @@
+"""Figure 20: video kernels, CPU-Only vs PIM-Core vs PIM-Acc."""
+
+from repro.analysis.video_figures import fig20_video_pim
+
+
+def test_fig20(benchmark, show):
+    result = benchmark(fig20_video_pim)
+    show(result)
+    assert result.anchor_within("mean PIM-Acc energy reduction", 0.08)

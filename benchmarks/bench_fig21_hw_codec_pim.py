@@ -1,0 +1,9 @@
+"""Figure 21: hardware codec energy with and without PIM/compression."""
+
+from repro.analysis.video_figures import fig21_hw_codec_pim
+
+
+def test_fig21(benchmark, show):
+    result = benchmark(fig21_hw_codec_pim)
+    show(result)
+    assert result.anchors["decoder PIM-Acc nocomp beats baseline comp"][1] == 1.0

@@ -1,0 +1,10 @@
+"""Headline averages: 62.7% movement; PIM-Core -49.1%; PIM-Acc -55.4%."""
+
+from repro.analysis.headline import headline_summary
+
+
+def test_headline(benchmark, show):
+    result = benchmark.pedantic(headline_summary, rounds=1, iterations=1)
+    show(result)
+    assert result.anchor_within("avg data-movement fraction of system energy", 0.08)
+    assert result.anchor_within("mean PIM-Acc energy reduction", 0.10)

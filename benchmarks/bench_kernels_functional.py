@@ -1,0 +1,87 @@
+"""Throughput benchmarks of the functional kernel implementations.
+
+These time the actual Python/numpy kernels (not the analytic models):
+texture tiling, color blitting, LZO compression, quantized GEMM, and the
+full VP9-class codec loop.  They serve as regression guards on the
+functional substrate the characterization is validated against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.chrome.blitter import alpha_blend
+from repro.workloads.chrome.lzo import compress, decompress
+from repro.workloads.chrome.synthetic import generate_web_memory
+from repro.workloads.chrome.texture import linear_to_tiled, tiled_to_linear
+from repro.workloads.tensorflow.gemm import quantized_gemm
+from repro.workloads.tensorflow.quantization import quantize_tensor
+from repro.workloads.vp9.encoder import encode_video
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.video import synthetic_video
+
+
+@pytest.fixture(scope="module")
+def bitmap():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, size=(512, 512, 4), dtype=np.uint8)
+
+
+def test_texture_tiling_throughput(benchmark, bitmap):
+    tiled = benchmark(linear_to_tiled, bitmap)
+    assert tiled.num_tiles == (512 // 32) ** 2
+
+
+def test_texture_untiling_throughput(benchmark, bitmap):
+    tiled = linear_to_tiled(bitmap)
+    restored = benchmark(tiled_to_linear, tiled)
+    assert restored.shape == bitmap.shape
+
+
+def test_alpha_blend_throughput(benchmark, bitmap):
+    rng = np.random.default_rng(1)
+    src = rng.integers(0, 256, size=(512, 512, 4), dtype=np.uint8)
+
+    def blend():
+        dst = bitmap.copy()
+        return alpha_blend(dst, src, 0, 0)
+
+    stats = benchmark(blend)
+    assert stats.pixels_blended == 512 * 512
+
+
+def test_lzo_compress_throughput(benchmark):
+    data = generate_web_memory(128 * 1024, seed=2)
+    compressed, stats = benchmark(compress, data)
+    assert stats.ratio > 1.5
+
+
+def test_lzo_decompress_throughput(benchmark):
+    data = generate_web_memory(128 * 1024, seed=2)
+    compressed, _ = compress(data)
+    restored, _ = benchmark(decompress, compressed)
+    assert restored == data
+
+
+def test_quantized_gemm_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    a = quantize_tensor(rng.uniform(-1, 1, size=(128, 256)).astype(np.float32))
+    b = quantize_tensor(rng.uniform(-1, 1, size=(256, 64)).astype(np.float32))
+    acc = benchmark(quantized_gemm, a, b)
+    assert acc.shape == (128, 64)
+
+
+def test_vp9_encode_throughput(benchmark):
+    clip = synthetic_video(64, 64, 3, motion=2.0, seed=5)
+    encoded, encoder = benchmark.pedantic(
+        encode_video, args=(clip,), rounds=1, iterations=1
+    )
+    assert len(encoded) == 3
+
+
+def test_vp9_decode_throughput(benchmark):
+    clip = synthetic_video(64, 64, 3, motion=2.0, seed=5)
+    encoded, _ = encode_video(clip)
+    decoded, _ = benchmark.pedantic(
+        decode_video, args=(encoded,), rounds=1, iterations=1
+    )
+    assert len(decoded) == 3

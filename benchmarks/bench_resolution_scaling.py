@@ -1,0 +1,59 @@
+"""Scaling study: PIM benefit vs video resolution (HD -> 4K -> 8K).
+
+The paper notes decoding one 4K frame moves 4.6x the data of an HD
+frame; this bench extends the decoder characterization to 8K to show the
+data-movement share -- and hence the PIM opportunity -- keeps growing
+with resolution.
+"""
+
+import pytest
+
+from repro.core.runner import ExperimentRunner
+from repro.core.target import PimTarget
+from repro.core.workload import characterize
+from repro.workloads.vp9.profiles import (
+    decoder_functions,
+    profile_sub_pixel_interpolation,
+)
+
+RESOLUTIONS = {
+    "HD": (1280, 720),
+    "4K": (3840, 2160),
+    "8K": (7680, 4320),
+}
+
+
+@pytest.mark.parametrize("name", list(RESOLUTIONS))
+def test_decoder_scaling(benchmark, name):
+    w, h = RESOLUTIONS[name]
+    ch = benchmark.pedantic(
+        characterize, args=("dec", decoder_functions(w, h, 10)),
+        rounds=1, iterations=1,
+    )
+    print(
+        "\n%s decode: movement %.1f%%, sub-pel share %.1f%%"
+        % (name, 100 * ch.data_movement_fraction,
+           100 * ch.energy_share("sub_pixel_interpolation"))
+    )
+
+
+def test_pim_benefit_grows_with_resolution():
+    runner = ExperimentRunner()
+    reductions = {}
+    for name, (w, h) in RESOLUTIONS.items():
+        target = PimTarget(
+            "subpel_" + name,
+            profile_sub_pixel_interpolation(w, h, 10),
+            accelerator_key="sub_pixel_interpolation",
+            invocations=10,
+        )
+        comparison = runner.engine.compare(target)
+        reductions[name] = comparison.pim_acc_energy_reduction
+        print(
+            "%s: PIM-Acc energy reduction %.1f%%"
+            % (name, 100 * comparison.pim_acc_energy_reduction)
+        )
+    # Per-byte behaviour is scale-free in the model; what grows is the
+    # absolute energy at stake.  The reduction must not degrade at scale
+    # (launch overheads amortize away).
+    assert reductions["8K"] >= reductions["HD"] - 0.01

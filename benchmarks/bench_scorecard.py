@@ -1,0 +1,9 @@
+"""The reproduction scorecard: paper anchors hit within tolerance."""
+
+from repro.analysis.scorecard import full_scorecard
+
+
+def test_scorecard(benchmark):
+    card = benchmark.pedantic(full_scorecard, rounds=1, iterations=1)
+    print("\n" + card.render_text())
+    assert card.pass_rate >= 0.85

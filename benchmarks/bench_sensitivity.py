@@ -1,0 +1,38 @@
+"""Robustness sweep: headline conclusions across the energy constants."""
+
+from repro.analysis.sensitivity import breakeven_internal_ratio, sweep
+
+
+def test_sensitivity_sweeps(benchmark):
+    def run():
+        return {
+            p: sweep(p, scales=(0.5, 1.0, 2.0))
+            for p in ("dram_energy", "internal_ratio", "cpu_epi")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for parameter, points in results.items():
+        for point in points:
+            print(
+                "%-16s x%.2f: PIM-Acc mean -%4.1f%% (min -%4.1f%%)"
+                % (
+                    parameter,
+                    point.scale,
+                    100 * point.mean_pim_acc_energy_reduction,
+                    100 * point.min_pim_acc_energy_reduction,
+                )
+            )
+            assert point.pim_always_saves_energy
+
+
+def test_breakeven(benchmark):
+    breakeven = benchmark.pedantic(
+        breakeven_internal_ratio, kwargs={"resolution": 0.5}, rounds=1,
+        iterations=1,
+    )
+    print(
+        "\ninternal-path break-even: %.1fx the calibrated energy "
+        "(calibrated = 0.5x of off-chip per bit)" % breakeven
+    )
+    assert breakeven >= 1.5

@@ -1,0 +1,9 @@
+"""Table 1: evaluated system configuration."""
+
+from repro.analysis.headline import table1_configuration
+
+
+def test_table1(benchmark, show):
+    result = benchmark(table1_configuration)
+    show(result)
+    assert len(result.rows) == 4

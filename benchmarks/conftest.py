@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every figure/table of the paper has one benchmark module that (a) times
+the regeneration of the experiment with pytest-benchmark and (b) prints
+the regenerated rows plus the paper-vs-measured anchors (run with ``-s``
+to see them).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a FigureResult's rendering (visible with pytest -s)."""
+
+    def _show(result):
+        print()
+        print(result.render_text())
+        return result
+
+    return _show

@@ -1,0 +1,100 @@
+"""Chrome browser analysis: scrolling and tab switching (paper Section 4).
+
+Part 1 exercises the functional kernels: tiles a real bitmap, blits with
+alpha blending, and round-trips browser-like memory through the LZO-class
+compressor.  Part 2 runs the characterization pipeline: per-page energy
+breakdowns (Figure 1), the Google Docs component breakdown (Figure 2),
+and the 50-tab ZRAM experiment (Figure 4).
+
+    python examples/browser_analysis.py
+"""
+
+import numpy as np
+
+from repro.core.workload import characterize
+from repro.workloads.chrome import (
+    PAGES,
+    PAGE_ORDER,
+    TabSwitchingSession,
+    alpha_blend,
+    compress,
+    decompress,
+    generate_web_memory,
+    linear_to_tiled,
+    tiled_to_linear,
+)
+
+GB = 1024.0**3
+MB = 1024.0**2
+
+
+def functional_demo():
+    print("== functional kernels ==")
+    rng = np.random.default_rng(0)
+    bitmap = rng.integers(0, 256, size=(256, 256, 4), dtype=np.uint8)
+
+    tiled = linear_to_tiled(bitmap)
+    assert np.array_equal(tiled_to_linear(tiled), bitmap)
+    print("texture tiling: 256x256 RGBA -> %d 4kB tiles (lossless)" % tiled.num_tiles)
+
+    overlay = rng.integers(0, 256, size=(128, 128, 4), dtype=np.uint8)
+    stats = alpha_blend(bitmap, overlay, 64, 64)
+    print("color blitting: src-over blended %d pixels" % stats.pixels_blended)
+
+    memory = generate_web_memory(256 * 1024, seed=1)
+    compressed, cstats = compress(memory)
+    restored, _ = decompress(compressed)
+    assert restored == memory
+    print(
+        "LZO-class compression: %d kB -> %d kB (ratio %.2fx, %d matches)"
+        % (len(memory) // 1024, len(compressed) // 1024, cstats.ratio, cstats.matches)
+    )
+
+
+def scrolling_analysis():
+    print("\n== page scrolling (Figure 1) ==")
+    for name in PAGE_ORDER:
+        ch = characterize(name, PAGES[name].scrolling_functions())
+        s = ch.energy_shares()
+        print(
+            "%-16s tiling %4.1f%%  blitting %4.1f%%  other %4.1f%%  "
+            "| data movement %4.1f%%"
+            % (
+                name,
+                100 * s["texture_tiling"],
+                100 * s["color_blitting"],
+                100 * s["other"],
+                100 * ch.data_movement_fraction,
+            )
+        )
+
+
+def tab_switching_analysis():
+    print("\n== tab switching (Figure 4) ==")
+    session = TabSwitchingSession()
+    timeline = session.run()
+    print(
+        "50 tabs: %.1f GB swapped out (peak %.0f MB/s), %.1f GB swapped in "
+        "(peak %.0f MB/s)"
+        % (
+            timeline.total_out / GB,
+            timeline.peak_out_rate / MB,
+            timeline.total_in / GB,
+            timeline.peak_in_rate / MB,
+        )
+    )
+    ch = characterize("tab_switching", session.workload_functions())
+    print(
+        "compression+decompression: %.1f%% of energy, %.1f%% of time "
+        "(paper: 18.1%% / 14.2%%)"
+        % (
+            100 * (ch.energy_share("compression") + ch.energy_share("decompression")),
+            100 * (ch.time_share("compression") + ch.time_share("decompression")),
+        )
+    )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    scrolling_analysis()
+    tab_switching_analysis()

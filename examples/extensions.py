@@ -1,0 +1,101 @@
+"""Extensions beyond the paper's evaluation.
+
+Four analyses built on the reproduction's models:
+
+1. device battery life with PIM (the paper's motivation, quantified);
+2. user-transparent file-system compression (Section 4.3.2's use case);
+3. float32 vs quantized vs quantized+PIM inference (Section 5.2's
+   narrative about quantization overheads);
+4. a two-way video call (encoder + decoder simultaneously).
+
+    python examples/extensions.py
+"""
+
+from repro.energy.battery import BatteryModel, UsageMix
+from repro.workloads.chrome.fscompress import FsCompressionModel
+from repro.workloads.chrome.zram import switch_latency
+from repro.workloads.tensorflow.float_baseline import quantization_tradeoff
+from repro.workloads.tensorflow.models import resnet_v2_152
+from repro.analysis.scenarios import evaluate_all as evaluate_scenarios
+from repro.workloads.vp9.conferencing import evaluate_conferencing
+
+MB = 1024.0 * 1024.0
+
+
+def battery():
+    print("== battery life ==")
+    model = BatteryModel()
+    for name, mix in (
+        ("default mix", UsageMix()),
+        ("video-heavy", UsageMix(0.1, 0.8, 0.02, 0.08)),
+    ):
+        e = model.estimate(mix)
+        print(
+            "%-12s CPU-only %.1f h -> PIM %.1f h (+%.0f%%)"
+            % (name, e.cpu_only_hours, e.pim_hours, 100 * e.improvement)
+        )
+
+
+def filesystem():
+    print("\n== transparent FS compression (400 MB read / 100 MB write) ==")
+    for r in FsCompressionModel().compare(400 * MB, 100 * MB):
+        print(
+            "%-18s %7.1f mJ  %6.1f ms  flash %4.0f MB"
+            % (r.config.value, r.energy_j * 1e3, r.latency_s * 1e3,
+               r.flash_bytes / MB)
+        )
+
+
+def tab_switch():
+    print("\n== tab-switch latency (150 MB compressed tab) ==")
+    latency = switch_latency()
+    print(
+        "CPU %.0f ms -> PIM-Acc %.0f ms (%.2fx faster back-to-interactive)"
+        % (latency.cpu_only_s * 1e3, latency.pim_acc_s * 1e3,
+           latency.pim_acc_speedup)
+    )
+
+
+def quantization():
+    print("\n== quantization trade-off (ResNet-v2-152) ==")
+    t = quantization_tradeoff(resnet_v2_152())
+    print("float32 inference:        %7.2f J" % t.float_energy_j)
+    print(
+        "quantized (CPU overheads): %6.2f J  (-%.0f%% vs float)"
+        % (t.quantized_energy_j, 100 * t.quantization_saving)
+    )
+    print(
+        "quantized + PIM:           %6.2f J  (-%.0f%% vs float; PIM removes "
+        "%.0f%% of the quantized run's energy)"
+        % (t.quantized_pim_energy_j, 100 * t.pim_saving,
+           100 * t.overhead_recovered)
+    )
+
+
+def conferencing():
+    print("\n== two-way HD video call (1 second) ==")
+    r = evaluate_conferencing()
+    print(
+        "CPU-only %.2f J -> PIM %.2f J (-%.0f%%); offloadable kernels carry "
+        "%.0f%% of call energy; movement fraction %.0f%%"
+        % (r.cpu_energy_j, r.pim_energy_j, 100 * r.energy_reduction,
+           100 * r.offloadable_share, 100 * r.movement_fraction)
+    )
+
+
+def scenarios():
+    print("\n== end-to-end scenarios ==")
+    for r in evaluate_scenarios():
+        print(
+            "%-32s -%.0f%% energy, +%.0f battery min"
+            % (r.scenario, 100 * r.energy_reduction, r.battery_minutes_saved())
+        )
+
+
+if __name__ == "__main__":
+    battery()
+    filesystem()
+    tab_switch()
+    quantization()
+    conferencing()
+    scenarios()

@@ -1,0 +1,78 @@
+"""TensorFlow Mobile analysis (paper Section 5).
+
+Part 1 runs a real quantized inference on a small CNN -- quantize,
+gemmlowp-style pack, int GEMM, requantize -- and checks it against the
+float path.  Part 2 characterizes the paper's four networks (Figures 6
+and 7) and reproduces the Figure 19 GEMM-pipeline sweep.
+
+    python examples/mobile_inference.py
+"""
+
+import numpy as np
+
+from repro.core.workload import characterize
+from repro.workloads.tensorflow import (
+    ConvLayer,
+    FcLayer,
+    Network,
+    all_models,
+    conv2d_quantized,
+    infer,
+    network_functions,
+)
+from repro.workloads.tensorflow.targets import GemmPipelineModel
+
+
+def functional_demo():
+    print("== functional quantized inference ==")
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-1, 1, size=(16, 16, 3)).astype(np.float32)
+    w = rng.uniform(-1, 1, size=(3, 3, 3, 8)).astype(np.float32)
+    out = conv2d_quantized(x, w, padding=1)
+    print("quantized Conv2D: %r -> %r" % (x.shape, out.shape))
+
+    tiny = Network(
+        "tiny-cnn",
+        (
+            ConvLayer("c1", 16, 16, 3, 8, kernel=3, padding=1),
+            ConvLayer("c2", 16, 16, 8, 16, kernel=3, padding=1),
+            FcLayer("fc", 16 * 16 * 16, 10),
+        ),
+    )
+    logits = infer(tiny, x)
+    print("tiny CNN inference -> logits %r, argmax=%d" % (logits.shape, logits.argmax()))
+
+
+def characterization():
+    print("\n== inference energy/time breakdown (Figures 6-7) ==")
+    for net in all_models():
+        ch = characterize(net.name, network_functions(net))
+        s = ch.energy_shares()
+        t = ch.time_shares()
+        print(
+            "%-18s (%3d convs)  E: pack %4.1f%% quant %4.1f%% gemm %4.1f%% "
+            "| T: pack+quant %4.1f%%"
+            % (
+                net.name,
+                net.num_conv2d,
+                100 * s["packing"],
+                100 * s["quantization"],
+                100 * s["conv2d_matmul"],
+                100 * (t["packing"] + t["quantization"]),
+            )
+        )
+
+
+def pipeline_sweep():
+    print("\n== pack/quantize offload pipeline (Figure 19 right) ==")
+    for point in GemmPipelineModel().sweep([1, 2, 4, 8, 16]):
+        print(
+            "%2d GEMMs: PIM-Core %.2fx, PIM-Acc %.2fx"
+            % (point.num_gemms, point.pim_core_speedup, point.pim_acc_speedup)
+        )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    characterization()
+    pipeline_sweep()

@@ -1,0 +1,53 @@
+"""Quickstart: evaluate the paper's PIM targets in a few lines.
+
+Runs every PIM target identified by the paper (browser, TensorFlow
+Mobile, and video kernels) on the three machine models -- CPU-Only,
+PIM-Core, and PIM-Acc -- and prints the normalized energy and speedup
+table (the data behind Figures 18-20), plus the headline averages.
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentRunner
+from repro.analysis.headline import all_pim_targets
+
+
+def main():
+    runner = ExperimentRunner()
+    result = runner.evaluate(all_pim_targets())
+
+    header = "%-26s %-12s %8s %8s %9s %9s" % (
+        "kernel", "workload", "E core", "E acc", "S core", "S acc"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in result.rows():
+        print(
+            "%-26s %-12s %8.2f %8.2f %8.2fx %8.2fx"
+            % (
+                row["target"],
+                row["workload"].split(":")[0],
+                row["energy_pim_core"],
+                row["energy_pim_acc"],
+                row["speedup_pim_core"],
+                row["speedup_pim_acc"],
+            )
+        )
+    print("-" * len(header))
+    print(
+        "mean energy reduction: PIM-Core %.1f%% (paper 49.1%%), "
+        "PIM-Acc %.1f%% (paper 55.4%%)"
+        % (
+            100 * result.mean_pim_core_energy_reduction,
+            100 * result.mean_pim_acc_energy_reduction,
+        )
+    )
+    print(
+        "mean speedup:          PIM-Core %.2fx (paper 1.45x), "
+        "PIM-Acc %.2fx (paper 1.54x)"
+        % (result.mean_pim_core_speedup, result.mean_pim_acc_speedup)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""VP9 video pipeline (paper Sections 6-7).
+
+Part 1 encodes and decodes a synthetic clip with the functional
+VP9-class codec and reports bitrate/PSNR plus the decoder's measured
+reference-traffic statistics.  Part 2 characterizes 4K software decode
+and HD software encode (Figures 10/15), and part 3 evaluates the
+hardware codec with PIM (Figure 21).
+
+    python examples/video_pipeline.py
+"""
+
+from repro.core.workload import characterize
+from repro.workloads.vp9 import (
+    HardwareDecoderModel,
+    HardwareEncoderModel,
+    PimPlacement,
+    synthetic_video,
+)
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.encoder import encode_video
+from repro.workloads.vp9.profiles import decoder_functions, encoder_functions
+
+
+def functional_demo():
+    print("== functional codec ==")
+    clip = synthetic_video(96, 64, 8, motion=2.8, objects=4, seed=9)
+    encoded, encoder = encode_video(clip, qstep=16)
+    decoded, decoder = decode_video(encoded)
+    raw_bytes = 96 * 64 * len(clip)
+    coded_bytes = sum(len(f.data) for f in encoded)
+    psnr = sum(a.psnr(b) for a, b in zip(clip, decoded)) / len(clip)
+    print(
+        "8 frames 96x64: %.1f kB raw -> %.2f kB coded (%.1fx), %.1f dB PSNR"
+        % (raw_bytes / 1024, coded_bytes / 1024, raw_bytes / coded_bytes, psnr)
+    )
+    print(
+        "decoder stats: %d inter MBs, %d sub-pel blocks, %.2f reference "
+        "pixels fetched per decoded pixel"
+        % (
+            decoder.stats.inter_macroblocks,
+            decoder.stats.subpel_blocks,
+            decoder.stats.reference_pixels_per_pixel,
+        )
+    )
+
+
+def software_characterization():
+    print("\n== software codec energy (Figures 10 / 15) ==")
+    dec = characterize("decode-4K", decoder_functions(3840, 2160, 100))
+    s = dec.energy_shares()
+    print(
+        "4K decode: sub-pel %4.1f%%, other MC %4.1f%%, deblock %4.1f%% "
+        "| movement %4.1f%%"
+        % (
+            100 * s["sub_pixel_interpolation"],
+            100 * s["other_mc"],
+            100 * s["deblocking_filter"],
+            100 * dec.data_movement_fraction,
+        )
+    )
+    enc = characterize("encode-HD", encoder_functions(1280, 720, 10))
+    s = enc.energy_shares()
+    print(
+        "HD encode: ME %4.1f%%, deblock %4.1f%%, other %4.1f%% "
+        "| movement %4.1f%%"
+        % (
+            100 * s["motion_estimation"],
+            100 * s["deblocking_filter"],
+            100 * s["other"],
+            100 * enc.data_movement_fraction,
+        )
+    )
+
+
+def hardware_pim():
+    print("\n== hardware codec with PIM (Figure 21) ==")
+    for label, model in (
+        ("4K decoder", HardwareDecoderModel(3840, 2160)),
+        ("HD encoder", HardwareEncoderModel(1280, 720)),
+    ):
+        print(label + ":")
+        for name, compression, placement in model.configurations():
+            e = model.energy(compression, placement)
+            print("  %-28s %6.2f mJ/frame" % (name, e.total * 1e3))
+
+
+if __name__ == "__main__":
+    functional_demo()
+    software_characterization()
+    hardware_pim()

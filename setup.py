@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e .` falls back to this legacy path when PEP 517 editable
+builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

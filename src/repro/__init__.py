@@ -1,0 +1,73 @@
+"""repro: reproduction of "Google Workloads for Consumer Devices:
+Mitigating Data Movement Bottlenecks" (Boroumand et al., ASPLOS 2018).
+
+The package implements the paper's full pipeline:
+
+1. functional implementations of the four Google consumer workloads
+   (:mod:`repro.workloads`): Chrome browser kernels, TensorFlow Mobile
+   inference, and a VP9-class video codec (software + hardware models);
+2. a characterization substrate (:mod:`repro.sim`, :mod:`repro.energy`):
+   instrumented kernel profiles, a trace-driven cache simulator, DRAM
+   models, and a component-level energy model;
+3. the PIM analysis itself (:mod:`repro.core`): target identification,
+   area feasibility, and CPU-Only / PIM-Core / PIM-Acc evaluation;
+4. figure/table harnesses (:mod:`repro.analysis`) that regenerate every
+   table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ExperimentRunner
+    from repro.workloads.chrome import browser_pim_targets
+
+    runner = ExperimentRunner()
+    result = runner.evaluate(browser_pim_targets())
+    for row in result.rows():
+        print(row["target"], row["energy_pim_acc"], row["speedup_pim_acc"])
+"""
+
+from repro.config import (
+    SystemConfig,
+    SocConfig,
+    PimCoreConfig,
+    PimAcceleratorConfig,
+    StackedMemoryConfig,
+    BaselineMemoryConfig,
+    default_system,
+)
+from repro.core import (
+    ExperimentRunner,
+    OffloadEngine,
+    PimTarget,
+    TargetComparison,
+    characterize,
+    WorkloadFunction,
+)
+from repro.energy import EnergyBreakdown, EnergyModel, EnergyParameters, AreaModel
+from repro.sim import CpuModel, PimCoreModel, PimAcceleratorModel, KernelProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "SocConfig",
+    "PimCoreConfig",
+    "PimAcceleratorConfig",
+    "StackedMemoryConfig",
+    "BaselineMemoryConfig",
+    "default_system",
+    "ExperimentRunner",
+    "OffloadEngine",
+    "PimTarget",
+    "TargetComparison",
+    "characterize",
+    "WorkloadFunction",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "AreaModel",
+    "CpuModel",
+    "PimCoreModel",
+    "PimAcceleratorModel",
+    "KernelProfile",
+    "__version__",
+]

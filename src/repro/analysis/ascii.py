@@ -1,0 +1,73 @@
+"""ASCII bar-chart rendering for figure results.
+
+Terminal-friendly rendering of the regenerated figures -- stacked bars
+for the breakdown figures, grouped bars for the PIM comparisons --
+so ``python -m repro figures --chart`` gives a visual read without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import FigureResult
+
+#: Characters per full-scale bar.
+BAR_WIDTH = 48
+#: Fill characters cycled per stacked segment.
+FILLS = "#=+*%@ox"
+
+
+def _bar(value: float, scale: float, fill: str = "#") -> str:
+    if scale <= 0:
+        return ""
+    return fill * max(int(round(BAR_WIDTH * value / scale)), 0)
+
+
+def _stacked_bar(parts: list[float], scale: float) -> str:
+    out = []
+    for i, value in enumerate(parts):
+        out.append(_bar(value, scale, FILLS[i % len(FILLS)]))
+    return "".join(out)
+
+
+def render_chart(result: FigureResult) -> str:
+    """Render a figure's rows as ASCII bars.
+
+    Rows whose values are all numeric fractions render as stacked bars
+    normalized to the largest row total; other rows fall back to the
+    textual rendering.
+    """
+    rows = result.rows
+    if not rows:
+        return result.render_text()
+    numeric_keys = [
+        k for k, v in rows[0].items() if isinstance(v, (int, float))
+        and not isinstance(v, bool)
+    ]
+    label_keys = [k for k in rows[0] if k not in numeric_keys]
+    if not numeric_keys:
+        return result.render_text()
+    totals = [
+        sum(float(row.get(k, 0.0)) for k in numeric_keys) for row in rows
+    ]
+    scale = max(totals) if totals else 1.0
+    lines = ["%s: %s" % (result.figure_id, result.title)]
+    legend = "  legend: " + "  ".join(
+        "%s=%s" % (FILLS[i % len(FILLS)], key)
+        for i, key in enumerate(numeric_keys)
+    )
+    lines.append(legend)
+    for row in rows:
+        # Rows may be heterogeneous (e.g. Figure 19 mixes kernel rows
+        # with sweep points); label with whatever keys the row has.
+        label = " ".join(
+            str(row[k]) for k in label_keys if k in row
+        ) or " ".join(
+            "%s=%s" % (k, v) for k, v in row.items() if k not in numeric_keys
+        )
+        parts = [float(row.get(k, 0.0)) for k in numeric_keys]
+        lines.append("  %-24s |%s" % (label[:24], _stacked_bar(parts, scale)))
+    return "\n".join(lines)
+
+
+def render_all_charts(results: list[FigureResult]) -> str:
+    return "\n\n".join(render_chart(r) for r in results)

@@ -1,0 +1,62 @@
+"""Common result container for the figure harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureResult:
+    """One regenerated paper figure/table.
+
+    Attributes:
+        figure_id: e.g. ``"Figure 1"``.
+        title: what the figure shows.
+        rows: the regenerated data, one dict per printed row/series point.
+        anchors: paper-reported values vs our measured values, keyed by a
+            short description; each value is a (paper, measured) pair.
+        notes: caveats/deviations worth recording in EXPERIMENTS.md.
+    """
+
+    figure_id: str
+    title: str
+    rows: list = field(default_factory=list)
+    anchors: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render_text(self) -> str:
+        """Human-readable rendering (used by benches and the report)."""
+        lines = ["%s: %s" % (self.figure_id, self.title)]
+        for row in self.rows:
+            lines.append(
+                "  "
+                + "  ".join(
+                    "%s=%s" % (k, _fmt(v)) for k, v in row.items()
+                )
+            )
+        if self.anchors:
+            lines.append("  anchors (paper vs measured):")
+            for name, (paper, measured) in self.anchors.items():
+                lines.append(
+                    "    %-50s %s vs %s" % (name, _fmt(paper), _fmt(measured))
+                )
+        if self.notes:
+            lines.append("  note: %s" % self.notes)
+        return "\n".join(lines)
+
+    def anchor_within(self, name: str, tolerance: float) -> bool:
+        """Whether a measured anchor is within +-tolerance (absolute for
+        fractions, relative for other magnitudes) of the paper value."""
+        paper, measured = self.anchors[name]
+        paper, measured = float(paper), float(measured)
+        if abs(paper) <= 1.0:
+            return abs(measured - paper) <= tolerance
+        if paper == 0.0:
+            return measured == 0.0
+        return abs(measured / paper - 1.0) <= tolerance
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)

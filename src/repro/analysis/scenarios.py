@@ -1,0 +1,156 @@
+"""End-to-end consumer scenarios.
+
+The paper's unit of analysis is the kernel; a user's unit is the session.
+This module composes the workload models into named, realistic sessions
+-- a casual browse, a movie, a video call, a photo-organizing run --
+and reports what PIM buys for each: energy, battery minutes, and the
+share of the session the offloaded kernels cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.offload import OffloadEngine
+from repro.core.workload import WorkloadFunction, offloaded_totals
+
+WH = 3600.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named session: a list of (weight, workload functions) parts.
+
+    ``weight`` scales each part's profiles (e.g. minutes of activity
+    relative to the part's native duration).
+    """
+
+    name: str
+    parts: tuple  # of (weight, list[WorkloadFunction])
+    description: str = ""
+
+    def functions(self) -> list[WorkloadFunction]:
+        out = []
+        for index, (weight, functions) in enumerate(self.parts):
+            for f in functions:
+                out.append(
+                    WorkloadFunction(
+                        name="p%d_%s" % (index, f.name),
+                        profile=f.profile.scaled(weight),
+                        accelerator_key=f.accelerator_key,
+                        invocations=max(int(f.invocations * weight), 1),
+                    )
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """PIM's effect on one scenario."""
+
+    scenario: str
+    cpu_energy_j: float
+    pim_energy_j: float
+    cpu_time_s: float
+    pim_time_s: float
+
+    @property
+    def energy_reduction(self) -> float:
+        if self.cpu_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.pim_energy_j / self.cpu_energy_j
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_time_s / self.pim_time_s if self.pim_time_s > 0 else 0.0
+
+    def battery_minutes_saved(
+        self, battery_wh: float = 38.0, fixed_power_w: float = 2.2
+    ) -> float:
+        """Extra screen-on minutes if the whole battery ran this scenario
+        in a loop, on top of a fixed display/rail power (the same constant
+        as :class:`repro.energy.battery.DeviceConfig`)."""
+        if self.cpu_energy_j <= 0 or self.pim_energy_j <= 0:
+            return 0.0
+        budget = battery_wh * WH
+        cpu_power = fixed_power_w + self.cpu_energy_j / self.cpu_time_s
+        pim_power = fixed_power_w + self.pim_energy_j / self.cpu_time_s
+        return (budget / pim_power - budget / cpu_power) / 60.0
+
+
+def _browse_part(minutes: float):
+    from repro.workloads.chrome.pages import PAGES
+
+    # One scroll session is ~2 s of interaction; scale to minutes.
+    return (minutes * 60 / 2.0 / 6, PAGES["Google Docs"].scrolling_functions())
+
+
+def _tabs_part(sessions: float):
+    from repro.workloads.chrome.zram import TabSwitchingSession
+
+    return (sessions, TabSwitchingSession().workload_functions())
+
+
+def _playback_part(minutes: float, resolution=(1280, 720)):
+    from repro.workloads.vp9.profiles import decoder_functions
+
+    w, h = resolution
+    return (1.0, decoder_functions(w, h, int(minutes * 60 * 30)))
+
+
+def _capture_part(minutes: float):
+    from repro.workloads.vp9.profiles import encoder_functions
+
+    return (1.0, encoder_functions(1280, 720, int(minutes * 60 * 30)))
+
+
+def _inference_part(images: int):
+    from repro.workloads.tensorflow.models import resnet_v2_152
+    from repro.workloads.tensorflow.network import network_functions
+
+    return (float(images), network_functions(resnet_v2_152()))
+
+
+def standard_scenarios() -> list[Scenario]:
+    """The four canonical sessions."""
+    return [
+        Scenario(
+            name="casual browsing (30 min)",
+            parts=(_browse_part(30.0), _tabs_part(0.5)),
+            description="scrolling Google services + some tab churn",
+        ),
+        Scenario(
+            name="movie night (90 min HD)",
+            parts=(_playback_part(90.0),),
+            description="continuous HD playback",
+        ),
+        Scenario(
+            name="video call (20 min)",
+            parts=(_capture_part(20.0), _playback_part(20.0)),
+            description="two-way HD: encode the camera, decode the peer",
+        ),
+        Scenario(
+            name="photo organizing (200 images)",
+            parts=(_inference_part(200), _browse_part(5.0)),
+            description="on-device classification + light browsing",
+        ),
+    ]
+
+
+def evaluate_scenario(
+    scenario: Scenario, engine: OffloadEngine | None = None
+) -> ScenarioResult:
+    engine = engine or OffloadEngine()
+    totals = offloaded_totals(scenario.functions(), engine)
+    return ScenarioResult(
+        scenario=scenario.name,
+        cpu_energy_j=totals.cpu_energy_j,
+        pim_energy_j=totals.pim_energy_j,
+        cpu_time_s=totals.cpu_time_s,
+        pim_time_s=totals.pim_time_s,
+    )
+
+
+def evaluate_all(engine: OffloadEngine | None = None) -> list[ScenarioResult]:
+    engine = engine or OffloadEngine()
+    return [evaluate_scenario(s, engine) for s in standard_scenarios()]

@@ -1,0 +1,103 @@
+"""Reproduction scorecard: how many paper anchors does the repo hit?
+
+Aggregates every figure's (paper, measured) anchor pairs into a single
+pass/fail table under the repository's standard tolerances (absolute
++-0.10 for fractions, relative +-40% for magnitudes), giving a one-look
+answer to "how faithful is this reproduction?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.base import FigureResult
+
+#: Default tolerances (see tests/analysis/test_figures.py for the
+#: per-anchor values used in the regression suite).
+FRACTION_TOLERANCE = 0.10
+MAGNITUDE_TOLERANCE = 0.40
+
+
+@dataclass(frozen=True)
+class AnchorScore:
+    """One anchor's verdict."""
+
+    figure_id: str
+    anchor: str
+    paper: float
+    measured: float
+    within: bool
+
+    @property
+    def deviation(self) -> float:
+        """Absolute deviation for fractions, relative for magnitudes."""
+        if abs(self.paper) <= 1.0:
+            return abs(self.measured - self.paper)
+        if self.paper == 0.0:
+            return abs(self.measured)
+        return abs(self.measured / self.paper - 1.0)
+
+
+@dataclass
+class Scorecard:
+    """All anchors, scored."""
+
+    scores: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.scores)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for s in self.scores if s.within)
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passed / self.total if self.total else 0.0
+
+    def failures(self) -> list:
+        return [s for s in self.scores if not s.within]
+
+    def worst(self, count: int = 5) -> list:
+        return sorted(self.scores, key=lambda s: s.deviation, reverse=True)[:count]
+
+    def render_text(self) -> str:
+        lines = [
+            "reproduction scorecard: %d/%d anchors within tolerance (%.0f%%)"
+            % (self.passed, self.total, 100 * self.pass_rate)
+        ]
+        for s in self.failures():
+            lines.append(
+                "  MISS  %-10s %-55s paper %.3f vs %.3f"
+                % (s.figure_id, s.anchor[:55], s.paper, s.measured)
+            )
+        return "\n".join(lines)
+
+
+def score_figures(results: list[FigureResult]) -> Scorecard:
+    """Score every anchor of the given figure results."""
+    card = Scorecard()
+    for result in results:
+        for name in result.anchors:
+            paper, measured = result.anchors[name]
+            tolerance = (
+                FRACTION_TOLERANCE if abs(float(paper)) <= 1.0 else MAGNITUDE_TOLERANCE
+            )
+            card.scores.append(
+                AnchorScore(
+                    figure_id=result.figure_id,
+                    anchor=name,
+                    paper=float(paper),
+                    measured=float(measured),
+                    within=result.anchor_within(name, tolerance),
+                )
+            )
+    return card
+
+
+def full_scorecard() -> Scorecard:
+    """Regenerate every experiment and score all anchors."""
+    from repro.analysis.report import all_results
+
+    return score_figures(all_results())

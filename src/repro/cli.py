@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+    python -m repro figures [--figure "Figure 18"] [--write PATH]
+    python -m repro export [--dir figures_data]
+    python -m repro evaluate [--workload chrome|tensorflow|vp9|all]
+    python -m repro characterize
+    python -m repro codec [--width W --height H --frames N --qstep Q]
+    python -m repro scorecard
+    python -m repro areas
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.report import EXPERIMENTS, write_experiments_md
+
+    if args.write:
+        print("wrote %s" % write_experiments_md(args.write))
+        return 0
+    for fn in EXPERIMENTS:
+        result = fn()
+        if args.figure and args.figure.lower() not in result.figure_id.lower():
+            continue
+        if args.chart:
+            from repro.analysis.ascii import render_chart
+
+            print(render_chart(result))
+        else:
+            print(result.render_text())
+        print()
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import export_all
+
+    written = export_all(args.dir)
+    print("wrote %d files to %s" % (len(written), args.dir))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.runner import ExperimentRunner
+
+    targets = []
+    if args.workload in ("chrome", "all"):
+        from repro.workloads.chrome.targets import browser_pim_targets
+
+        targets += browser_pim_targets()
+    if args.workload in ("tensorflow", "all"):
+        from repro.workloads.tensorflow.targets import tensorflow_pim_targets
+
+        targets += tensorflow_pim_targets()
+    if args.workload in ("vp9", "all"):
+        from repro.workloads.vp9.targets import video_pim_targets
+
+        targets += video_pim_targets()
+    if not targets:
+        print("unknown workload %r" % args.workload, file=sys.stderr)
+        return 2
+    result = ExperimentRunner().evaluate(targets)
+    print("%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc"))
+    for row in result.rows():
+        print(
+            "%-26s %8.2f %8.2f %8.2fx %8.2fx"
+            % (
+                row["target"],
+                row["energy_pim_core"],
+                row["energy_pim_acc"],
+                row["speedup_pim_core"],
+                row["speedup_pim_acc"],
+            )
+        )
+    print(
+        "mean energy reduction: core %.1f%%, acc %.1f%%"
+        % (
+            100 * result.mean_pim_core_energy_reduction,
+            100 * result.mean_pim_acc_energy_reduction,
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis.headline import workload_characterizations
+
+    print("%-20s %22s" % ("workload", "data-movement share"))
+    total = []
+    for ch in workload_characterizations():
+        print("%-20s %21.1f%%" % (ch.workload, 100 * ch.data_movement_fraction))
+        total.append(ch.data_movement_fraction)
+    print("%-20s %21.1f%%  (paper: 62.7%%)" % ("AVERAGE", 100 * sum(total) / len(total)))
+    return 0
+
+
+def _cmd_codec(args) -> int:
+    from repro.workloads.vp9.decoder import decode_video
+    from repro.workloads.vp9.encoder import encode_video
+    from repro.workloads.vp9.video import synthetic_video
+
+    clip = synthetic_video(args.width, args.height, args.frames, motion=2.5, seed=1)
+    encoded, encoder = encode_video(clip, qstep=args.qstep)
+    decoded, decoder = decode_video(encoded)
+    raw = args.width * args.height * args.frames
+    coded = sum(len(f.data) for f in encoded)
+    psnr = sum(a.psnr(b) for a, b in zip(clip, decoded)) / len(clip)
+    print(
+        "%dx%d x%d: %.1f kB -> %.2f kB (%.1fx), PSNR %.1f dB"
+        % (args.width, args.height, args.frames, raw / 1024, coded / 1024,
+           raw / coded, psnr)
+    )
+    print(
+        "inter MBs %d/%d, sub-pel blocks %d, ref pixels/pixel %.2f"
+        % (
+            decoder.stats.inter_macroblocks,
+            decoder.stats.macroblocks,
+            decoder.stats.subpel_blocks,
+            decoder.stats.reference_pixels_per_pixel,
+        )
+    )
+    return 0
+
+
+def _cmd_scorecard(args) -> int:
+    from repro.analysis.scorecard import full_scorecard
+
+    print(full_scorecard().render_text())
+    return 0
+
+
+def _cmd_areas(args) -> int:
+    from repro.energy.area import AreaModel
+
+    model = AreaModel()
+    print("per-vault budget: %.2f mm^2" % model.budget_per_vault_mm2)
+    core = model.check_pim_core()
+    print(
+        "%-26s %6.2f mm^2  %5.1f%% of vault  %s"
+        % ("pim_core", core.area_mm2, 100 * core.fraction_of_budget,
+           "OK" if core.fits else "TOO BIG")
+    )
+    for check in model.check_all_accelerators():
+        print(
+            "%-26s %6.2f mm^2  %5.1f%% of vault  %s"
+            % (check.target, check.area_mm2, 100 * check.fraction_of_budget,
+               "OK" if check.fits else "TOO BIG")
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASPLOS'18 consumer-workloads PIM reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--figure", help="substring filter, e.g. 'Figure 18'")
+    figures.add_argument("--write", help="write EXPERIMENTS.md to this path")
+    figures.add_argument(
+        "--chart", action="store_true", help="render rows as ASCII bars"
+    )
+    figures.set_defaults(fn=_cmd_figures)
+
+    export = sub.add_parser("export", help="export figure data as JSON")
+    export.add_argument("--dir", default="figures_data")
+    export.set_defaults(fn=_cmd_export)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate PIM targets")
+    evaluate.add_argument(
+        "--workload", default="all", choices=["chrome", "tensorflow", "vp9", "all"]
+    )
+    evaluate.set_defaults(fn=_cmd_evaluate)
+
+    characterize = sub.add_parser(
+        "characterize", help="data-movement share per workload"
+    )
+    characterize.set_defaults(fn=_cmd_characterize)
+
+    codec = sub.add_parser("codec", help="run the functional VP9-class codec")
+    codec.add_argument("--width", type=int, default=96)
+    codec.add_argument("--height", type=int, default=64)
+    codec.add_argument("--frames", type=int, default=6)
+    codec.add_argument("--qstep", type=float, default=16.0)
+    codec.set_defaults(fn=_cmd_codec)
+
+    scorecard = sub.add_parser(
+        "scorecard", help="paper-anchor reproduction scorecard"
+    )
+    scorecard.set_defaults(fn=_cmd_scorecard)
+
+    areas = sub.add_parser("areas", help="PIM logic area budget checks")
+    areas.set_defaults(fn=_cmd_areas)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""The offload engine: execute a PIM target on each machine model.
+
+For every target the engine produces the three executions the paper
+compares (CPU-Only, PIM-Core, PIM-Acc).  PIM executions are charged the
+Section 8.2 coherence/launch overheads on top of the kernel itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import SystemConfig, default_system, CACHE_LINE_BYTES
+from repro.core.target import PimTarget
+from repro.energy.components import EnergyParameters
+from repro.sim.coherence import CoherenceModel
+from repro.sim.cpu import CpuModel, Execution
+from repro.sim.pim import PimAcceleratorModel, PimCoreModel
+
+
+@dataclass(frozen=True)
+class TargetComparison:
+    """The three executions of one PIM target, plus derived metrics."""
+
+    target: PimTarget
+    cpu: Execution
+    pim_core: Execution
+    pim_acc: Execution
+
+    @property
+    def pim_core_speedup(self) -> float:
+        return self.pim_core.speedup_over(self.cpu)
+
+    @property
+    def pim_acc_speedup(self) -> float:
+        return self.pim_acc.speedup_over(self.cpu)
+
+    @property
+    def pim_core_energy_reduction(self) -> float:
+        return self.pim_core.energy_reduction_vs(self.cpu)
+
+    @property
+    def pim_acc_energy_reduction(self) -> float:
+        return self.pim_acc.energy_reduction_vs(self.cpu)
+
+    def normalized_energy(self) -> dict[str, float]:
+        base = self.cpu.energy_j
+        if base <= 0:
+            return {"CPU-Only": 1.0, "PIM-Core": 0.0, "PIM-Acc": 0.0}
+        return {
+            "CPU-Only": 1.0,
+            "PIM-Core": self.pim_core.energy_j / base,
+            "PIM-Acc": self.pim_acc.energy_j / base,
+        }
+
+    def normalized_runtime(self) -> dict[str, float]:
+        base = self.cpu.time_s
+        if base <= 0:
+            return {"CPU-Only": 1.0, "PIM-Core": 0.0, "PIM-Acc": 0.0}
+        return {
+            "CPU-Only": 1.0,
+            "PIM-Core": self.pim_core.time_s / base,
+            "PIM-Acc": self.pim_acc.time_s / base,
+        }
+
+
+class OffloadEngine:
+    """Runs PIM targets on the three machine models of the paper."""
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+        coherence: CoherenceModel | None = None,
+    ):
+        self.system = system or default_system()
+        self.cpu_model = CpuModel(self.system, energy_params)
+        self.pim_core_model = PimCoreModel(self.system, energy_params)
+        self.pim_acc_model = PimAcceleratorModel(self.system, energy_params)
+        self.coherence = coherence or CoherenceModel(self.system, energy_params)
+
+    # ------------------------------------------------------------------
+    def run_cpu(self, target: PimTarget, cores: int = 1) -> Execution:
+        return self.cpu_model.run(target.profile, cores=cores)
+
+    def run_pim_core(self, target: PimTarget, vaults_used: int = 1) -> Execution:
+        execution = self.pim_core_model.run(target.profile, vaults_used=vaults_used)
+        return self._with_offload_overhead(execution, target)
+
+    def run_pim_acc(self, target: PimTarget, vaults_used: int = 1) -> Execution:
+        execution = self.pim_acc_model.run(target.profile, vaults_used=vaults_used)
+        return self._with_offload_overhead(execution, target)
+
+    def compare(self, target: PimTarget) -> TargetComparison:
+        return TargetComparison(
+            target=target,
+            cpu=self.run_cpu(target),
+            pim_core=self.run_pim_core(target),
+            pim_acc=self.run_pim_acc(target),
+        )
+
+    # ------------------------------------------------------------------
+    def _with_offload_overhead(
+        self, execution: Execution, target: PimTarget
+    ) -> Execution:
+        profile = target.profile
+        overhead = self.coherence.offload_overhead(
+            input_bytes=profile.working_set_bytes,
+            pim_lines_touched=profile.pim_bytes / CACHE_LINE_BYTES,
+            invocations=target.invocations,
+        )
+        energy = replace(
+            execution.energy,
+            interconnect=execution.energy.interconnect + overhead.energy_j,
+        )
+        return Execution(
+            machine=execution.machine,
+            time_s=execution.time_s + overhead.time_s,
+            energy=energy,
+            profile=execution.profile,
+        )

@@ -1,0 +1,111 @@
+"""Experiment runner: batch evaluation of PIM targets.
+
+Produces the paper's Figures 18-20 data (normalized energy and runtime per
+kernel for CPU-Only / PIM-Core / PIM-Acc) and the headline cross-workload
+averages (PIM-Core: -49.1% energy / +44.6% performance; PIM-Acc: -55.4% /
++54.2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.offload import OffloadEngine, TargetComparison
+from repro.core.target import PimTarget
+from repro.energy.components import EnergyParameters
+
+
+@dataclass
+class SweepResult:
+    """Results for a set of PIM targets evaluated on all machines."""
+
+    comparisons: list[TargetComparison] = field(default_factory=list)
+
+    def by_name(self, name: str) -> TargetComparison:
+        for c in self.comparisons:
+            if c.target.name == name:
+                return c
+        raise KeyError("no target named %r" % name)
+
+    @property
+    def names(self) -> list[str]:
+        return [c.target.name for c in self.comparisons]
+
+    # ------------------------------------------------------------------
+    # Paper-style aggregates (arithmetic means across kernels, as the
+    # paper averages "across all of the consumer workloads").
+    # ------------------------------------------------------------------
+    @property
+    def mean_pim_core_energy_reduction(self) -> float:
+        return _mean([c.pim_core_energy_reduction for c in self.comparisons])
+
+    @property
+    def mean_pim_acc_energy_reduction(self) -> float:
+        return _mean([c.pim_acc_energy_reduction for c in self.comparisons])
+
+    @property
+    def mean_pim_core_speedup(self) -> float:
+        return _mean([c.pim_core_speedup for c in self.comparisons])
+
+    @property
+    def mean_pim_acc_speedup(self) -> float:
+        return _mean([c.pim_acc_speedup for c in self.comparisons])
+
+    @property
+    def max_pim_core_energy_reduction(self) -> float:
+        return max(c.pim_core_energy_reduction for c in self.comparisons)
+
+    @property
+    def max_pim_acc_energy_reduction(self) -> float:
+        return max(c.pim_acc_energy_reduction for c in self.comparisons)
+
+    @property
+    def max_pim_core_speedup(self) -> float:
+        return max(c.pim_core_speedup for c in self.comparisons)
+
+    @property
+    def max_pim_acc_speedup(self) -> float:
+        return max(c.pim_acc_speedup for c in self.comparisons)
+
+    def rows(self) -> list[dict]:
+        """Flat result rows for the figure/report harnesses."""
+        out = []
+        for c in self.comparisons:
+            energy = c.normalized_energy()
+            runtime = c.normalized_runtime()
+            out.append(
+                {
+                    "target": c.target.name,
+                    "workload": c.target.workload,
+                    "energy_cpu": energy["CPU-Only"],
+                    "energy_pim_core": energy["PIM-Core"],
+                    "energy_pim_acc": energy["PIM-Acc"],
+                    "runtime_cpu": runtime["CPU-Only"],
+                    "runtime_pim_core": runtime["PIM-Core"],
+                    "runtime_pim_acc": runtime["PIM-Acc"],
+                    "speedup_pim_core": c.pim_core_speedup,
+                    "speedup_pim_acc": c.pim_acc_speedup,
+                }
+            )
+        return out
+
+
+class ExperimentRunner:
+    """Evaluates lists of PIM targets against all three machine models."""
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+    ):
+        self.engine = OffloadEngine(system, energy_params)
+
+    def evaluate(self, targets: list[PimTarget]) -> SweepResult:
+        return SweepResult(comparisons=[self.engine.compare(t) for t in targets])
+
+
+def _mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,144 @@
+"""PIM targets and the Section 3.2 identification methodology.
+
+The paper identifies a function as a *PIM target candidate* when:
+
+1. it consumes the most energy out of all functions in the workload
+   (operationalized here as: it is among the top energy consumers, above a
+   configurable share threshold);
+2. its data movement consumes a significant fraction of total workload
+   energy;
+3. it is memory-intensive: last-level-cache MPKI > 10;
+4. data movement is the single largest component of the function's energy.
+
+A candidate becomes a *PIM target* if additionally:
+
+5. it incurs no performance loss on simple PIM logic; and
+6. its PIM logic fits in the area available per vault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.area import AreaModel, PAPER_ACCELERATOR_AREAS
+from repro.sim.profile import KernelProfile
+
+
+@dataclass(frozen=True)
+class PimTarget:
+    """One offloadable function, ready for evaluation.
+
+    Attributes:
+        name: function name (e.g. ``"texture_tiling"``).
+        profile: its measured execution profile.
+        accelerator_key: key into the accelerator-area table; also selects
+            the fixed-function accelerator design.
+        invocations: number of separate offload invocations this profile
+            represents (sets the coherence/launch overhead).
+        workload: owning workload, for reporting.
+    """
+
+    name: str
+    profile: KernelProfile
+    accelerator_key: str
+    invocations: int = 1
+    workload: str = ""
+
+    def __post_init__(self):
+        if self.accelerator_key not in PAPER_ACCELERATOR_AREAS:
+            raise KeyError(
+                "no accelerator design for %r; known: %s"
+                % (self.accelerator_key, sorted(PAPER_ACCELERATOR_AREAS))
+            )
+        if self.invocations < 1:
+            raise ValueError("invocations must be >= 1")
+
+
+@dataclass(frozen=True)
+class CandidateCriteria:
+    """Thresholds for the Section 3.2 candidate tests."""
+
+    #: A function must hold at least this share of workload energy (the
+    #: paper examines the top consumers; "Other" buckets of <1% functions
+    #: are excluded by construction).
+    min_energy_share: float = 0.05
+    #: Its data movement must be at least this share of *workload* energy.
+    min_movement_share_of_workload: float = 0.03
+    #: The paper's memory-intensity threshold.
+    min_mpki: float = 10.0
+
+
+@dataclass
+class CandidateEvaluation:
+    """Outcome of evaluating one function against all six criteria."""
+
+    name: str
+    energy_share: float
+    movement_share_of_workload: float
+    mpki: float
+    movement_dominates_function: bool
+    pim_speedup: float
+    area_fraction_of_vault: float
+    criteria: CandidateCriteria = field(default_factory=CandidateCriteria)
+
+    @property
+    def is_candidate(self) -> bool:
+        """Criteria 1-4 (workload analysis)."""
+        return (
+            self.energy_share >= self.criteria.min_energy_share
+            and self.movement_share_of_workload
+            >= self.criteria.min_movement_share_of_workload
+            and self.mpki > self.criteria.min_mpki
+            and self.movement_dominates_function
+        )
+
+    @property
+    def no_performance_loss(self) -> bool:
+        """Criterion 5: PIM execution is not slower than the CPU."""
+        return self.pim_speedup >= 1.0
+
+    @property
+    def fits_area_budget(self) -> bool:
+        """Criterion 6: the PIM logic fits in the per-vault budget."""
+        return self.area_fraction_of_vault <= 1.0
+
+    @property
+    def is_pim_target(self) -> bool:
+        return self.is_candidate and self.no_performance_loss and self.fits_area_budget
+
+
+def identify_pim_targets(
+    evaluations: list[CandidateEvaluation],
+) -> list[CandidateEvaluation]:
+    """Filter a workload's function evaluations down to accepted targets."""
+    return [e for e in evaluations if e.is_pim_target]
+
+
+def evaluate_candidate(
+    name: str,
+    profile: KernelProfile,
+    energy_share: float,
+    movement_share_of_workload: float,
+    movement_fraction_of_function: float,
+    pim_speedup: float,
+    accelerator_key: str | None = None,
+    area_model: AreaModel | None = None,
+    criteria: CandidateCriteria | None = None,
+) -> CandidateEvaluation:
+    """Build a :class:`CandidateEvaluation` from measured quantities."""
+    area = area_model or AreaModel()
+    if accelerator_key is not None:
+        check = area.check_accelerator(accelerator_key)
+        area_fraction = check.fraction_of_budget
+    else:
+        area_fraction = area.check_pim_core().fraction_of_budget
+    return CandidateEvaluation(
+        name=name,
+        energy_share=energy_share,
+        movement_share_of_workload=movement_share_of_workload,
+        mpki=profile.mpki,
+        movement_dominates_function=movement_fraction_of_function > 0.5,
+        pim_speedup=pim_speedup,
+        area_fraction_of_vault=area_fraction,
+        criteria=criteria or CandidateCriteria(),
+    )

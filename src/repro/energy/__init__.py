@@ -1,0 +1,36 @@
+"""Component-level energy model for consumer-device SoCs with PIM.
+
+This package reproduces the energy-accounting methodology of Section 3.1 of
+the paper: total system energy is the sum of the energy consumed by the CPU
+cores, the L1 and L2 (last-level) caches, the off-chip interconnect, the
+memory controller, and DRAM.  *Data movement* energy is everything except
+the CPU-compute component, matching the paper's definition ("the data
+movement energy includes the energy consumed by DRAM, the off-chip
+interconnect, and the on-chip caches").
+"""
+
+from repro.energy.breakdown import Component, EnergyBreakdown
+from repro.energy.components import EnergyParameters, default_energy_parameters
+from repro.energy.model import EnergyModel
+from repro.energy.area import AreaModel, AcceleratorArea, PAPER_ACCELERATOR_AREAS
+from repro.energy.battery import BatteryModel, BatteryEstimate, DeviceConfig, UsageMix
+from repro.energy.thermal import ThermalModel, ThermalConfig, PimPowerCheck, ThrottleResult
+
+__all__ = [
+    "Component",
+    "EnergyBreakdown",
+    "EnergyParameters",
+    "default_energy_parameters",
+    "EnergyModel",
+    "AreaModel",
+    "AcceleratorArea",
+    "PAPER_ACCELERATOR_AREAS",
+    "BatteryModel",
+    "BatteryEstimate",
+    "DeviceConfig",
+    "UsageMix",
+    "ThermalModel",
+    "ThermalConfig",
+    "PimPowerCheck",
+    "ThrottleResult",
+]

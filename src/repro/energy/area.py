@@ -1,0 +1,108 @@
+"""Area model for PIM logic (paper Section 3.3 and Sections 4-7).
+
+An HMC-like 3D-stacked memory offers 50-60 mm^2 of logic-layer area, i.e.
+roughly 3.5-4.4 mm^2 per vault.  The paper checks each proposed PIM core /
+accelerator against this budget; this module reproduces those checks and
+records the per-accelerator areas reported in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import StackedMemoryConfig, PimCoreConfig
+
+
+@dataclass(frozen=True)
+class AcceleratorArea:
+    """Area of one fixed-function PIM accelerator."""
+
+    target: str
+    area_mm2: float
+    source: str = ""
+
+
+#: Per-accelerator areas reported in the paper (22 nm).
+PAPER_ACCELERATOR_AREAS: dict[str, AcceleratorArea] = {
+    "texture_tiling": AcceleratorArea(
+        "texture_tiling", 0.25, "Section 4.2.2: four in-memory tiling units"
+    ),
+    "color_blitting": AcceleratorArea(
+        "color_blitting", 0.25, "Section 4.2.2: reuses the tiling logic units"
+    ),
+    "compression": AcceleratorArea(
+        "compression", 0.25, "Section 4.3.2: LZO accelerator bound from [156]"
+    ),
+    "decompression": AcceleratorArea(
+        "decompression", 0.25, "Section 4.3.2: LZO accelerator bound from [156]"
+    ),
+    "packing": AcceleratorArea(
+        "packing", 0.25, "Section 5.3: reuses the tiling logic units"
+    ),
+    "quantization": AcceleratorArea(
+        "quantization", 0.25, "Section 5.3: reuses the tiling logic units"
+    ),
+    "sub_pixel_interpolation": AcceleratorArea(
+        "sub_pixel_interpolation", 0.21, "Section 6.2.2: VP9 HW sub-pel unit"
+    ),
+    "deblocking_filter": AcceleratorArea(
+        "deblocking_filter", 0.12, "Section 6.2.2: VP9 HW deblocking unit"
+    ),
+    "motion_compensation_unit": AcceleratorArea(
+        "motion_compensation_unit", 0.33, "Section 6.3.2: MC + deblocking for HW codec"
+    ),
+    "motion_estimation": AcceleratorArea(
+        "motion_estimation", 1.24, "Section 7.2.2: VP9 HW ME unit"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AreaCheck:
+    """Result of checking a PIM logic block against the vault budget."""
+
+    target: str
+    area_mm2: float
+    budget_mm2: float
+
+    @property
+    def fraction_of_budget(self) -> float:
+        return self.area_mm2 / self.budget_mm2
+
+    @property
+    def fits(self) -> bool:
+        return self.area_mm2 <= self.budget_mm2
+
+
+class AreaModel:
+    """Checks PIM logic areas against the per-vault logic-layer budget."""
+
+    def __init__(self, memory: StackedMemoryConfig | None = None):
+        self.memory = memory or StackedMemoryConfig()
+
+    @property
+    def budget_per_vault_mm2(self) -> float:
+        return self.memory.area_per_vault_mm2
+
+    def check_pim_core(self, pim_core: PimCoreConfig | None = None) -> AreaCheck:
+        """The PIM core needs <= 9.4% of the per-vault area (Section 3.3)."""
+        core = pim_core or PimCoreConfig()
+        return AreaCheck(
+            target="pim_core",
+            area_mm2=core.area_mm2,
+            budget_mm2=self.budget_per_vault_mm2,
+        )
+
+    def check_accelerator(self, target: str) -> AreaCheck:
+        if target not in PAPER_ACCELERATOR_AREAS:
+            raise KeyError(
+                "unknown PIM accelerator %r; known: %s"
+                % (target, sorted(PAPER_ACCELERATOR_AREAS))
+            )
+        acc = PAPER_ACCELERATOR_AREAS[target]
+        return AreaCheck(
+            target=target, area_mm2=acc.area_mm2, budget_mm2=self.budget_per_vault_mm2
+        )
+
+    def check_all_accelerators(self) -> list[AreaCheck]:
+        return [self.check_accelerator(name) for name in sorted(PAPER_ACCELERATOR_AREAS)]

@@ -1,0 +1,133 @@
+"""Battery-life estimation (the paper's motivation, Section 1).
+
+The paper's case for PIM is battery life: lithium-ion capacity has only
+doubled in 20 years while workload demands exploded.  This module turns
+the per-workload energy models into a device-level estimate: given a
+battery capacity and a daily usage mix (hours of browsing, video
+playback/capture, ML inference), how much screen-on time does PIM buy?
+
+This is an extension beyond the paper's evaluation (the paper stops at
+per-workload energy); the usage mix and display/idle power constants are
+documented model inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.core.offload import OffloadEngine
+    from repro.core.workload import WorkloadFunction
+
+WH = 3600.0  # joules per watt-hour
+
+
+@dataclass(frozen=True)
+class UsageMix:
+    """Fraction of active time spent in each activity (must sum to 1)."""
+
+    browsing: float = 0.45
+    video_playback: float = 0.30
+    video_capture: float = 0.05
+    inference: float = 0.20
+
+    def __post_init__(self):
+        total = self.browsing + self.video_playback + self.video_capture + self.inference
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError("usage fractions must sum to 1, got %.3f" % total)
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Device-level constants outside the workload models."""
+
+    battery_wh: float = 38.0  # Chromebook-class battery
+    #: Display + radios + rails: constant while the screen is on, not
+    #: affected by PIM.
+    fixed_power_w: float = 2.2
+
+
+@dataclass
+class BatteryEstimate:
+    """Screen-on hours for the CPU-only and PIM configurations."""
+
+    cpu_only_hours: float
+    pim_hours: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional battery-life extension (0.2 = +20%)."""
+        if self.cpu_only_hours <= 0:
+            return 0.0
+        return self.pim_hours / self.cpu_only_hours - 1.0
+
+
+class BatteryModel:
+    """Estimates screen-on time from the workload energy models."""
+
+    def __init__(
+        self,
+        device: DeviceConfig | None = None,
+        engine: "OffloadEngine | None" = None,
+    ):
+        from repro.core.offload import OffloadEngine
+
+        self.device = device or DeviceConfig()
+        self.engine = engine or OffloadEngine()
+
+    # ------------------------------------------------------------------
+    def activity_power(self, functions: list) -> tuple[float, float]:
+        """(CPU-only watts, PIM watts) of SoC+memory for one activity.
+
+        The activity repeats its workload back-to-back; power is energy
+        over execution time.  With PIM, the offloaded work is both
+        cheaper and faster, so the *rate* of work rises; we keep the
+        activity's work rate fixed at the CPU-only rate (the user's video
+        does not play faster), so PIM's saved time becomes idle time and
+        PIM power = PIM energy / CPU-only time.
+        """
+        from repro.core.workload import offloaded_totals
+
+        totals = offloaded_totals(functions, self.engine)
+        if totals.cpu_time_s <= 0:
+            return 0.0, 0.0
+        cpu_power = totals.cpu_energy_j / totals.cpu_time_s
+        pim_power = totals.pim_energy_j / totals.cpu_time_s
+        return cpu_power, pim_power
+
+    # ------------------------------------------------------------------
+    def estimate(self, mix: UsageMix | None = None) -> BatteryEstimate:
+        mix = mix or UsageMix()
+        activities = self._activity_functions()
+        cpu_power = pim_power = self.device.fixed_power_w
+        weights = {
+            "browsing": mix.browsing,
+            "video_playback": mix.video_playback,
+            "video_capture": mix.video_capture,
+            "inference": mix.inference,
+        }
+        for name, weight in weights.items():
+            cpu_w, pim_w = self.activity_power(activities[name])
+            cpu_power += weight * cpu_w
+            pim_power += weight * pim_w
+        budget_j = self.device.battery_wh * WH
+        return BatteryEstimate(
+            cpu_only_hours=budget_j / cpu_power / 3600.0,
+            pim_hours=budget_j / pim_power / 3600.0,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _activity_functions() -> dict:
+        from repro.workloads.chrome.pages import PAGES
+        from repro.workloads.tensorflow.models import resnet_v2_152
+        from repro.workloads.tensorflow.network import network_functions
+        from repro.workloads.vp9.profiles import decoder_functions, encoder_functions
+
+        return {
+            "browsing": PAGES["Google Docs"].scrolling_functions(),
+            "video_playback": decoder_functions(1280, 720, 30),
+            "video_capture": encoder_functions(1280, 720, 30),
+            "inference": network_functions(resnet_v2_152()),
+        }

@@ -1,0 +1,108 @@
+"""Per-component energy parameters.
+
+The paper builds its energy model from public sources: CACTI-P 6.5 at 22 nm
+for the caches, instruction-level ARM energy characterizations for the CPU,
+LPDDR3 datasheet numbers for the baseline DRAM, and HMC/HBM estimates for
+3D-stacked DRAM.  None of those tools run here, so this module records a
+self-consistent 22 nm-class parameter set drawn from the same public
+literature.  Absolute joules are therefore approximate; all paper-facing
+claims in this repository are about *ratios* (energy fractions, PIM-vs-CPU
+factors), which depend only on the relative magnitudes below:
+
+* moving a byte off-chip costs ~an order of magnitude more than an ALU op
+  (the paper's core premise, citing Keckler et al. [80]);
+* internal 3D-stacked access costs a few times less than off-chip access;
+* a fixed-function accelerator is 20x more energy-efficient than the CPU
+  for the same computation (paper Section 3.1, citing [1]);
+* a Cortex-R8-class PIM core spends several times less energy per
+  instruction than an 8-wide OoO core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PJ = 1e-12  # picojoule, in joules
+NJ = 1e-9  # nanojoule, in joules
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Energy cost constants for every modeled hardware event.
+
+    All values are joules per event; "per bit" values are joules per bit
+    transferred.
+    """
+
+    # --- CPU core (8-wide OoO, 22 nm class) -----------------------------
+    #: Energy per retired instruction, core only (FE+ROB+ALU+RF), excluding
+    #: caches which are accounted separately.
+    cpu_energy_per_instruction: float = 120 * PJ
+    #: Energy burned per core cycle while stalled on memory (clock tree,
+    #: leakage, speculative wakeups).
+    cpu_stall_energy_per_cycle: float = 60 * PJ
+
+    # --- PIM core (Cortex-R8 class, 1-wide in-order + 4-wide SIMD) ------
+    #: Conservative per-instruction energy for the PIM core (paper uses the
+    #: Cortex-R8 as the bound).
+    pim_core_energy_per_instruction: float = 40 * PJ
+    pim_core_stall_energy_per_cycle: float = 15 * PJ
+
+    # --- PIM accelerator -------------------------------------------------
+    #: The paper conservatively assumes accelerators are 20x more
+    #: energy-efficient than CPU cores for the same computation.  Applied as
+    #: cpu_energy_per_instruction / ratio per equivalent operation.
+    accelerator_efficiency_vs_cpu: float = 20.0
+
+    # --- Caches (CACTI-class, 22 nm) -------------------------------------
+    #: L1 D-cache dynamic energy per load/store access (64 kB, 4-way).
+    l1_energy_per_access: float = 12 * PJ
+    #: PIM core's smaller L1 (32 kB).
+    pim_l1_energy_per_access: float = 8 * PJ
+    #: Shared L2/LLC dynamic energy per 64 B line access (2 MB, 8-way).
+    llc_energy_per_line: float = 400 * PJ
+
+    # --- Off-chip path (SoC <-> LPDDR3 or stacked-DRAM channel) ----------
+    #: On-chip interconnect + PHY energy per bit crossing the chip edge.
+    interconnect_energy_per_bit: float = 6 * PJ
+    #: Memory-controller queuing/scheduling energy per bit serviced.
+    memctrl_energy_per_bit: float = 4 * PJ
+    #: DRAM array + I/O energy per bit for off-chip access (LPDDR3 class,
+    #: array + periphery + interface).
+    dram_energy_per_bit: float = 30 * PJ
+
+    # --- Internal 3D-stacked path (logic layer <-> DRAM layers) ----------
+    #: DRAM array + TSV energy per bit for accesses made from the logic
+    #: layer of 3D-stacked memory (no off-chip I/O, short vertical wires).
+    #: The DRAM-array portion is unchanged vs. off-chip access; only the
+    #: interface energy disappears, so the internal path is ~2x cheaper per
+    #: bit, not free.
+    stacked_internal_energy_per_bit: float = 17 * PJ
+    #: Vault-controller energy per bit for internal accesses.
+    vault_ctrl_energy_per_bit: float = 3 * PJ
+
+    # --- Derived conveniences --------------------------------------------
+    @property
+    def offchip_energy_per_byte(self) -> float:
+        """Total energy to move one byte between DRAM and the SoC."""
+        per_bit = (
+            self.interconnect_energy_per_bit
+            + self.memctrl_energy_per_bit
+            + self.dram_energy_per_bit
+        )
+        return per_bit * 8
+
+    @property
+    def internal_energy_per_byte(self) -> float:
+        """Total energy for the PIM logic to move one byte from DRAM layers."""
+        per_bit = self.stacked_internal_energy_per_bit + self.vault_ctrl_energy_per_bit
+        return per_bit * 8
+
+    @property
+    def accelerator_energy_per_op(self) -> float:
+        return self.cpu_energy_per_instruction / self.accelerator_efficiency_vs_cpu
+
+
+def default_energy_parameters() -> EnergyParameters:
+    """The calibrated parameter set used by every experiment."""
+    return EnergyParameters()

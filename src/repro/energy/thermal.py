@@ -1,0 +1,149 @@
+"""Thermal constraints (paper Sections 1 and 2).
+
+Two thermal budgets govern the design space:
+
+* the **SoC's** dissipation limit — "the thermal power dissipation of
+  consumer devices has become a severe performance constraint": when a
+  workload's sustained SoC power exceeds the envelope, the clock
+  throttles and everything slows down;
+* the **3D-stacked memory's logic layer** — the reason the paper insists
+  on *low-complexity* PIM logic: DRAM retention degrades with
+  temperature, so the logic layer can only host a few watts.
+
+This module models both: a throttling model for the SoC, and a power
+check for the PIM logic against the logic-layer budget (the thermal
+counterpart of the Section 3.3 area check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.core.offload import OffloadEngine
+    from repro.core.target import PimTarget
+    from repro.core.workload import WorkloadFunction
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Thermal envelopes for the SoC and the memory stack."""
+
+    #: Sustained SoC power before throttling (Chromebook-class, fanless).
+    soc_tdp_w: float = 4.0
+    #: Power the whole 3D-stack logic layer can dissipate without
+    #: degrading DRAM retention (HMC-class thermal analyses).
+    logic_layer_budget_w: float = 10.0
+    #: Throttling strength: how hard the governor clamps when over TDP
+    #: (1.0 = perfect proportional clamp to the envelope).
+    clamp: float = 1.0
+
+
+@dataclass(frozen=True)
+class ThrottleResult:
+    """Sustained execution under the SoC thermal envelope."""
+
+    raw_power_w: float
+    throttle_factor: float  # <= 1.0; applied to the clock
+    effective_time_s: float
+
+    @property
+    def throttled(self) -> bool:
+        return self.throttle_factor < 1.0
+
+
+@dataclass(frozen=True)
+class PimPowerCheck:
+    """PIM logic power against the logic-layer thermal budget."""
+
+    target: str
+    pim_power_w: float
+    budget_w: float
+
+    @property
+    def fits(self) -> bool:
+        return self.pim_power_w <= self.budget_w
+
+    @property
+    def fraction_of_budget(self) -> float:
+        return self.pim_power_w / self.budget_w if self.budget_w > 0 else float("inf")
+
+
+class ThermalModel:
+    """SoC throttling + logic-layer power checks."""
+
+    def __init__(
+        self,
+        config: ThermalConfig | None = None,
+        engine: "OffloadEngine | None" = None,
+    ):
+        from repro.core.offload import OffloadEngine
+
+        self.config = config or ThermalConfig()
+        self.engine = engine or OffloadEngine()
+
+    # ------------------------------------------------------------------
+    def sustained_execution(
+        self, energy_j: float, time_s: float
+    ) -> ThrottleResult:
+        """Apply the SoC envelope to a (energy, time) execution.
+
+        When raw power exceeds the TDP, the governor scales the clock by
+        ``TDP / power`` (dynamic power is ~linear in frequency at fixed
+        voltage), stretching execution time accordingly.
+        """
+        if time_s <= 0:
+            return ThrottleResult(0.0, 1.0, 0.0)
+        power = energy_j / time_s
+        tdp = self.config.soc_tdp_w
+        if power <= tdp:
+            return ThrottleResult(power, 1.0, time_s)
+        factor = max(tdp / power, 0.05) ** self.config.clamp
+        return ThrottleResult(power, factor, time_s / factor)
+
+    def workload_throttling(
+        self, functions: list
+    ) -> tuple[ThrottleResult, ThrottleResult]:
+        """(CPU-only, with-PIM) sustained execution for one workload.
+
+        With PIM, the offloaded kernels' power dissipates in the memory
+        stack instead of the SoC, relieving the SoC envelope.
+        """
+        from repro.core.workload import offloaded_totals
+
+        totals = offloaded_totals(functions, self.engine)
+        cpu = self.sustained_execution(totals.cpu_energy_j, totals.cpu_time_s)
+        # SoC-side power under PIM: the non-offloaded functions only.
+        soc_energy = soc_time = 0.0
+        for f in functions:
+            if f.accelerator_key is not None:
+                continue
+            execution = self.engine.cpu_model.run(f.profile)
+            soc_energy += execution.energy_j
+            soc_time += execution.time_s
+        pim = self.sustained_execution(soc_energy, max(totals.pim_time_s, soc_time))
+        return cpu, pim
+
+    # ------------------------------------------------------------------
+    def check_pim_target(self, target, use_accelerator=True) -> PimPowerCheck:
+        """Does this target's PIM logic fit the logic-layer power budget?
+
+        Power = PIM-side energy over PIM execution time (the logic layer
+        must sustain it for the kernel's duration).
+        """
+        execution = (
+            self.engine.run_pim_acc(target)
+            if use_accelerator
+            else self.engine.run_pim_core(target)
+        )
+        pim_energy = execution.energy.pim_compute + execution.energy.pim_memory
+        power = pim_energy / execution.time_s if execution.time_s > 0 else 0.0
+        return PimPowerCheck(
+            target=target.name,
+            pim_power_w=power,
+            budget_w=self.config.logic_layer_budget_w,
+        )
+
+    def check_all_targets(self, targets: list) -> list[PimPowerCheck]:
+        return [self.check_pim_target(t) for t in targets]

@@ -1,0 +1,54 @@
+"""Performance-model substrate: caches, DRAM, CPU/PIM timing.
+
+The paper's evaluation combines hardware performance counters (for the
+workload characterization) with gem5 full-system simulation (for the PIM
+evaluation).  This package provides the equivalent substrate for the
+reproduction:
+
+* :mod:`repro.sim.profile` -- the ``KernelProfile`` abstraction: exact
+  dynamic operation counts and memory-traffic statistics produced by the
+  instrumented workload kernels (stand-in for performance counters);
+* :mod:`repro.sim.trace` / :mod:`repro.sim.cache` -- a trace-driven
+  set-associative cache-hierarchy simulator used to validate the locality
+  assumptions baked into the analytic profiles;
+* :mod:`repro.sim.dram` -- LPDDR3 and 3D-stacked DRAM bandwidth/latency
+  models;
+* :mod:`repro.sim.cpu` / :mod:`repro.sim.pim` -- roofline-style timing and
+  energy models for the SoC CPU, the PIM core, and PIM accelerators;
+* :mod:`repro.sim.coherence` -- the CPU<->PIM fine-grained coherence cost
+  model of Section 8.2.
+"""
+
+from repro.sim.profile import KernelProfile
+from repro.sim.trace import MemoryTrace, TraceRecorder
+from repro.sim.cache import Cache, CacheHierarchy, CacheStats
+from repro.sim.dram import DramTimings, OffChipDram, StackedDramInternal
+from repro.sim.cpu import CpuModel, Execution
+from repro.sim.pim import PimCoreModel, PimAcceleratorModel
+from repro.sim.coherence import CoherenceModel, OffloadOverhead
+from repro.sim.timing import TimingSimulator, TimingParameters, TimingResult
+from repro.sim.rowbuffer import DramGeometry, RowBufferModel, RowBufferStats
+
+__all__ = [
+    "KernelProfile",
+    "MemoryTrace",
+    "TraceRecorder",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "DramTimings",
+    "OffChipDram",
+    "StackedDramInternal",
+    "CpuModel",
+    "Execution",
+    "PimCoreModel",
+    "PimAcceleratorModel",
+    "CoherenceModel",
+    "OffloadOverhead",
+    "TimingSimulator",
+    "TimingParameters",
+    "TimingResult",
+    "DramGeometry",
+    "RowBufferModel",
+    "RowBufferStats",
+]

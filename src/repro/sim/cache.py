@@ -1,0 +1,201 @@
+"""Trace-driven set-associative cache simulator.
+
+Models the SoC cache hierarchy of Table 1 (64 kB 4-way L1, 2 MB 8-way LLC)
+with true-LRU replacement and write-back/write-allocate policy.  The
+simulator replays :class:`repro.sim.trace.MemoryTrace` objects and reports
+per-level hits, misses, writebacks, and resulting DRAM traffic.  It is the
+reproduction's stand-in for the performance-counter traffic measurements in
+the paper and is used to validate the analytic profiles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig, SocConfig, CACHE_LINE_BYTES
+from repro.sim.trace import MemoryTrace
+
+
+@dataclass
+class CacheStats:
+    """Access statistics for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One set-associative, write-back, write-allocate cache level."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One OrderedDict per set: line_tag -> dirty flag; LRU order is
+        # insertion order (move_to_end on hit).
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        for s in self._sets:
+            s.clear()
+
+    def access(self, line_addr: int, is_write: bool):
+        """Access one cache line.
+
+        Returns:
+            (hit, victim): ``hit`` is True on a cache hit; ``victim`` is the
+            (line_addr, dirty) pair evicted to make room, or None.
+        """
+        set_idx = line_addr % self.config.num_sets
+        tag = line_addr // self.config.num_sets
+        lines = self._sets[set_idx]
+        self.stats.accesses += 1
+        if tag in lines:
+            self.stats.hits += 1
+            lines.move_to_end(tag)
+            if is_write:
+                lines[tag] = True
+            return True, None
+        self.stats.misses += 1
+        victim = None
+        if len(lines) >= self.config.associativity:
+            victim_tag, victim_dirty = lines.popitem(last=False)
+            if victim_dirty:
+                self.stats.writebacks += 1
+            victim_line = victim_tag * self.config.num_sets + set_idx
+            victim = (victim_line, victim_dirty)
+        lines[tag] = is_write
+        return False, victim
+
+    def contains(self, line_addr: int) -> bool:
+        set_idx = line_addr % self.config.num_sets
+        tag = line_addr // self.config.num_sets
+        return tag in self._sets[set_idx]
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate results of replaying a trace through the hierarchy."""
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    llc: CacheStats = field(default_factory=CacheStats)
+    dram_line_reads: int = 0
+    dram_line_writes: int = 0
+    instructions_hint: float = 0.0
+
+    @property
+    def dram_bytes(self) -> int:
+        return (self.dram_line_reads + self.dram_line_writes) * CACHE_LINE_BYTES
+
+    def mpki(self, instructions: float | None = None) -> float:
+        n = instructions if instructions is not None else self.instructions_hint
+        if n <= 0:
+            return 0.0
+        return self.llc.misses / (n / 1000.0)
+
+
+class CacheHierarchy:
+    """A two-level (L1 + shared LLC) inclusive-ish hierarchy.
+
+    Misses in L1 access the LLC; LLC misses fetch from DRAM.  Dirty
+    evictions write back to the next level (L1 victims are installed into
+    the LLC as dirty; LLC dirty victims count as DRAM writes).
+    """
+
+    def __init__(self, soc: SocConfig | None = None):
+        cfg = soc or SocConfig()
+        self.l1 = Cache(cfg.l1, name="L1")
+        self.llc = Cache(cfg.l2, name="LLC")
+        self.dram_line_reads = 0
+        self.dram_line_writes = 0
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.llc.reset()
+        self.dram_line_reads = 0
+        self.dram_line_writes = 0
+
+    def access(self, address: int, is_write: bool) -> None:
+        line = address // CACHE_LINE_BYTES
+        hit, victim = self.l1.access(line, is_write)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            if victim_dirty:
+                self._llc_install_writeback(victim_line)
+        if hit:
+            return
+        # L1 miss: fetch line through the LLC (the fill itself is a read).
+        llc_hit, llc_victim = self.llc.access(line, is_write=False)
+        if llc_victim is not None:
+            _, dirty = llc_victim
+            if dirty:
+                self.dram_line_writes += 1
+        if not llc_hit:
+            self.dram_line_reads += 1
+
+    def _llc_install_writeback(self, line: int) -> None:
+        hit, victim = self.llc.access(line, is_write=True)
+        if victim is not None:
+            _, dirty = victim
+            if dirty:
+                self.dram_line_writes += 1
+        if not hit:
+            # Write-allocate: the line is fetched before being overwritten.
+            self.dram_line_reads += 1
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-kernel accounting)."""
+        for cache, sink in ((self.l1, self._llc_install_writeback), (self.llc, None)):
+            for set_idx, lines in enumerate(cache._sets):
+                for tag, dirty in list(lines.items()):
+                    if not dirty:
+                        continue
+                    line = tag * cache.config.num_sets + set_idx
+                    if sink is not None:
+                        sink(line)
+                    else:
+                        self.dram_line_writes += 1
+                    lines[tag] = False
+
+    def replay(
+        self,
+        trace: MemoryTrace,
+        flush: bool = True,
+        instructions_hint: float = 0.0,
+    ) -> HierarchyStats:
+        """Replay a full trace and return aggregate statistics."""
+        addresses = trace.addresses
+        writes = trace.is_write
+        access = self.access
+        for i in range(len(trace)):
+            access(int(addresses[i]), bool(writes[i]))
+        if flush:
+            self.flush()
+        return HierarchyStats(
+            l1=self.l1.stats,
+            llc=self.llc.stats,
+            dram_line_reads=self.dram_line_reads,
+            dram_line_writes=self.dram_line_writes,
+            instructions_hint=instructions_hint or float(len(trace)),
+        )
+
+
+def replay_trace(trace: MemoryTrace, soc: SocConfig | None = None) -> HierarchyStats:
+    """Convenience wrapper: replay ``trace`` through a fresh hierarchy."""
+    return CacheHierarchy(soc).replay(trace)

@@ -1,0 +1,103 @@
+"""CPU <-> PIM coherence cost model (paper Section 8.2).
+
+The paper's PIM targets are fine-grained functions interleaved with CPU
+work, so offloading them requires coherence between the processor caches
+and the PIM logic.  The paper employs a PIM-side directory in the logic
+layer, with the CPU-side directory as the system's main coherence point.
+
+We model the costs of one offload round trip:
+
+* **launch latency** -- the CPU writes the kernel descriptor and raises the
+  PIM-start signal (a store + one off-chip round trip);
+* **shared-line flush** -- dirty CPU-cache lines covering the kernel's
+  input must be written back before PIM may read them (bounded by the LLC
+  capacity and by the input size);
+* **directory traffic** -- one directory lookup per line the PIM logic
+  touches, at SRAM-lookup cost in the logic layer.
+
+These overheads are charged by the offload engine on top of the PIM
+execution itself; with the paper's kernel granularities they are small
+(single-digit percent), which is the paper's argument that simple
+fine-grained coherence suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_system, CACHE_LINE_BYTES
+from repro.energy.components import EnergyParameters, default_energy_parameters
+
+
+@dataclass(frozen=True)
+class OffloadOverhead:
+    """Additional time and energy charged per offloaded kernel execution."""
+
+    time_s: float
+    energy_j: float
+    flushed_lines: float
+    directory_lookups: float
+
+
+class CoherenceModel:
+    """Fine-grained PIM coherence cost model."""
+
+    #: One off-chip round trip to launch the PIM kernel and one to signal
+    #: completion (descriptor write + doorbell + completion interrupt).
+    LAUNCH_LATENCY_S = 2 * 100e-9
+    #: Directory SRAM lookup energy per line (logic-layer SRAM).
+    DIRECTORY_LOOKUP_ENERGY_J = 2e-12
+    #: Time per dirty-line writeback during the pre-offload flush; the
+    #: flush streams at channel bandwidth, so this is per-line channel time.
+    FLUSH_LINE_TIME_S = CACHE_LINE_BYTES / (32 * 1024**3)
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+        dirty_fraction: float = 0.05,
+    ):
+        """Args:
+        dirty_fraction: fraction of the kernel's cached input lines that
+            are dirty in CPU caches at offload time and must be flushed
+            *because of the offload* (dirty lines that would be written
+            back anyway in the CPU-only execution are not charged here).
+        """
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in [0, 1]")
+        self.system = system or default_system()
+        self.params = energy_params or default_energy_parameters()
+        self.dirty_fraction = dirty_fraction
+
+    def offload_overhead(
+        self, input_bytes: float, pim_lines_touched: float, invocations: int = 1
+    ) -> OffloadOverhead:
+        """Cost of ``invocations`` offloads of a kernel over ``input_bytes``.
+
+        ``input_bytes`` is the *total* input across all invocations; each
+        invocation only needs its own slice of the input flushed, bounded
+        by the LLC capacity (at most the cached portion can be dirty).
+        """
+        if invocations < 1:
+            raise ValueError("invocations must be >= 1")
+        llc_bytes = self.system.soc.l2.size_bytes
+        per_invocation_bytes = min(input_bytes / invocations, llc_bytes)
+        flushed_per_invocation = (
+            per_invocation_bytes / CACHE_LINE_BYTES
+        ) * self.dirty_fraction
+        flush_time = flushed_per_invocation * self.FLUSH_LINE_TIME_S
+        flush_energy = (
+            flushed_per_invocation
+            * CACHE_LINE_BYTES
+            * self.params.offchip_energy_per_byte
+        )
+        directory_lookups = max(pim_lines_touched, 0.0)
+        directory_energy = directory_lookups * self.DIRECTORY_LOOKUP_ENERGY_J
+        time_s = invocations * (self.LAUNCH_LATENCY_S + flush_time)
+        energy_j = invocations * flush_energy + directory_energy
+        return OffloadOverhead(
+            time_s=time_s,
+            energy_j=energy_j,
+            flushed_lines=flushed_per_invocation * invocations,
+            directory_lookups=directory_lookups,
+        )

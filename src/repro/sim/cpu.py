@@ -1,0 +1,84 @@
+"""Roofline-style timing model for the SoC CPU (CPU-Only executions).
+
+A kernel's runtime is the maximum of its compute-bound time (instructions
+over sustained IPC) and its memory-bound time (off-chip traffic over
+sustained channel bandwidth, or latency-bound for low-MLP streams).  This
+matches the behaviour the paper observes on its memory-bound PIM targets:
+"the CPU spends the majority of its time and energy stalling as it waits
+for data from memory" (Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, default_system
+from repro.energy.breakdown import EnergyBreakdown
+from repro.energy.components import EnergyParameters
+from repro.energy.model import EnergyModel
+from repro.sim.dram import OffChipDram
+from repro.sim.profile import KernelProfile
+
+
+@dataclass(frozen=True)
+class Execution:
+    """Result of running one kernel on one machine model."""
+
+    machine: str
+    time_s: float
+    energy: EnergyBreakdown
+    profile: KernelProfile
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total
+
+    def speedup_over(self, baseline: "Execution") -> float:
+        if self.time_s <= 0:
+            return float("inf")
+        return baseline.time_s / self.time_s
+
+    def energy_reduction_vs(self, baseline: "Execution") -> float:
+        """Fractional energy reduction relative to ``baseline`` (0.55 = -55%)."""
+        if baseline.energy_j <= 0:
+            return 0.0
+        return 1.0 - self.energy_j / baseline.energy_j
+
+
+class CpuModel:
+    """Timing + energy model for CPU-Only execution of a kernel."""
+
+    #: Memory-level parallelism sustained by the 8-wide OoO core.  The PIM
+    #: targets' access patterns (strided tile writes, scattered reference-
+    #: frame reads) defeat simple prefetchers, so the sustained MLP is well
+    #: below the MSHR count.
+    MLP = 6.0
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+    ):
+        self.system = system or default_system()
+        self.energy_model = EnergyModel(energy_params)
+        self.dram = OffChipDram(self.system.stacked_memory)
+
+    def run(self, profile: KernelProfile, cores: int = 1) -> Execution:
+        """Execute ``profile`` on ``cores`` CPU cores.
+
+        Multi-core runs split the instruction stream evenly but share the
+        single off-chip channel, which is what makes these kernels scale
+        poorly on the CPU.
+        """
+        soc = self.system.soc
+        cores = min(max(cores, 1), soc.num_cores)
+        compute_cycles = profile.instructions / (soc.sustained_ipc * cores)
+        mem_time = self.dram.service_time(profile.dram_bytes, mlp=self.MLP * cores)
+        mem_cycles = mem_time * soc.frequency_hz
+        total_cycles = max(compute_cycles, mem_cycles)
+        stall_cycles = (total_cycles - compute_cycles) * cores
+        time_s = total_cycles / soc.frequency_hz
+        energy = self.energy_model.cpu_components(profile, stall_cycles)
+        return Execution(
+            machine="CPU-Only", time_s=time_s, energy=energy, profile=profile
+        )

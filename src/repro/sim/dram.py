@@ -1,0 +1,99 @@
+"""DRAM bandwidth/latency models.
+
+Two memory paths exist in the evaluated system (Table 1):
+
+* the **off-chip channel** between the SoC and memory (32 GB/s) -- used by
+  the CPU in both the LPDDR3 baseline and the 3D-stacked configuration
+  (the stacked part's external channel has the same bandwidth); and
+* the **internal path** between the logic layer and the DRAM layers of the
+  3D-stacked part (256 GB/s across 16 vaults) -- used by PIM logic.
+
+The models are deliberately analytic: a request stream is characterized by
+its total bytes and its line-granularity request count, and the model
+returns the service time under a bandwidth/latency roofline.  FR-FCFS
+scheduling and row-buffer effects are folded into the sustained-bandwidth
+efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import StackedMemoryConfig, CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Latency/efficiency parameters for one memory path."""
+
+    peak_bandwidth: float  # bytes/s
+    access_latency_s: float  # average random-access latency
+    bandwidth_efficiency: float = 0.8  # sustained / peak (FR-FCFS, refresh)
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.bandwidth_efficiency
+
+    def service_time(self, total_bytes: float, requests: float, mlp: float) -> float:
+        """Time to service a request stream.
+
+        Roofline of the bandwidth-bound time and the latency-bound time;
+        ``mlp`` is the number of overlapping in-flight requests the
+        requester sustains (memory-level parallelism).
+        """
+        if total_bytes <= 0 and requests <= 0:
+            return 0.0
+        bw_time = total_bytes / self.sustained_bandwidth
+        lat_time = requests * self.access_latency_s / max(mlp, 1.0)
+        return max(bw_time, lat_time)
+
+
+class OffChipDram:
+    """The CPU-visible memory path (LPDDR3-class channel, 32 GB/s)."""
+
+    def __init__(self, memory: StackedMemoryConfig | None = None):
+        mem = memory or StackedMemoryConfig()
+        self.timings = DramTimings(
+            peak_bandwidth=mem.offchip_bandwidth,
+            access_latency_s=100e-9,  # row miss + channel + controller
+            bandwidth_efficiency=0.8,
+        )
+
+    def service_time(self, total_bytes: float, mlp: float = 8.0) -> float:
+        requests = total_bytes / CACHE_LINE_BYTES
+        return self.timings.service_time(total_bytes, requests, mlp)
+
+
+class StackedDramInternal:
+    """The logic-layer path inside 3D-stacked memory (256 GB/s)."""
+
+    def __init__(self, memory: StackedMemoryConfig | None = None):
+        mem = memory or StackedMemoryConfig()
+        self.memory = mem
+        self.timings = DramTimings(
+            peak_bandwidth=mem.internal_bandwidth,
+            access_latency_s=40e-9,  # no off-chip hop, shorter queues
+            bandwidth_efficiency=0.8,
+        )
+
+    @property
+    def per_vault_bandwidth(self) -> float:
+        return self.timings.sustained_bandwidth / self.memory.num_vaults
+
+    def service_time(
+        self, total_bytes: float, mlp: float = 4.0, vaults_used: int = 1
+    ) -> float:
+        """Service time when PIM logic in ``vaults_used`` vaults streams data.
+
+        Each vault's logic sees its slice of the internal bandwidth; the
+        paper places one PIM core or accelerator per vault and partitions
+        work across them only when the data is itself vault-partitioned.
+        """
+        vaults = min(max(vaults_used, 1), self.memory.num_vaults)
+        bandwidth = self.per_vault_bandwidth * vaults
+        requests = total_bytes / CACHE_LINE_BYTES
+        if total_bytes <= 0:
+            return 0.0
+        bw_time = total_bytes / bandwidth
+        lat_time = requests * self.timings.access_latency_s / max(mlp * vaults, 1.0)
+        return max(bw_time, lat_time)

@@ -1,0 +1,111 @@
+"""Timing models for PIM logic: the PIM core and PIM accelerators.
+
+Both live in the logic layer of 3D-stacked memory, one per vault
+(Section 3.3).  They access DRAM through the internal TSV path -- 8x the
+bandwidth of the off-chip channel at a fraction of the per-bit energy --
+which is where the paper's gains come from: the PIM targets are simple
+enough that even a 1-wide Cortex-R8-class core keeps up with them, while
+the data no longer crosses the off-chip channel.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, default_system
+from repro.energy.components import EnergyParameters
+from repro.energy.model import EnergyModel
+from repro.sim.cpu import Execution
+from repro.sim.dram import StackedDramInternal
+from repro.sim.profile import KernelProfile
+
+
+class PimCoreModel:
+    """The general-purpose PIM core (1-wide in-order + 4-wide SIMD)."""
+
+    #: MLP of a simple in-order core with SIMD loads; the shorter internal
+    #: path keeps more of its few outstanding requests in flight.
+    MLP = 6.0
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+    ):
+        self.system = system or default_system()
+        self.energy_model = EnergyModel(energy_params)
+        self.dram = StackedDramInternal(self.system.stacked_memory)
+
+    def instruction_mix(self, profile: KernelProfile) -> tuple[float, float]:
+        """Split a profile's instructions into (scalar, simd) counts.
+
+        The vectorizable fraction of the data-processing and memory
+        instructions collapses by the SIMD width; everything else runs
+        scalar.
+        """
+        width = self.system.pim_core.simd_width
+        vectorizable = profile.simd_fraction * (
+            profile.alu_ops + profile.mem_instructions
+        )
+        vectorizable = min(vectorizable, profile.instructions)
+        simd_instructions = vectorizable / width
+        scalar_instructions = profile.instructions - vectorizable
+        return scalar_instructions, simd_instructions
+
+    def run(self, profile: KernelProfile, vaults_used: int = 1) -> Execution:
+        pim = self.system.pim_core
+        scalar, simd = self.instruction_mix(profile)
+        effective_instructions = scalar + simd
+        compute_cycles = effective_instructions / (
+            pim.sustained_ipc * max(vaults_used, 1)
+        )
+        mem_time = self.dram.service_time(
+            profile.pim_bytes, mlp=self.MLP, vaults_used=vaults_used
+        )
+        mem_cycles = mem_time * pim.frequency_hz
+        total_cycles = max(compute_cycles, mem_cycles)
+        stall_cycles = (total_cycles - compute_cycles) * max(vaults_used, 1)
+        time_s = total_cycles / pim.frequency_hz
+        energy = self.energy_model.pim_core_components(
+            profile, scalar, simd, stall_cycles
+        )
+        return Execution(
+            machine="PIM-Core", time_s=time_s, energy=energy, profile=profile
+        )
+
+
+class PimAcceleratorModel:
+    """A fixed-function PIM accelerator (N in-memory logic units).
+
+    Each accelerator consists of ``logic_units`` simple ALU pipelines
+    operating on independent data chunks (the paper empirically uses four),
+    fed by DMA-style streaming from the vault -- hence the high effective
+    memory-level parallelism.
+    """
+
+    MLP = 16.0
+    #: Fraction of the vault bandwidth the accelerator's load-compute-store
+    #: double buffering actually sustains (4 kB chunk turnaround).
+    STREAMING_EFFICIENCY = 0.67
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        energy_params: EnergyParameters | None = None,
+    ):
+        self.system = system or default_system()
+        self.energy_model = EnergyModel(energy_params)
+        self.dram = StackedDramInternal(self.system.stacked_memory)
+
+    def run(self, profile: KernelProfile, vaults_used: int = 1) -> Execution:
+        acc = self.system.pim_accelerator
+        throughput = (
+            acc.logic_units * acc.ops_per_unit_per_cycle * acc.frequency_hz
+        ) * max(vaults_used, 1)
+        compute_time = profile.alu_ops / throughput if throughput > 0 else 0.0
+        mem_time = self.dram.service_time(
+            profile.pim_bytes, mlp=self.MLP, vaults_used=vaults_used
+        ) / self.STREAMING_EFFICIENCY
+        time_s = max(compute_time, mem_time)
+        energy = self.energy_model.pim_accelerator_components(profile)
+        return Execution(
+            machine="PIM-Acc", time_s=time_s, energy=energy, profile=profile
+        )

@@ -1,0 +1,251 @@
+"""Kernel execution profiles.
+
+A ``KernelProfile`` captures everything the timing and energy models need
+to know about one kernel execution: dynamic instruction counts, data-
+processing operation counts, and memory-hierarchy traffic.  The workload
+packages construct profiles from *exact* analytic counts (every kernel
+knows precisely how many bytes it touches and how many operations it
+performs); the trace-driven cache simulator in :mod:`repro.sim.cache` is
+used by the test suite to validate the locality classes assumed here.
+
+This plays the role of the paper's hardware performance counters
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Dynamic execution statistics for one kernel invocation.
+
+    Attributes:
+        name: Kernel identifier (e.g. ``"texture_tiling"``).
+        instructions: Dynamic instruction count on the CPU (including
+            loads/stores and address arithmetic).
+        mem_instructions: Dynamic load/store count (each is one L1 access).
+        alu_ops: Data-processing operations (the work a fixed-function
+            accelerator must perform).
+        simd_fraction: Fraction of ``alu_ops`` that vectorizes onto a
+            SIMD unit (0..1).
+        l1_misses: L1 data-cache misses (each is one LLC access).
+        llc_misses: Last-level-cache misses (each is one DRAM line fetch).
+        dram_bytes: Total off-chip traffic in bytes, reads plus writebacks.
+        working_set_bytes: Size of the kernel's live data.
+        pim_bytes: Bytes the kernel moves when executed *in memory*.
+            Defaults to ``dram_bytes`` (PIM still reads/writes the data,
+            just without crossing the off-chip channel); kernels where PIM
+            additionally avoids redundant transfers (e.g. decompression
+            output that the CPU never reads) override this.
+    """
+
+    name: str
+    instructions: float
+    mem_instructions: float
+    alu_ops: float
+    simd_fraction: float = 0.0
+    l1_misses: float = 0.0
+    llc_misses: float = 0.0
+    dram_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+    pim_bytes: float = -1.0
+    notes: str = ""
+
+    def __post_init__(self):
+        if self.instructions < 0 or self.mem_instructions < 0 or self.alu_ops < 0:
+            raise ValueError("operation counts must be non-negative")
+        if not 0.0 <= self.simd_fraction <= 1.0:
+            raise ValueError("simd_fraction must be in [0, 1]")
+        if self.mem_instructions > self.instructions:
+            raise ValueError("mem_instructions cannot exceed instructions")
+        if self.pim_bytes < 0:
+            object.__setattr__(self, "pim_bytes", float(self.dram_bytes))
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction (the paper's memory-intensity
+        criterion: a PIM candidate needs MPKI > 10, Section 3.2)."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.llc_misses / (self.instructions / 1000.0)
+
+    @property
+    def bytes_per_instruction(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return self.dram_bytes / self.instructions
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, name: str | None = None) -> "KernelProfile":
+        """Profile for ``factor`` back-to-back invocations of this kernel."""
+        return replace(
+            self,
+            name=name or self.name,
+            instructions=self.instructions * factor,
+            mem_instructions=self.mem_instructions * factor,
+            alu_ops=self.alu_ops * factor,
+            l1_misses=self.l1_misses * factor,
+            llc_misses=self.llc_misses * factor,
+            dram_bytes=self.dram_bytes * factor,
+            pim_bytes=self.pim_bytes * factor,
+        )
+
+    def merged(self, other: "KernelProfile", name: str | None = None) -> "KernelProfile":
+        """Profile for this kernel followed by ``other``."""
+        return KernelProfile(
+            name=name or "%s+%s" % (self.name, other.name),
+            instructions=self.instructions + other.instructions,
+            mem_instructions=self.mem_instructions + other.mem_instructions,
+            alu_ops=self.alu_ops + other.alu_ops,
+            simd_fraction=_weighted(
+                self.simd_fraction, self.alu_ops, other.simd_fraction, other.alu_ops
+            ),
+            l1_misses=self.l1_misses + other.l1_misses,
+            llc_misses=self.llc_misses + other.llc_misses,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            working_set_bytes=max(self.working_set_bytes, other.working_set_bytes),
+            pim_bytes=self.pim_bytes + other.pim_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Analytic constructors for the common locality classes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def streaming(
+        name: str,
+        bytes_read: float,
+        bytes_written: float,
+        ops_per_byte: float,
+        simd_fraction: float = 0.75,
+        instruction_overhead: float = 0.5,
+        access_bytes: float = 8.0,
+        notes: str = "",
+    ) -> "KernelProfile":
+        """A kernel that streams over its input/output exactly once.
+
+        Streaming kernels (memcopy-like: texture tiling, blitting, packing)
+        touch every cache line once, so every line is a compulsory miss at
+        every level: ``llc_misses = lines touched`` and ``dram_bytes =
+        bytes_read + bytes_written`` (written lines are fetched for
+        ownership and written back; we charge each written byte once, as a
+        writeback, matching the paper's traffic accounting).
+
+        Args:
+            ops_per_byte: ALU operations per byte processed.
+            instruction_overhead: extra non-memory, non-ALU instructions
+                (address generation, branches) per byte.
+            access_bytes: average load/store width (8 = 64-bit accesses).
+        """
+        total_bytes = bytes_read + bytes_written
+        mem_instructions = total_bytes / access_bytes
+        alu_ops = total_bytes * ops_per_byte
+        instructions = mem_instructions + alu_ops + total_bytes * instruction_overhead
+        lines = total_bytes / CACHE_LINE_BYTES
+        return KernelProfile(
+            name=name,
+            instructions=instructions,
+            mem_instructions=mem_instructions,
+            alu_ops=alu_ops,
+            simd_fraction=simd_fraction,
+            l1_misses=lines,
+            llc_misses=lines,
+            dram_bytes=total_bytes,
+            working_set_bytes=total_bytes,
+            notes=notes or "streaming",
+        )
+
+    @staticmethod
+    def cache_resident(
+        name: str,
+        bytes_touched: float,
+        reuse_factor: float,
+        ops_per_byte: float,
+        simd_fraction: float = 0.5,
+        instruction_overhead: float = 0.5,
+        access_bytes: float = 8.0,
+        notes: str = "",
+    ) -> "KernelProfile":
+        """A kernel whose working set fits in the LLC.
+
+        Data is fetched from DRAM once (compulsory misses only) and then
+        reused ``reuse_factor`` times from the caches (e.g. the entropy
+        decoder or inverse transform in VP9, Section 6.2.1).
+        """
+        lines = bytes_touched / CACHE_LINE_BYTES
+        accessed_bytes = bytes_touched * max(reuse_factor, 1.0)
+        mem_instructions = accessed_bytes / access_bytes
+        alu_ops = accessed_bytes * ops_per_byte
+        instructions = (
+            mem_instructions + alu_ops + accessed_bytes * instruction_overhead
+        )
+        return KernelProfile(
+            name=name,
+            instructions=instructions,
+            mem_instructions=mem_instructions,
+            alu_ops=alu_ops,
+            simd_fraction=simd_fraction,
+            l1_misses=lines * max(reuse_factor / 4.0, 1.0),
+            llc_misses=lines,
+            dram_bytes=bytes_touched,
+            working_set_bytes=bytes_touched,
+            notes=notes or "cache-resident",
+        )
+
+    @staticmethod
+    def scattered(
+        name: str,
+        touches: float,
+        bytes_per_touch: float,
+        ops_per_byte: float,
+        simd_fraction: float = 0.5,
+        locality_fraction: float = 0.0,
+        instruction_overhead: float = 0.5,
+        access_bytes: float = 8.0,
+        notes: str = "",
+    ) -> "KernelProfile":
+        """A kernel making scattered accesses with poor cache locality.
+
+        Each of the ``touches`` accesses lands on a region of
+        ``bytes_per_touch`` bytes at an effectively random location in a
+        working set larger than the LLC (e.g. VP9 sub-pixel interpolation
+        fetching reference-frame blocks, Section 6.2.2).
+        ``locality_fraction`` is the fraction of touches that hit in the
+        cache anyway (spatial overlap between neighbouring blocks).
+        """
+        total_bytes = touches * bytes_per_touch
+        mem_instructions = total_bytes / access_bytes
+        alu_ops = total_bytes * ops_per_byte
+        instructions = mem_instructions + alu_ops + total_bytes * instruction_overhead
+        miss_bytes = total_bytes * (1.0 - locality_fraction)
+        # Scattered lines are partially used: a touch of N bytes spanning
+        # lines still fetches whole lines.
+        lines = miss_bytes / CACHE_LINE_BYTES
+        line_fetch_overhead = touches * (1.0 - locality_fraction)
+        llc_misses = lines + line_fetch_overhead
+        return KernelProfile(
+            name=name,
+            instructions=instructions,
+            mem_instructions=mem_instructions,
+            alu_ops=alu_ops,
+            simd_fraction=simd_fraction,
+            l1_misses=llc_misses * 1.1,
+            llc_misses=llc_misses,
+            dram_bytes=llc_misses * CACHE_LINE_BYTES,
+            working_set_bytes=total_bytes,
+            notes=notes or "scattered",
+        )
+
+
+def _weighted(a: float, wa: float, b: float, wb: float) -> float:
+    if wa + wb <= 0:
+        return 0.0
+    return (a * wa + b * wb) / (wa + wb)

@@ -1,0 +1,144 @@
+"""Memory access traces.
+
+A ``MemoryTrace`` is a flat sequence of (address, is_write) pairs at byte
+granularity, stored as numpy arrays.  Workload kernels can record their
+actual access patterns through a ``TraceRecorder`` while executing; the
+cache simulator (:mod:`repro.sim.cache`) then replays the trace to measure
+hit rates, MPKI, and off-chip traffic.  This is how the test suite checks
+that the analytic locality classes in :mod:`repro.sim.profile` (streaming,
+cache-resident, scattered) match what the kernels really do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CACHE_LINE_BYTES
+
+
+@dataclass
+class MemoryTrace:
+    """A sequence of memory accesses.
+
+    Attributes:
+        addresses: byte addresses, uint64.
+        is_write: boolean flags, same length as ``addresses``.
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+
+    def __post_init__(self):
+        self.addresses = np.asarray(self.addresses, dtype=np.uint64)
+        self.is_write = np.asarray(self.is_write, dtype=bool)
+        if self.addresses.shape != self.is_write.shape:
+            raise ValueError("addresses and is_write must have equal length")
+
+    def __len__(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def num_reads(self) -> int:
+        return int((~self.is_write).sum())
+
+    @property
+    def num_writes(self) -> int:
+        return int(self.is_write.sum())
+
+    def line_addresses(self, line_bytes: int = CACHE_LINE_BYTES) -> np.ndarray:
+        """Cache-line indices touched, in access order."""
+        return self.addresses // np.uint64(line_bytes)
+
+    def unique_lines(self, line_bytes: int = CACHE_LINE_BYTES) -> int:
+        return int(np.unique(self.line_addresses(line_bytes)).shape[0])
+
+    def footprint_bytes(self, line_bytes: int = CACHE_LINE_BYTES) -> int:
+        return self.unique_lines(line_bytes) * line_bytes
+
+    def concatenated(self, other: "MemoryTrace") -> "MemoryTrace":
+        return MemoryTrace(
+            addresses=np.concatenate([self.addresses, other.addresses]),
+            is_write=np.concatenate([self.is_write, other.is_write]),
+        )
+
+
+class TraceRecorder:
+    """Records memory accesses made by an instrumented kernel.
+
+    Kernels call :meth:`read` / :meth:`write` with (base address, size)
+    ranges; the recorder expands each range into one access per
+    ``granularity`` bytes.  Ranges are cheap to record, so kernels can be
+    instrumented at their natural operation granularity (a pixel row, a
+    matrix tile) without distorting the implementation.
+    """
+
+    def __init__(self, granularity: int = 8):
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self._chunks: list[tuple[np.ndarray, bool]] = []
+
+    def read(self, base: int, size: int) -> None:
+        self._record(base, size, is_write=False)
+
+    def write(self, base: int, size: int) -> None:
+        self._record(base, size, is_write=True)
+
+    def read_indices(self, base: int, indices: np.ndarray, element_size: int) -> None:
+        """Record scattered element reads at ``base + indices*element_size``."""
+        addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
+            element_size
+        )
+        self._chunks.append((addrs, False))
+
+    def write_indices(self, base: int, indices: np.ndarray, element_size: int) -> None:
+        addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
+            element_size
+        )
+        self._chunks.append((addrs, True))
+
+    def _record(self, base: int, size: int, is_write: bool) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return
+        count = (size + self.granularity - 1) // self.granularity
+        addrs = np.uint64(base) + np.arange(count, dtype=np.uint64) * np.uint64(
+            self.granularity
+        )
+        self._chunks.append((addrs, is_write))
+
+    @property
+    def num_accesses(self) -> int:
+        return sum(chunk.shape[0] for chunk, _ in self._chunks)
+
+    def trace(self) -> MemoryTrace:
+        if not self._chunks:
+            return MemoryTrace(
+                addresses=np.empty(0, dtype=np.uint64), is_write=np.empty(0, dtype=bool)
+            )
+        addresses = np.concatenate([chunk for chunk, _ in self._chunks])
+        flags = np.concatenate(
+            [np.full(chunk.shape[0], w, dtype=bool) for chunk, w in self._chunks]
+        )
+        return MemoryTrace(addresses=addresses, is_write=flags)
+
+
+class AddressSpace:
+    """A trivial bump allocator handing out disjoint address ranges.
+
+    Instrumented kernels use this to place their buffers at
+    non-overlapping addresses so recorded traces reflect distinct objects.
+    """
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = 4096):
+        self._next = base
+        self._alignment = alignment
+
+    def alloc(self, size: int) -> int:
+        addr = self._next
+        aligned = (size + self._alignment - 1) // self._alignment * self._alignment
+        self._next += aligned
+        return addr

@@ -1,0 +1,18 @@
+"""The four Google consumer workloads analyzed by the paper.
+
+* :mod:`repro.workloads.chrome` -- the Chrome browser: page scrolling
+  (texture tiling, color blitting) and tab switching (ZRAM
+  compression/decompression with an LZO-style compressor);
+* :mod:`repro.workloads.tensorflow` -- TensorFlow Mobile inference:
+  quantized GEMM with gemmlowp-style packing and quantization;
+* :mod:`repro.workloads.vp9` -- VP9 video playback and capture: a
+  from-scratch simplified VP9-class codec (software) plus analytical
+  models of the hardware encoder/decoder.
+
+Every workload package provides:
+
+* functional kernel implementations (tested for correctness);
+* ``profile_*`` functions producing exact :class:`KernelProfile`
+  statistics for the characterization pipeline; and
+* ``*_pim_targets()`` builders returning the paper's PIM targets.
+"""

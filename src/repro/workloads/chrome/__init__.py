@@ -1,0 +1,115 @@
+"""The Chrome browser workload (paper Section 4).
+
+Two user interactions drive the analysis:
+
+* **page scrolling** (:mod:`repro.workloads.chrome.pages`): layout,
+  rasterization (color blitting via :mod:`.blitter`), texture tiling
+  (:mod:`.texture`), compositing -- Figures 1-3;
+* **tab switching** (:mod:`repro.workloads.chrome.zram`): ZRAM
+  compression/decompression with an LZO-class compressor
+  (:mod:`.lzo`) -- Figures 4-5.
+
+:mod:`.targets` packages the four kernels as PIM targets for the
+Figure 18 evaluation.
+"""
+
+from repro.workloads.chrome.texture import (
+    TiledTexture,
+    linear_to_tiled,
+    tiled_to_linear,
+    linear_to_tiled_traced,
+    compositing_trace,
+    profile_texture_tiling,
+    TILE_W,
+    TILE_H,
+    TILE_BYTES,
+)
+from repro.workloads.chrome.blitter import (
+    BlitStats,
+    fill_rect,
+    blit_copy,
+    alpha_blend,
+    profile_color_blitting,
+)
+from repro.workloads.chrome.lzo import (
+    LzoStats,
+    compress,
+    decompress,
+    roundtrip,
+)
+from repro.workloads.chrome.synthetic import generate_web_memory
+from repro.workloads.chrome.zram import (
+    ZramConfig,
+    TabSwitchingSession,
+    SwapTimeline,
+    SwitchLatency,
+    switch_latency,
+    profile_compression,
+    profile_decompression,
+)
+from repro.workloads.chrome.frame_budget import FRAME_BUDGET_S, FrameTime, frame_time, scroll_survey
+from repro.workloads.chrome.pageload import PageLoadResult, evaluate_page_load, load_functions
+from repro.workloads.chrome.rasterizer import (
+    DisplayList,
+    rasterize,
+    synthetic_page_paint,
+)
+from repro.workloads.chrome.fscompress import FsCompressionModel, FsConfig, FlashModel
+from repro.workloads.chrome.pages import WebPage, PAGES, PAGE_ORDER
+from repro.workloads.chrome.targets import (
+    browser_pim_targets,
+    texture_tiling_target,
+    color_blitting_target,
+    compression_target,
+    decompression_target,
+)
+
+__all__ = [
+    "TiledTexture",
+    "linear_to_tiled",
+    "tiled_to_linear",
+    "linear_to_tiled_traced",
+    "compositing_trace",
+    "profile_texture_tiling",
+    "TILE_W",
+    "TILE_H",
+    "TILE_BYTES",
+    "BlitStats",
+    "fill_rect",
+    "blit_copy",
+    "alpha_blend",
+    "profile_color_blitting",
+    "LzoStats",
+    "compress",
+    "decompress",
+    "roundtrip",
+    "generate_web_memory",
+    "ZramConfig",
+    "TabSwitchingSession",
+    "SwapTimeline",
+    "profile_compression",
+    "profile_decompression",
+    "SwitchLatency",
+    "switch_latency",
+    "FRAME_BUDGET_S",
+    "FrameTime",
+    "frame_time",
+    "scroll_survey",
+    "PageLoadResult",
+    "evaluate_page_load",
+    "load_functions",
+    "DisplayList",
+    "rasterize",
+    "synthetic_page_paint",
+    "FsCompressionModel",
+    "FsConfig",
+    "FlashModel",
+    "WebPage",
+    "PAGES",
+    "PAGE_ORDER",
+    "browser_pim_targets",
+    "texture_tiling_target",
+    "color_blitting_target",
+    "compression_target",
+    "decompression_target",
+]

@@ -1,0 +1,164 @@
+"""Color blitting (paper Section 4.2.2).
+
+During rasterization, Skia's high-level draw calls bottom out in a *color
+blitter* that copies/combines blocks of pixels into the destination
+bitmap: solid fills (memset), straight copies (memcopy), and src-over
+alpha blending (multiply-add per channel).  The bitmaps are large
+(up to 1024x1024) and the access pattern is streaming, so blitting moves
+a lot of data while doing little computation.
+
+The blend math follows Skia's non-premultiplied src-over with 8-bit
+fixed-point arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.profile import KernelProfile
+
+BYTES_PER_PIXEL = 4
+
+
+@dataclass(frozen=True)
+class BlitStats:
+    """Operation counts from a sequence of blit calls."""
+
+    pixels_filled: int = 0
+    pixels_copied: int = 0
+    pixels_blended: int = 0
+
+    def merged(self, other: "BlitStats") -> "BlitStats":
+        return BlitStats(
+            pixels_filled=self.pixels_filled + other.pixels_filled,
+            pixels_copied=self.pixels_copied + other.pixels_copied,
+            pixels_blended=self.pixels_blended + other.pixels_blended,
+        )
+
+    @property
+    def total_pixels(self) -> int:
+        return self.pixels_filled + self.pixels_copied + self.pixels_blended
+
+
+def _check_rgba(img: np.ndarray, name: str) -> None:
+    if img.ndim != 3 or img.shape[2] != BYTES_PER_PIXEL or img.dtype != np.uint8:
+        raise ValueError("%s must be HxWx4 uint8, got %r/%s" % (name, img.shape, img.dtype))
+
+
+def fill_rect(dst: np.ndarray, x: int, y: int, w: int, h: int, color) -> BlitStats:
+    """Solid fill (the memset-like blit).  Modifies ``dst`` in place."""
+    _check_rgba(dst, "dst")
+    color = np.asarray(color, dtype=np.uint8)
+    if color.shape != (4,):
+        raise ValueError("color must be 4 components (RGBA)")
+    x0, y0 = max(x, 0), max(y, 0)
+    x1 = min(x + w, dst.shape[1])
+    y1 = min(y + h, dst.shape[0])
+    if x1 <= x0 or y1 <= y0:
+        return BlitStats()
+    dst[y0:y1, x0:x1] = color
+    return BlitStats(pixels_filled=(y1 - y0) * (x1 - x0))
+
+
+def blit_copy(dst: np.ndarray, src: np.ndarray, x: int, y: int) -> BlitStats:
+    """Opaque copy of ``src`` into ``dst`` at (x, y), clipped."""
+    _check_rgba(dst, "dst")
+    _check_rgba(src, "src")
+    region = _clip(dst, src, x, y)
+    if region is None:
+        return BlitStats()
+    dy0, dy1, dx0, dx1, sy0, sy1, sx0, sx1 = region
+    dst[dy0:dy1, dx0:dx1] = src[sy0:sy1, sx0:sx1]
+    return BlitStats(pixels_copied=(dy1 - dy0) * (dx1 - dx0))
+
+
+def alpha_blend(dst: np.ndarray, src: np.ndarray, x: int, y: int) -> BlitStats:
+    """Src-over alpha blend of ``src`` into ``dst`` at (x, y), clipped.
+
+    out.rgb = src.rgb * a + dst.rgb * (1 - a), with a = src.a / 255,
+    computed in 16-bit fixed point exactly as a scalar blitter would
+    (per-channel multiply, add, shift).
+    """
+    _check_rgba(dst, "dst")
+    _check_rgba(src, "src")
+    region = _clip(dst, src, x, y)
+    if region is None:
+        return BlitStats()
+    dy0, dy1, dx0, dx1, sy0, sy1, sx0, sx1 = region
+    s = src[sy0:sy1, sx0:sx1].astype(np.uint16)
+    d = dst[dy0:dy1, dx0:dx1].astype(np.uint16)
+    alpha = s[:, :, 3:4]
+    inv = 255 - alpha
+    blended_rgb = (s[:, :, :3] * alpha + d[:, :, :3] * inv + 127) // 255
+    out_alpha = alpha + (d[:, :, 3:4] * inv + 127) // 255
+    out = np.concatenate([blended_rgb, out_alpha], axis=2)
+    dst[dy0:dy1, dx0:dx1] = np.clip(out, 0, 255).astype(np.uint8)
+    return BlitStats(pixels_blended=(dy1 - dy0) * (dx1 - dx0))
+
+
+def _clip(dst: np.ndarray, src: np.ndarray, x: int, y: int):
+    """Intersect the src placement with dst bounds.
+
+    Returns dst/src slice bounds, or None when fully clipped.
+    """
+    sh, sw = src.shape[:2]
+    dh, dw = dst.shape[:2]
+    dx0, dy0 = max(x, 0), max(y, 0)
+    dx1, dy1 = min(x + sw, dw), min(y + sh, dh)
+    if dx1 <= dx0 or dy1 <= dy0:
+        return None
+    sx0, sy0 = dx0 - x, dy0 - y
+    sx1, sy1 = sx0 + (dx1 - dx0), sy0 + (dy1 - dy0)
+    return dy0, dy1, dx0, dx1, sy0, sy1, sx0, sx1
+
+
+def profile_color_blitting(
+    stats: BlitStats, cached_fraction: float = 0.6
+) -> KernelProfile:
+    """Analytic profile for a batch of blit operations.
+
+    Bytes touched per pixel by blit kind:
+
+    * fill: write 4 B (no read);
+    * copy: read 4 B, write 4 B;
+    * blend: read src 4 B + dst 4 B, write 4 B, ~8 fixed-point ops.
+
+    Skia paints through 32x32 work tiles, so a ``cached_fraction`` of the
+    touched bytes (source pixels reused across overlapping draws, the hot
+    destination tile) stays in the caches; the remainder streams off-chip.
+    The default is calibrated to the paper's observation that 63.9% of
+    color blitting energy is data movement (vs. 81.5% for tiling).
+    """
+    if not 0.0 <= cached_fraction < 1.0:
+        raise ValueError("cached_fraction must be in [0, 1)")
+    bytes_read = float(
+        stats.pixels_copied * BYTES_PER_PIXEL + stats.pixels_blended * 2 * BYTES_PER_PIXEL
+    )
+    bytes_written = float(stats.total_pixels * BYTES_PER_PIXEL)
+    total = bytes_read + bytes_written
+    if total <= 0:
+        raise ValueError("blit batch is empty")
+    # ops (SIMD-equivalent): blends do ~6 fixed-point ops per 12 bytes
+    # touched; fills/copies ~0.08 ops/byte of loop control.
+    blend_bytes = stats.pixels_blended * 3 * BYTES_PER_PIXEL
+    other_bytes = total - blend_bytes
+    ops_per_byte = (blend_bytes * (6.0 / 12.0) + other_bytes * 0.08) / total
+    mem_instructions = total / 8.0
+    alu_ops = total * ops_per_byte
+    instructions = mem_instructions + alu_ops + total * 0.02
+    dram_bytes = total * (1.0 - cached_fraction)
+    lines = dram_bytes / 64.0
+    return KernelProfile(
+        name="color_blitting",
+        instructions=instructions,
+        mem_instructions=mem_instructions,
+        alu_ops=alu_ops,
+        simd_fraction=0.98,
+        l1_misses=lines * 1.2,
+        llc_misses=lines,
+        dram_bytes=dram_bytes,
+        working_set_bytes=total,
+        notes="Skia color blitter: fill/copy/src-over (Section 4.2.2)",
+    )

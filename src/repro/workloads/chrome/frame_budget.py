@@ -1,0 +1,101 @@
+"""The 60 FPS frame budget (paper Section 4.2).
+
+"All three operations [layout, rasterization, compositing] must happen
+within the mobile screen refresh time (60 FPS or 16.7 ms) to avoid frame
+dropping."  This module times one scroll frame's pipeline against that
+deadline, with and without PIM:
+
+* CPU-only: layout/JS + rasterization (blitting) + texture tiling all
+  serialize on the CPU;
+* with PIM: tiling (and the blit stream) run in memory while the CPU
+  handles layout/JS and the next frame's rasterization setup -- the
+  Figure 3 overlap -- so the critical path is the longer of the two
+  streams.
+
+Outputs per page: frame time, headroom against 16.7 ms, and the maximum
+sustainable scroll rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.offload import OffloadEngine
+from repro.core.target import PimTarget
+from repro.workloads.chrome.pages import WebPage
+
+#: The mobile display refresh deadline (60 FPS).
+FRAME_BUDGET_S = 1.0 / 60.0
+
+
+@dataclass(frozen=True)
+class FrameTime:
+    """One scroll frame's pipeline timing."""
+
+    page: str
+    layout_s: float
+    blitting_s: float
+    tiling_s: float
+    pim_tiling_s: float
+    pim_blitting_s: float
+
+    @property
+    def cpu_only_s(self) -> float:
+        return self.layout_s + self.blitting_s + self.tiling_s
+
+    @property
+    def with_pim_s(self) -> float:
+        """Tiling + blitting move to PIM and overlap the CPU stream."""
+        cpu_stream = self.layout_s
+        pim_stream = self.pim_tiling_s + self.pim_blitting_s
+        return max(cpu_stream, pim_stream)
+
+    @property
+    def cpu_meets_budget(self) -> bool:
+        return self.cpu_only_s <= FRAME_BUDGET_S
+
+    @property
+    def pim_meets_budget(self) -> bool:
+        return self.with_pim_s <= FRAME_BUDGET_S
+
+    @property
+    def cpu_fps(self) -> float:
+        return 1.0 / self.cpu_only_s if self.cpu_only_s > 0 else float("inf")
+
+    @property
+    def pim_fps(self) -> float:
+        return 1.0 / self.with_pim_s if self.with_pim_s > 0 else float("inf")
+
+
+def frame_time(page: WebPage, engine: OffloadEngine | None = None) -> FrameTime:
+    """Time one scroll frame of ``page`` through the pipeline."""
+    engine = engine or OffloadEngine()
+    frames = page.scroll_frames
+    per_frame = 1.0 / frames
+    # Per-frame slices of the scroll-session profiles.
+    layout = page.other_profile().scaled(per_frame, name="layout_frame")
+    blit = page.blitting_profile().scaled(per_frame, name="blit_frame")
+    tile = page.tiling_profile().scaled(per_frame, name="tile_frame")
+    layout_s = engine.cpu_model.run(layout).time_s
+    blit_s = engine.cpu_model.run(blit).time_s
+    tile_s = engine.cpu_model.run(tile).time_s
+    tile_target = PimTarget(
+        "texture_tiling", tile, accelerator_key="texture_tiling", invocations=1
+    )
+    blit_target = PimTarget(
+        "color_blitting", blit, accelerator_key="color_blitting", invocations=1
+    )
+    return FrameTime(
+        page=page.name,
+        layout_s=layout_s,
+        blitting_s=blit_s,
+        tiling_s=tile_s,
+        pim_tiling_s=engine.run_pim_acc(tile_target).time_s,
+        pim_blitting_s=engine.run_pim_acc(blit_target).time_s,
+    )
+
+
+def scroll_survey(pages: dict, engine: OffloadEngine | None = None) -> list[FrameTime]:
+    """Frame times for a page set (the Figure 1 pages by default)."""
+    engine = engine or OffloadEngine()
+    return [frame_time(page, engine) for page in pages.values()]

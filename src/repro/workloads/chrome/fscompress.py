@@ -1,0 +1,146 @@
+"""User-transparent file-system compression with PIM (paper Section 4.3.2).
+
+The paper closes its compression analysis with a forward-looking use
+case: BTRFS/ZFS-style transparent file-system compression is avoided on
+mobile OSes because the CPU-side (de)compression costs energy and
+latency on every I/O; an in-memory compression unit removes the off-chip
+movement and most of the latency.  This module models that scenario:
+
+* an I/O stream (reads/writes of given sizes, with a flash device model);
+* three configurations: no compression, CPU compression, PIM-Acc
+  compression;
+* outputs: energy per I/O, effective latency, and flash traffic saved.
+
+The compression ratio defaults to the LZO-class ratio measured on the
+synthetic browser content; flash energy/latency constants are typical
+eMMC-class numbers (documented inline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.offload import OffloadEngine
+from repro.core.target import PimTarget
+from repro.workloads.chrome.zram import profile_compression, profile_decompression
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+class FsConfig(str, enum.Enum):
+    """Where (de)compression runs, if anywhere."""
+
+    NONE = "no compression"
+    CPU = "CPU compression"
+    PIM = "PIM compression"
+
+
+@dataclass(frozen=True)
+class FlashModel:
+    """eMMC-class flash storage constants."""
+
+    read_energy_per_byte: float = 2.5e-9  # J/B (controller + NAND)
+    write_energy_per_byte: float = 6.0e-9  # writes cost ~2-3x reads
+    read_bandwidth: float = 250 * MB  # sequential
+    write_bandwidth: float = 90 * MB
+
+
+@dataclass
+class FsIoResult:
+    """Energy/latency/traffic for one I/O mix under one configuration."""
+
+    config: FsConfig
+    energy_j: float
+    latency_s: float
+    flash_bytes: float
+
+
+class FsCompressionModel:
+    """Transparent-compression model over a read/write byte mix."""
+
+    def __init__(
+        self,
+        ratio: float = 2.7,
+        flash: FlashModel | None = None,
+        engine: OffloadEngine | None = None,
+    ):
+        if ratio < 1.0:
+            raise ValueError("compression ratio must be >= 1")
+        self.ratio = ratio
+        self.flash = flash or FlashModel()
+        self.engine = engine or OffloadEngine()
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, read_bytes: float, write_bytes: float, config: FsConfig
+    ) -> FsIoResult:
+        """Total energy/latency to service the given I/O volume."""
+        if read_bytes < 0 or write_bytes < 0:
+            raise ValueError("I/O volumes must be non-negative")
+        flash = self.flash
+        if config is FsConfig.NONE:
+            flash_read, flash_write = read_bytes, write_bytes
+            comp_energy = comp_latency = 0.0
+        else:
+            flash_read = read_bytes / self.ratio
+            flash_write = write_bytes / self.ratio
+            comp_energy, comp_latency = self._codec_cost(
+                read_bytes, write_bytes, config
+            )
+        energy = (
+            flash_read * flash.read_energy_per_byte
+            + flash_write * flash.write_energy_per_byte
+            + comp_energy
+        )
+        latency = (
+            flash_read / flash.read_bandwidth
+            + flash_write / flash.write_bandwidth
+            + comp_latency
+        )
+        return FsIoResult(
+            config=config,
+            energy_j=energy,
+            latency_s=latency,
+            flash_bytes=flash_read + flash_write,
+        )
+
+    def _codec_cost(
+        self, read_bytes: float, write_bytes: float, config: FsConfig
+    ) -> tuple[float, float]:
+        energy = latency = 0.0
+        if write_bytes > 0:
+            profile = profile_compression(write_bytes, self.ratio)
+            target = PimTarget(
+                "fs_compression", profile, accelerator_key="compression",
+                invocations=max(int(write_bytes // (128 * KB)), 1),
+            )
+            execution = (
+                self.engine.run_pim_acc(target)
+                if config is FsConfig.PIM
+                else self.engine.run_cpu(target)
+            )
+            energy += execution.energy_j
+            latency += execution.time_s
+        if read_bytes > 0:
+            profile = profile_decompression(read_bytes, self.ratio)
+            target = PimTarget(
+                "fs_decompression", profile, accelerator_key="decompression",
+                invocations=max(int(read_bytes // (128 * KB)), 1),
+            )
+            execution = (
+                self.engine.run_pim_acc(target)
+                if config is FsConfig.PIM
+                else self.engine.run_cpu(target)
+            )
+            energy += execution.energy_j
+            latency += execution.time_s
+        return energy, latency
+
+    # ------------------------------------------------------------------
+    def compare(self, read_bytes: float, write_bytes: float) -> list[FsIoResult]:
+        """All three configurations for one I/O mix."""
+        return [
+            self.evaluate(read_bytes, write_bytes, config) for config in FsConfig
+        ]

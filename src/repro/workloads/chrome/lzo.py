@@ -1,0 +1,188 @@
+"""An LZO-class LZ77 byte compressor (paper Section 4.3).
+
+Chrome's ZRAM swap compresses inactive-tab pages with LZO [111], a
+byte-oriented LZ77 variant that favors speed over ratio: greedy parsing,
+a small hash table over 4-byte prefixes, and byte-aligned output tokens.
+This module implements a compressor/decompressor with the same structure
+(not the LZO bitstream itself, which is irrelevant to the data-movement
+analysis) plus the operation statistics the characterization needs.
+
+Token format (byte-aligned):
+
+* literal run:  control byte ``0xxxxxxx`` = run length - 1 (1..128),
+  followed by the literal bytes;
+* match:        control byte ``1xxxxxxx`` where the low 7 bits encode
+  ``match length - MIN_MATCH`` (0..126; 127 means "read a varint for the
+  remainder"), followed by a 2-byte little-endian distance (1..65535).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MIN_MATCH = 4
+MAX_DISTANCE = 0xFFFF
+_HASH_MULT = 2654435761  # Knuth multiplicative hash
+_LITERAL_MAX = 128
+_LEN_FIELD_MAX = 126
+
+
+@dataclass
+class LzoStats:
+    """Operation counts from one compress/decompress call."""
+
+    input_bytes: int = 0
+    output_bytes: int = 0
+    literal_runs: int = 0
+    literal_bytes: int = 0
+    matches: int = 0
+    match_bytes: int = 0
+    hash_lookups: int = 0
+    compare_bytes: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (input / output); > 1 means it compressed."""
+        if self.output_bytes == 0:
+            return 0.0
+        return self.input_bytes / self.output_bytes
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    word = (
+        data[pos]
+        | (data[pos + 1] << 8)
+        | (data[pos + 2] << 16)
+        | (data[pos + 3] << 24)
+    )
+    return ((word * _HASH_MULT) & 0xFFFFFFFF) >> 18  # 14-bit table
+
+
+def compress(data: bytes) -> tuple[bytes, LzoStats]:
+    """Greedy LZ77 compression.  Returns (compressed bytes, stats)."""
+    stats = LzoStats(input_bytes=len(data))
+    out = bytearray()
+    table: dict[int, int] = {}
+    literal_start = 0
+    pos = 0
+    n = len(data)
+    while pos + MIN_MATCH <= n:
+        h = _hash4(data, pos)
+        stats.hash_lookups += 1
+        candidate = table.get(h, -1)
+        table[h] = pos
+        if (
+            candidate >= 0
+            and pos - candidate <= MAX_DISTANCE
+            and data[candidate : candidate + MIN_MATCH] == data[pos : pos + MIN_MATCH]
+        ):
+            # Extend the match as far as it goes.
+            length = MIN_MATCH
+            stats.compare_bytes += MIN_MATCH
+            while pos + length < n and data[candidate + length] == data[pos + length]:
+                length += 1
+                stats.compare_bytes += 1
+            _flush_literals(data, literal_start, pos, out, stats)
+            _emit_match(length, pos - candidate, out, stats)
+            pos += length
+            literal_start = pos
+        else:
+            pos += 1
+    _flush_literals(data, literal_start, n, out, stats)
+    stats.output_bytes = len(out)
+    return bytes(out), stats
+
+
+def _flush_literals(
+    data: bytes, start: int, end: int, out: bytearray, stats: LzoStats
+) -> None:
+    pos = start
+    while pos < end:
+        run = min(end - pos, _LITERAL_MAX)
+        out.append(run - 1)
+        out.extend(data[pos : pos + run])
+        stats.literal_runs += 1
+        stats.literal_bytes += run
+        pos += run
+
+
+def _emit_match(length: int, distance: int, out: bytearray, stats: LzoStats) -> None:
+    stats.matches += 1
+    stats.match_bytes += length
+    base = length - MIN_MATCH
+    if base < _LEN_FIELD_MAX + 1:
+        out.append(0x80 | base)
+    else:
+        out.append(0x80 | 127)
+        _emit_varint(base - 127, out)
+    out.append(distance & 0xFF)
+    out.append((distance >> 8) & 0xFF)
+
+
+def _emit_varint(value: int, out: bytearray) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decompress(compressed: bytes) -> tuple[bytes, LzoStats]:
+    """Inverse of :func:`compress`.  Returns (original bytes, stats)."""
+    stats = LzoStats(input_bytes=len(compressed))
+    out = bytearray()
+    pos = 0
+    n = len(compressed)
+    while pos < n:
+        control = compressed[pos]
+        pos += 1
+        if control & 0x80 == 0:
+            run = control + 1
+            if pos + run > n:
+                raise ValueError("truncated literal run at offset %d" % pos)
+            out.extend(compressed[pos : pos + run])
+            stats.literal_runs += 1
+            stats.literal_bytes += run
+            pos += run
+        else:
+            base = control & 0x7F
+            if base == 127:
+                extra, pos = _read_varint(compressed, pos)
+                base = 127 + extra
+            length = base + MIN_MATCH
+            if pos + 2 > n:
+                raise ValueError("truncated match distance at offset %d" % pos)
+            distance = compressed[pos] | (compressed[pos + 1] << 8)
+            pos += 2
+            if distance == 0 or distance > len(out):
+                raise ValueError("invalid match distance %d at offset %d" % (distance, pos))
+            start = len(out) - distance
+            # Byte-by-byte copy: LZ77 matches may overlap themselves.
+            for i in range(length):
+                out.append(out[start + i])
+            stats.matches += 1
+            stats.match_bytes += length
+    stats.output_bytes = len(out)
+    return bytes(out), stats
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80 == 0:
+            return value, pos
+        shift += 7
+
+
+def roundtrip(data: bytes) -> tuple[bytes, LzoStats, LzoStats]:
+    """Compress then decompress; returns (compressed, cstats, dstats)."""
+    compressed, cstats = compress(data)
+    restored, dstats = decompress(compressed)
+    if restored != data:
+        raise AssertionError("LZO roundtrip failed")
+    return compressed, cstats, dstats

@@ -1,0 +1,140 @@
+"""Page loading (paper Section 4: "each interaction includes page
+loading").
+
+Loading a page runs the pipeline of Section 4.1 once, front to back:
+parse HTML/CSS into the DOM tree, compute style and layout, rasterize
+every initially-visible render object (color blitting), convert the
+bitmaps to GPU tiles (texture tiling), and composite.  Unlike scrolling
+-- which re-rasterizes incrementally -- loading is a burst: the whole
+first viewport (plus over-rendered margin) is painted at once, so the
+tiling/blitting kernels dominate a short, latency-critical window.
+
+The model reuses the page parameters of :mod:`.pages` and adds the
+parse/style phase; its output feeds the same characterization pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.offload import OffloadEngine
+from repro.core.target import PimTarget
+from repro.core.workload import WorkloadFunction, characterize, offloaded_totals
+from repro.sim.profile import KernelProfile
+from repro.workloads.chrome.blitter import BlitStats, profile_color_blitting
+from repro.workloads.chrome.pages import SCREEN_H, SCREEN_W, WebPage
+from repro.workloads.chrome.texture import profile_texture_tiling
+
+MB = 1024 * 1024
+
+#: Initial paint covers several viewports of content: the visible area,
+#: the over-render margin, decoded images, and intermediate layers.
+OVERRENDER = 6.0
+
+
+def load_functions(page: WebPage) -> list[WorkloadFunction]:
+    """The page-load workload decomposition for one page."""
+    paint_pixels = SCREEN_W * SCREEN_H * OVERRENDER
+    # Parse + style + layout: compute-heavy tree work proportional to the
+    # page's per-frame layout cost, run ~10x for the initial tree build.
+    parse_instructions = 10 * (
+        page.layout_instructions_per_frame + page.js_instructions_per_frame
+    ) + 5e7
+    parse = KernelProfile(
+        name="parse_style_layout",
+        instructions=parse_instructions,
+        mem_instructions=parse_instructions * 0.35,
+        alu_ops=parse_instructions * 0.45,
+        simd_fraction=0.05,
+        l1_misses=parse_instructions * 0.03,
+        llc_misses=parse_instructions * 0.012,
+        dram_bytes=parse_instructions * 0.012 * 64,
+        working_set_bytes=64 * MB,
+        notes="HTML/CSS parse, DOM build, style recalc, initial layout",
+    )
+    blitted = paint_pixels * page.blit_overdraw
+    blended = blitted * page.blend_fraction
+    stats = BlitStats(
+        pixels_filled=int((blitted - blended) * 0.5),
+        pixels_copied=int((blitted - blended) * 0.5),
+        pixels_blended=int(blended),
+    )
+    side = max(int(paint_pixels**0.5), 1)
+    return [
+        WorkloadFunction("parse_style_layout", parse),
+        WorkloadFunction(
+            "color_blitting",
+            profile_color_blitting(stats),
+            accelerator_key="color_blitting",
+            invocations=8,
+        ),
+        WorkloadFunction(
+            "texture_tiling",
+            profile_texture_tiling(side, int(paint_pixels / side)),
+            accelerator_key="texture_tiling",
+            invocations=4,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class PageLoadResult:
+    """Load-time and energy comparison for one page."""
+
+    page: str
+    cpu_time_s: float
+    pim_time_s: float
+    cpu_energy_j: float
+    pim_energy_j: float
+    kernel_share_of_load: float
+
+    @property
+    def load_time_reduction(self) -> float:
+        if self.cpu_time_s <= 0:
+            return 0.0
+        return 1.0 - self.pim_time_s / self.cpu_time_s
+
+
+def evaluate_page_load(
+    page: WebPage, engine: OffloadEngine | None = None
+) -> PageLoadResult:
+    """Load-time/energy with and without PIM offload of tiling/blitting.
+
+    With PIM, tiling and blitting additionally overlap the CPU's parse
+    work (the paper's Figure 3: the freed CPU rasterizes/parses while PIM
+    tiles), so the PIM load time is the maximum of the two streams rather
+    than their sum.
+    """
+    engine = engine or OffloadEngine()
+    functions = load_functions(page)
+    ch = characterize(page.name + "_load", functions)
+    totals = offloaded_totals(functions, engine)
+    cpu_stream = sum(
+        engine.cpu_model.run(f.profile).time_s
+        for f in functions
+        if f.accelerator_key is None
+    )
+    pim_stream = 0.0
+    pim_energy = 0.0
+    for f in functions:
+        if f.accelerator_key is None:
+            pim_energy += engine.cpu_model.run(f.profile).energy_j
+            continue
+        target = PimTarget(
+            f.name, f.profile, accelerator_key=f.accelerator_key,
+            invocations=f.invocations,
+        )
+        execution = engine.run_pim_acc(target)
+        pim_stream += execution.time_s
+        pim_energy += execution.energy_j
+    kernel_share = sum(
+        ch.energy_share(f.name) for f in functions if f.accelerator_key
+    )
+    return PageLoadResult(
+        page=page.name,
+        cpu_time_s=totals.cpu_time_s,
+        pim_time_s=max(cpu_stream, pim_stream),
+        cpu_energy_j=totals.cpu_energy_j,
+        pim_energy_j=pim_energy,
+        kernel_share_of_load=kernel_share,
+    )

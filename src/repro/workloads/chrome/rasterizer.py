@@ -1,0 +1,166 @@
+"""A miniature display-list rasterizer (paper Section 4.1).
+
+Blink paints each render object through Skia: the render tree is
+flattened into a display list of draw commands, and rasterization
+executes them through the color blitter into a bitmap.  This module
+implements that last stage functionally -- solid rectangles, image
+blits, and text runs (rows of small blended glyph boxes) -- so the page
+models' blit statistics can be *generated* from page content rather than
+assumed.
+
+It also provides a synthetic page-content generator whose text/image
+balance mirrors the six evaluated pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.chrome.blitter import (
+    BlitStats,
+    alpha_blend,
+    blit_copy,
+    fill_rect,
+)
+
+#: Glyph cell geometry for text runs (a small anti-aliased box per char).
+GLYPH_W = 7
+GLYPH_H = 12
+
+
+@dataclass(frozen=True)
+class FillCommand:
+    x: int
+    y: int
+    w: int
+    h: int
+    color: tuple
+
+
+@dataclass(frozen=True)
+class ImageCommand:
+    x: int
+    y: int
+    image: np.ndarray  # HxWx4 uint8
+
+
+@dataclass(frozen=True)
+class TextCommand:
+    x: int
+    y: int
+    length: int  # characters
+    color: tuple
+
+
+@dataclass
+class DisplayList:
+    """An ordered list of draw commands for one paint."""
+
+    width: int
+    height: int
+    commands: list = field(default_factory=list)
+
+    def fill(self, x, y, w, h, color=(240, 240, 240, 255)):
+        self.commands.append(FillCommand(x, y, w, h, color))
+        return self
+
+    def image(self, x, y, image):
+        self.commands.append(ImageCommand(x, y, image))
+        return self
+
+    def text(self, x, y, length, color=(20, 20, 20, 255)):
+        self.commands.append(TextCommand(x, y, length, color))
+        return self
+
+
+def _glyph(color, rng: np.random.Generator) -> np.ndarray:
+    """An anti-aliased glyph box: colored core, soft alpha edges."""
+    glyph = np.zeros((GLYPH_H, GLYPH_W, 4), dtype=np.uint8)
+    glyph[:, :, :3] = color[:3]
+    alpha = rng.integers(40, 220, size=(GLYPH_H, GLYPH_W))
+    alpha[2:-2, 1:-1] = 255  # solid core
+    glyph[:, :, 3] = alpha.astype(np.uint8)
+    return glyph
+
+
+def rasterize(display_list: DisplayList, seed: int = 0) -> tuple[np.ndarray, BlitStats]:
+    """Execute a display list through the color blitter.
+
+    Returns (bitmap, aggregate blit statistics) -- the statistics feed
+    straight into :func:`profile_color_blitting`.
+    """
+    rng = np.random.default_rng(seed)
+    bitmap = np.zeros((display_list.height, display_list.width, 4), dtype=np.uint8)
+    bitmap[:, :, 3] = 255
+    stats = BlitStats()
+    for cmd in display_list.commands:
+        if isinstance(cmd, FillCommand):
+            stats = stats.merged(
+                fill_rect(bitmap, cmd.x, cmd.y, cmd.w, cmd.h, cmd.color)
+            )
+        elif isinstance(cmd, ImageCommand):
+            stats = stats.merged(blit_copy(bitmap, cmd.image, cmd.x, cmd.y))
+        elif isinstance(cmd, TextCommand):
+            glyph = _glyph(cmd.color, rng)
+            for i in range(cmd.length):
+                stats = stats.merged(
+                    alpha_blend(bitmap, glyph, cmd.x + i * GLYPH_W, cmd.y)
+                )
+        else:
+            raise TypeError("unknown draw command %r" % (cmd,))
+    return bitmap, stats
+
+
+def synthetic_page_paint(
+    width: int = 1366,
+    height: int = 768,
+    text_fraction: float = 0.6,
+    image_fraction: float = 0.2,
+    seed: int = 0,
+) -> DisplayList:
+    """Build a page-like display list: background, cards, text, images.
+
+    ``text_fraction``/``image_fraction`` control how much of the painted
+    area is text runs vs. image blits (the rest is solid fills), which is
+    what differentiates a Docs-like page from an animation-heavy one.
+    """
+    if not 0 <= text_fraction <= 1 or not 0 <= image_fraction <= 1:
+        raise ValueError("fractions must be in [0, 1]")
+    if text_fraction + image_fraction > 1.0:
+        raise ValueError("text + image fractions exceed 1")
+    rng = np.random.default_rng(seed)
+    dl = DisplayList(width=width, height=height)
+    dl.fill(0, 0, width, height, (250, 250, 250, 255))  # page background
+    area = width * height
+    # Text: rows of runs until the budget is spent.
+    text_budget = area * text_fraction
+    y = 20
+    while text_budget > 0:
+        run_chars = int(rng.integers(20, max(width // GLYPH_W - 4, 21)))
+        dl.text(10, y, run_chars)
+        text_budget -= run_chars * GLYPH_W * GLYPH_H
+        y += GLYPH_H + 4
+        if y >= height - GLYPH_H:
+            y = 20  # dense pages repaint rows (overdraw), as real pages do
+    # Images: random photos (noise blocks).
+    image_budget = area * image_fraction
+    while image_budget > 0:
+        w = int(rng.integers(60, max(width // 4, 61)))
+        h = int(rng.integers(60, max(height // 4, 61)))
+        img = rng.integers(0, 256, size=(h, w, 4), dtype=np.uint8)
+        dl.image(int(rng.integers(0, max(width - w, 1))),
+                 int(rng.integers(0, max(height - h, 1))), img)
+        image_budget -= w * h
+    # Cards/sidebars: a few large fills.
+    for _ in range(4):
+        w = int(rng.integers(width // 8, width // 3))
+        h = int(rng.integers(height // 10, height // 4))
+        dl.fill(
+            int(rng.integers(0, width - w)),
+            int(rng.integers(0, height - h)),
+            w, h,
+            tuple(int(v) for v in rng.integers(180, 255, size=3)) + (255,),
+        )
+    return dl

@@ -1,0 +1,87 @@
+"""Synthetic web-like memory content.
+
+The paper generates its compression input by dumping the memory of a
+Chromebook with 50 open tabs.  We cannot dump real browser memory, so
+this module synthesizes content with the same compression-relevant
+statistics: a mix of highly repetitive DOM/style structures, moderately
+compressible text, JSON-ish markup, zero pages, and incompressible
+(image/JPEG-like) data.  The mix is chosen so LZO-class compression
+lands near the ~2.5-3x ratio reported for browser memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PAGE_BYTES = 4096
+
+_WORDS = (
+    b"the quick brown fox jumps over lazy dog google chrome browser "
+    b"document window element style margin padding width height color "
+    b"function return var const let html body div span class id data "
+).split()
+
+_MARKUP = (
+    b'<div class="%s" id="item-%d" style="width:%dpx;height:%dpx">',
+    b'{"type":"%s","index":%d,"w":%d,"h":%d},',
+    b".cls-%d { margin: %dpx; padding: %dpx; } /* %s */",
+)
+
+
+def _text_page(rng: np.random.Generator) -> bytes:
+    words = [bytes(_WORDS[rng.integers(0, len(_WORDS))]) for _ in range(700)]
+    return b" ".join(words)[:PAGE_BYTES].ljust(PAGE_BYTES, b" ")
+
+
+def _markup_page(rng: np.random.Generator) -> bytes:
+    out = bytearray()
+    while len(out) < PAGE_BYTES:
+        template = _MARKUP[int(rng.integers(0, len(_MARKUP)))]
+        cls = bytes(_WORDS[rng.integers(0, len(_WORDS))])
+        if template is _MARKUP[2]:
+            out += template % (
+                int(rng.integers(0, 100)),
+                int(rng.integers(0, 64)),
+                int(rng.integers(0, 64)),
+                cls,
+            )
+        else:
+            out += template % (
+                cls,
+                int(rng.integers(0, 1000)),
+                int(rng.integers(1, 1920)),
+                int(rng.integers(1, 1080)),
+            )
+    return bytes(out[:PAGE_BYTES])
+
+
+def _zero_page(rng: np.random.Generator) -> bytes:
+    return b"\x00" * PAGE_BYTES
+
+
+def _random_page(rng: np.random.Generator) -> bytes:
+    return rng.integers(0, 256, size=PAGE_BYTES, dtype=np.uint8).tobytes()
+
+
+#: (generator, weight) -- weights approximate browser-heap composition.
+_PAGE_MIX = (
+    (_markup_page, 0.35),
+    (_text_page, 0.30),
+    (_zero_page, 0.15),
+    (_random_page, 0.20),
+)
+
+
+def generate_web_memory(size_bytes: int, seed: int = 0) -> bytes:
+    """Synthesize ``size_bytes`` of browser-like memory content."""
+    if size_bytes < 0:
+        raise ValueError("size_bytes must be non-negative")
+    rng = np.random.default_rng(seed)
+    generators = [g for g, _ in _PAGE_MIX]
+    weights = np.array([w for _, w in _PAGE_MIX])
+    weights = weights / weights.sum()
+    out = bytearray()
+    while len(out) < size_bytes:
+        idx = int(rng.choice(len(generators), p=weights))
+        out += generators[idx](rng)
+    return bytes(out[:size_bytes])

@@ -1,0 +1,83 @@
+"""Browser PIM targets for the Figure 18 evaluation.
+
+The paper evaluates four browser kernels in isolation (Section 9):
+texture tiling on 512x512-pixel RGBA tiles, color blitting on randomly
+generated bitmaps from 32x32 to 1024x1024 pixels, and LZO
+compression/decompression on a memory dump of a 50-tab Chromebook
+session.
+"""
+
+from __future__ import annotations
+
+from repro.core.target import PimTarget
+from repro.workloads.chrome.blitter import BlitStats, profile_color_blitting
+from repro.workloads.chrome.texture import profile_texture_tiling
+from repro.workloads.chrome.zram import profile_compression, profile_decompression
+
+MB = 1024 * 1024
+
+
+def texture_tiling_target(width: int = 512, height: int = 512) -> PimTarget:
+    """Texture tiling microbenchmark (glTexImage2D-equivalent input)."""
+    return PimTarget(
+        name="texture_tiling",
+        profile=profile_texture_tiling(width, height),
+        accelerator_key="texture_tiling",
+        invocations=1,
+        workload="chrome",
+    )
+
+
+def color_blitting_target() -> PimTarget:
+    """Color blitting over the paper's 32x32..1024x1024 bitmap sweep."""
+    stats = BlitStats()
+    size = 32
+    while size <= 1024:
+        pixels = size * size
+        stats = stats.merged(
+            BlitStats(
+                pixels_filled=pixels // 4,
+                pixels_copied=pixels // 4,
+                pixels_blended=pixels // 2,
+            )
+        )
+        size *= 2
+    return PimTarget(
+        name="color_blitting",
+        profile=profile_color_blitting(stats),
+        accelerator_key="color_blitting",
+        invocations=6,
+        workload="chrome",
+    )
+
+
+def compression_target(megabytes: float = 64.0) -> PimTarget:
+    """LZO compression of browser-memory content (ZRAM swap-out)."""
+    return PimTarget(
+        name="compression",
+        profile=profile_compression(megabytes * MB),
+        accelerator_key="compression",
+        invocations=int(megabytes * MB // 4096),
+        workload="chrome",
+    )
+
+
+def decompression_target(megabytes: float = 64.0) -> PimTarget:
+    """LZO decompression of ZRAM-compressed pages (swap-in)."""
+    return PimTarget(
+        name="decompression",
+        profile=profile_decompression(megabytes * MB),
+        accelerator_key="decompression",
+        invocations=int(megabytes * MB // 4096),
+        workload="chrome",
+    )
+
+
+def browser_pim_targets() -> list[PimTarget]:
+    """All four browser kernels of Figure 18, in figure order."""
+    return [
+        texture_tiling_target(),
+        color_blitting_target(),
+        compression_target(),
+        decompression_target(),
+    ]

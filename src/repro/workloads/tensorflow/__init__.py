@@ -1,0 +1,115 @@
+"""The TensorFlow Mobile workload (paper Section 5).
+
+Inference on quantized neural networks built on a gemmlowp-style
+low-precision GEMM stack:
+
+* :mod:`.quantization` -- float32/int32 <-> uint8 quantization and the
+  post-GEMM requantization pass (PIM target);
+* :mod:`.packing` -- cache-friendly matrix packing/unpacking around the
+  GEMM kernel (PIM target);
+* :mod:`.gemm` -- the quantized GEMM kernel itself (stays on the CPU);
+* :mod:`.network` -- layers, im2col convolution, and the inference
+  engine;
+* :mod:`.models` -- the four evaluated networks: VGG-19, ResNet-v2-152,
+  Inception-ResNet-v2, and Residual-GRU;
+* :mod:`.targets` -- PIM targets and workload decompositions for
+  Figures 6, 7, and 19.
+"""
+
+from repro.workloads.tensorflow.quantization import (
+    QuantizedTensor,
+    quantize_tensor,
+    dequantize_tensor,
+    requantize,
+    profile_quantization,
+    profile_requantization,
+)
+from repro.workloads.tensorflow.packing import (
+    PackedMatrix,
+    pack_matrix,
+    unpack_matrix,
+    profile_packing,
+    profile_unpacking,
+)
+from repro.workloads.tensorflow.gemm import (
+    quantized_gemm,
+    quantized_gemm_reference,
+    profile_gemm,
+)
+from repro.workloads.tensorflow.network import (
+    ConvLayer,
+    FcLayer,
+    Network,
+    im2col,
+    conv2d_quantized,
+    infer,
+    network_functions,
+)
+from repro.workloads.tensorflow.models import (
+    vgg19,
+    resnet_v2_152,
+    inception_resnet_v2,
+    residual_gru,
+    all_models,
+)
+from repro.workloads.tensorflow.access_patterns import (
+    gemm_lhs_trace,
+    pack_then_kernel_traffic,
+)
+from repro.workloads.tensorflow.layer_report import (
+    LayerReport,
+    layer_reports,
+    render_table,
+    top_layers_by_energy,
+)
+from repro.workloads.tensorflow.float_baseline import (
+    QuantizationTradeoff,
+    profile_float_gemm,
+    quantization_tradeoff,
+)
+from repro.workloads.tensorflow.targets import (
+    tensorflow_pim_targets,
+    packing_target,
+    quantization_target,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "requantize",
+    "profile_quantization",
+    "profile_requantization",
+    "PackedMatrix",
+    "pack_matrix",
+    "unpack_matrix",
+    "profile_packing",
+    "profile_unpacking",
+    "quantized_gemm",
+    "quantized_gemm_reference",
+    "profile_gemm",
+    "ConvLayer",
+    "FcLayer",
+    "Network",
+    "im2col",
+    "conv2d_quantized",
+    "infer",
+    "network_functions",
+    "vgg19",
+    "resnet_v2_152",
+    "inception_resnet_v2",
+    "residual_gru",
+    "all_models",
+    "tensorflow_pim_targets",
+    "packing_target",
+    "quantization_target",
+    "QuantizationTradeoff",
+    "profile_float_gemm",
+    "quantization_tradeoff",
+    "LayerReport",
+    "layer_reports",
+    "render_table",
+    "top_layers_by_energy",
+    "gemm_lhs_trace",
+    "pack_then_kernel_traffic",
+]

@@ -1,0 +1,124 @@
+"""VP9 video playback and capture (paper Sections 6 and 7).
+
+A from-scratch, simplified VP9-class codec plus analytical models of the
+hardware encoder/decoder:
+
+* :mod:`.frame` / :mod:`.video` -- frames and synthetic test video;
+* :mod:`.bitio` / :mod:`.entropy` -- bit I/O and the adaptive binary
+  range (boolean) coder;
+* :mod:`.transform` -- integer-friendly DCT transforms + quantization;
+* :mod:`.predict` -- intra prediction modes;
+* :mod:`.mc` -- motion compensation with 8-tap sub-pixel interpolation
+  (the decoder's dominant PIM target);
+* :mod:`.me` -- diamond-search motion estimation with SAD matching (the
+  encoder's dominant PIM target);
+* :mod:`.deblock` -- the deblocking filter;
+* :mod:`.encoder` / :mod:`.decoder` -- the full encode/decode loops
+  (bit-exact reconstruction roundtrip);
+* :mod:`.profiles` -- analytic kernel profiles and the Figure 10/11/15
+  workload decompositions;
+* :mod:`.hardware` -- the hardware codec off-chip traffic and energy
+  models (Figures 12, 16, 21);
+* :mod:`.targets` -- the Figure 20 PIM targets.
+"""
+
+from repro.workloads.vp9.frame import Frame, MACROBLOCK
+from repro.workloads.vp9.video import synthetic_video
+from repro.workloads.vp9.bitio import BitWriter, BitReader
+from repro.workloads.vp9.entropy import RangeEncoder, RangeDecoder, AdaptiveBit
+from repro.workloads.vp9.transform import (
+    forward_dct,
+    inverse_dct,
+    quantize_coefficients,
+    dequantize_coefficients,
+)
+from repro.workloads.vp9.predict import intra_predict, INTRA_MODES
+from repro.workloads.vp9.mc import (
+    MotionVector,
+    interpolate_block,
+    motion_compensate_block,
+    SUBPEL_TAPS,
+)
+from repro.workloads.vp9.me import diamond_search, full_search, sad
+from repro.workloads.vp9.deblock import deblock_frame
+from repro.workloads.vp9.encoder import Vp9Encoder, EncodedFrame, EncoderStats
+from repro.workloads.vp9.decoder import Vp9Decoder, DecoderStats
+from repro.workloads.vp9.profiles import (
+    decoder_functions,
+    encoder_functions,
+    profile_sub_pixel_interpolation,
+    profile_deblocking_filter,
+    profile_motion_estimation,
+)
+from repro.workloads.vp9.hardware import (
+    HardwareDecoderModel,
+    HardwareEncoderModel,
+    CodecTraffic,
+    PimPlacement,
+)
+from repro.workloads.vp9.framecompress import (
+    CompressedFrame,
+    compress_frame,
+    decompress_frame,
+    measure_compression_factor,
+)
+from repro.workloads.vp9.ratecontrol import (
+    RateControlConfig,
+    RateControlledEncoder,
+    encode_at_bitrate,
+)
+from repro.workloads.vp9.conferencing import ConferencingScenario, evaluate_conferencing
+from repro.workloads.vp9.rd import RdPoint, bd_psnr, rd_curve
+from repro.workloads.vp9.targets import video_pim_targets
+
+__all__ = [
+    "Frame",
+    "MACROBLOCK",
+    "synthetic_video",
+    "BitWriter",
+    "BitReader",
+    "RangeEncoder",
+    "RangeDecoder",
+    "AdaptiveBit",
+    "forward_dct",
+    "inverse_dct",
+    "quantize_coefficients",
+    "dequantize_coefficients",
+    "intra_predict",
+    "INTRA_MODES",
+    "MotionVector",
+    "interpolate_block",
+    "motion_compensate_block",
+    "SUBPEL_TAPS",
+    "diamond_search",
+    "full_search",
+    "sad",
+    "deblock_frame",
+    "Vp9Encoder",
+    "EncodedFrame",
+    "EncoderStats",
+    "Vp9Decoder",
+    "DecoderStats",
+    "decoder_functions",
+    "encoder_functions",
+    "profile_sub_pixel_interpolation",
+    "profile_deblocking_filter",
+    "profile_motion_estimation",
+    "HardwareDecoderModel",
+    "HardwareEncoderModel",
+    "CodecTraffic",
+    "PimPlacement",
+    "video_pim_targets",
+    "CompressedFrame",
+    "compress_frame",
+    "decompress_frame",
+    "measure_compression_factor",
+    "RateControlConfig",
+    "RateControlledEncoder",
+    "encode_at_bitrate",
+    "ConferencingScenario",
+    "evaluate_conferencing",
+    "RdPoint",
+    "bd_psnr",
+    "rd_curve",
+]

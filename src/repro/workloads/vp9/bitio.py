@@ -1,0 +1,73 @@
+"""Bit-granular I/O for the codec bitstream."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte buffer."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._current = 0
+        self._filled = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (1 if bit else 0)
+        self._filled += 1
+        if self._filled == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, most-significant first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if value < 0 or (count < 64 and value >> count):
+            raise ValueError("value %d does not fit in %d bits" % (value, count))
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """The stream so far, zero-padded to a whole byte."""
+        out = bytearray(self._bytes)
+        if self._filled:
+            out.append(self._current << (8 - self._filled))
+        return bytes(out)
+
+    def __len__(self) -> int:
+        return len(self._bytes) * 8 + self._filled
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer.
+
+    Reading past the end returns zero bits (matching the writer's
+    zero padding), so decoders never index out of bounds on the final
+    partial byte.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bit(self) -> int:
+        byte_idx = self._pos >> 3
+        if byte_idx >= len(self._data):
+            self._pos += 1
+            return 0
+        bit = (self._data[byte_idx] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    @property
+    def bits_read(self) -> int:
+        return self._pos

@@ -1,0 +1,106 @@
+"""Video conferencing: simultaneous capture + playback (Section 7 intro).
+
+Google Hangouts runs the encoder (camera capture) and the decoder (the
+remote participant's stream) at the same time -- the heaviest sustained
+video load a consumer device sees.  This module composes the two
+software-codec workloads into one combined characterization and
+evaluates how much PIM recovers, both per-kernel and for the whole call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.offload import OffloadEngine
+from repro.core.workload import (
+    WorkloadCharacterization,
+    characterize,
+    offloaded_totals,
+)
+from repro.workloads.vp9.profiles import decoder_functions, encoder_functions
+
+
+@dataclass(frozen=True)
+class ConferencingScenario:
+    """One two-way call: encode the camera, decode the remote stream."""
+
+    capture_width: int = 1280
+    capture_height: int = 720
+    playback_width: int = 1280
+    playback_height: int = 720
+    frames: int = 30  # one second at 30 fps
+
+    def functions(self):
+        """The combined workload: encoder + decoder functions, with the
+        shared deblocking filter kept as separate entries (they run on
+        different frames)."""
+        enc = encoder_functions(
+            self.capture_width, self.capture_height, self.frames
+        )
+        dec = decoder_functions(
+            self.playback_width, self.playback_height, self.frames
+        )
+        out = []
+        for f in enc:
+            out.append(
+                type(f)(
+                    name="capture_" + f.name,
+                    profile=f.profile,
+                    accelerator_key=f.accelerator_key,
+                    invocations=f.invocations,
+                )
+            )
+        for f in dec:
+            out.append(
+                type(f)(
+                    name="playback_" + f.name,
+                    profile=f.profile,
+                    accelerator_key=f.accelerator_key,
+                    invocations=f.invocations,
+                )
+            )
+        return out
+
+    def characterize(self) -> WorkloadCharacterization:
+        return characterize("video_conferencing", self.functions())
+
+
+@dataclass(frozen=True)
+class ConferencingResult:
+    """Whole-call comparison."""
+
+    cpu_energy_j: float
+    pim_energy_j: float
+    cpu_time_s: float
+    pim_time_s: float
+    movement_fraction: float
+    offloadable_share: float
+
+    @property
+    def energy_reduction(self) -> float:
+        if self.cpu_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.pim_energy_j / self.cpu_energy_j
+
+
+def evaluate_conferencing(
+    scenario: ConferencingScenario | None = None,
+    engine: OffloadEngine | None = None,
+) -> ConferencingResult:
+    """Energy of one second of a call, CPU-only vs. PIM-offloaded."""
+    scenario = scenario or ConferencingScenario()
+    engine = engine or OffloadEngine()
+    functions = scenario.functions()
+    ch = characterize("video_conferencing", functions)
+    totals = offloaded_totals(functions, engine)
+    offloadable = sum(
+        ch.energy_share(f.name) for f in functions if f.accelerator_key
+    )
+    return ConferencingResult(
+        cpu_energy_j=totals.cpu_energy_j,
+        pim_energy_j=totals.pim_energy_j,
+        cpu_time_s=totals.cpu_time_s,
+        pim_time_s=totals.pim_time_s,
+        movement_fraction=ch.data_movement_fraction,
+        offloadable_share=offloadable,
+    )

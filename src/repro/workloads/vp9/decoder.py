@@ -1,0 +1,204 @@
+"""The VP9-class decoder (paper Figure 9).
+
+Mirrors the encoder exactly: entropy decode -> motion vectors / intra
+modes -> inverse quantization -> inverse transform -> motion
+compensation (with sub-pixel interpolation) or intra prediction ->
+reconstruction -> deblocking filter.  The output is bit-exact with the
+encoder's reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.vp9.deblock import DeblockStats, deblock_frame
+from repro.workloads.vp9.encoder import EncodedFrame, MAX_REFERENCES, _Contexts
+from repro.workloads.vp9.entropy import RangeDecoder
+from repro.workloads.vp9.frame import Frame, MACROBLOCK
+from repro.workloads.vp9.mc import (
+    MotionVector,
+    motion_compensate_block,
+    reference_pixels_fetched,
+)
+from repro.workloads.vp9.predict import INTRA_MODES, intra_predict
+from repro.workloads.vp9.transform import (
+    BLOCK,
+    dequantize_coefficients,
+    inverse_dct,
+    zigzag_unscan,
+)
+
+
+@dataclass
+class DecoderStats:
+    """Aggregate operation counts over all decoded frames."""
+
+    frames: int = 0
+    macroblocks: int = 0
+    inter_macroblocks: int = 0
+    intra_macroblocks: int = 0
+    split_macroblocks: int = 0
+    subpel_blocks: int = 0
+    reference_pixels: int = 0
+    coded_blocks: int = 0
+    nonzero_coefficients: int = 0
+    deblock: DeblockStats = field(default_factory=DeblockStats)
+    bitstream_bytes: int = 0
+
+    @property
+    def reference_pixels_per_pixel(self) -> float:
+        """Reference pixels fetched per decoded pixel (paper: 2.9)."""
+        decoded = self.macroblocks * MACROBLOCK * MACROBLOCK
+        if decoded == 0:
+            return 0.0
+        return self.reference_pixels / decoded
+
+
+def _decode_uint(dec: RangeDecoder, ctx: _Contexts) -> int:
+    nbits = 0
+    while dec.decode_adaptive(ctx.golomb):
+        nbits += 1
+        if nbits > 24:
+            # Legal coefficient/MV magnitudes never reach 2^24.
+            raise ValueError("corrupt bitstream: runaway Golomb prefix")
+    if nbits == 0:
+        return 0
+    rest = dec.decode_literal(nbits - 1)
+    return (1 << (nbits - 1)) | rest
+
+
+def _decode_mv_component(dec: RangeDecoder, ctx: _Contexts) -> int:
+    if dec.decode_adaptive(ctx.mv_zero):
+        return 0
+    negative = dec.decode_adaptive(ctx.mv_sign)
+    magnitude = _decode_uint(dec, ctx) + 1
+    return -magnitude if negative else magnitude
+
+
+class Vp9Decoder:
+    """Stateful decoder: feed :class:`EncodedFrame` objects in order."""
+
+    def __init__(self):
+        self.references: list[Frame] = []
+        self.stats = DecoderStats()
+
+    def decode_frame(self, encoded: EncodedFrame) -> Frame:
+        dec = RangeDecoder(encoded.data)
+        ctx = _Contexts()
+        mb_cols = dec.decode_literal(12)
+        mb_rows = dec.decode_literal(12)
+        qstep = float(dec.decode_literal(8))
+        is_key = bool(dec.decode_literal(1))
+        deblock_threshold = dec.decode_literal(8)
+        if qstep < 1:
+            raise ValueError("corrupt bitstream: invalid qstep")
+        if not (1 <= mb_cols <= 512 and 1 <= mb_rows <= 512):
+            # Largest supported frame is 8K; a corrupt header must not
+            # drive a multi-gigabyte frame allocation.
+            raise ValueError(
+                "corrupt bitstream: frame size %dx%d MBs" % (mb_cols, mb_rows)
+            )
+        if is_key:
+            self.references.clear()
+        elif not self.references:
+            raise ValueError("inter frame received before any key frame")
+        recon = Frame.blank(mb_cols * MACROBLOCK, mb_rows * MACROBLOCK)
+        for row in range(mb_rows):
+            for col in range(mb_cols):
+                self._decode_macroblock(dec, ctx, recon, row, col, is_key, qstep)
+        recon = deblock_frame(recon, deblock_threshold, self.stats.deblock)
+        self.references.insert(0, recon)
+        del self.references[MAX_REFERENCES:]
+        self.stats.frames += 1
+        self.stats.bitstream_bytes += len(encoded.data)
+        return recon
+
+    # ------------------------------------------------------------------
+    def _decode_macroblock(
+        self,
+        dec: RangeDecoder,
+        ctx: _Contexts,
+        recon: Frame,
+        row: int,
+        col: int,
+        is_key: bool,
+        qstep: float,
+    ) -> None:
+        self.stats.macroblocks += 1
+        is_inter = (not is_key) and bool(dec.decode_adaptive(ctx.mode))
+        if is_inter:
+            ref_idx = dec.decode_adaptive(ctx.ref_index[0])
+            ref_idx |= dec.decode_adaptive(ctx.ref_index[1]) << 1
+            if ref_idx >= len(self.references):
+                raise ValueError("corrupt bitstream: reference %d missing" % ref_idx)
+            ref = self.references[ref_idx].pixels
+            split = bool(dec.decode_adaptive(ctx.split))
+            if split:
+                half = MACROBLOCK // 2
+                prediction = np.empty((MACROBLOCK, MACROBLOCK), dtype=np.uint8)
+                any_subpel = False
+                for qy in range(2):
+                    for qx in range(2):
+                        dx = _decode_mv_component(dec, ctx)
+                        dy = _decode_mv_component(dec, ctx)
+                        sub_mv = MotionVector(dx=dx, dy=dy)
+                        prediction[
+                            qy * half : (qy + 1) * half,
+                            qx * half : (qx + 1) * half,
+                        ] = motion_compensate_block(
+                            ref, row * 2 + qy, col * 2 + qx, sub_mv, size=half
+                        )
+                        self.stats.reference_pixels += reference_pixels_fetched(
+                            sub_mv, size=half
+                        )
+                        any_subpel = any_subpel or sub_mv.is_subpel
+                self.stats.split_macroblocks += 1
+                if any_subpel:
+                    self.stats.subpel_blocks += 1
+            else:
+                dx = _decode_mv_component(dec, ctx)
+                dy = _decode_mv_component(dec, ctx)
+                mv = MotionVector(dx=dx, dy=dy)
+                prediction = motion_compensate_block(ref, row, col, mv)
+                self.stats.reference_pixels += reference_pixels_fetched(mv)
+                if mv.is_subpel:
+                    self.stats.subpel_blocks += 1
+            self.stats.inter_macroblocks += 1
+        else:
+            mode_idx = dec.decode_adaptive(ctx.intra_mode[0])
+            mode_idx |= dec.decode_adaptive(ctx.intra_mode[1]) << 1
+            prediction = intra_predict(recon.pixels, row, col, INTRA_MODES[mode_idx])
+            self.stats.intra_macroblocks += 1
+        block = prediction.astype(np.int32).copy()
+        n = MACROBLOCK // BLOCK
+        for by in range(n):
+            for bx in range(n):
+                if not dec.decode_adaptive(ctx.block_coded):
+                    continue
+                self.stats.coded_blocks += 1
+                eob = dec.decode_literal(7)
+                if eob > BLOCK * BLOCK:
+                    raise ValueError("corrupt bitstream: EOB %d out of range" % eob)
+                scanned = np.zeros(BLOCK * BLOCK, dtype=np.int32)
+                for i in range(eob):
+                    if dec.decode_adaptive(ctx.coeff_zero):
+                        continue
+                    negative = dec.decode_adaptive(ctx.coeff_sign)
+                    magnitude = _decode_uint(dec, ctx) + 1
+                    scanned[i] = -magnitude if negative else magnitude
+                    self.stats.nonzero_coefficients += 1
+                rec_sub = inverse_dct(
+                    dequantize_coefficients(zigzag_unscan(scanned), qstep)
+                )
+                block[
+                    by * BLOCK : (by + 1) * BLOCK, bx * BLOCK : (bx + 1) * BLOCK
+                ] += np.round(rec_sub).astype(np.int32)
+        recon.set_macroblock(row, col, np.clip(block, 0, 255).astype(np.uint8))
+
+
+def decode_video(encoded: list[EncodedFrame]) -> tuple[list[Frame], Vp9Decoder]:
+    """Decode a sequence; returns (frames, decoder)."""
+    decoder = Vp9Decoder()
+    return [decoder.decode_frame(e) for e in encoded], decoder

@@ -1,0 +1,161 @@
+"""Adaptive binary range coder (VP9's "boolean coder" equivalent).
+
+VP9's entropy layer is a binary arithmetic coder driven by 8-bit
+probabilities; symbols (motion vectors, coefficient magnitudes) are
+binarized into trees of boolean decisions.  This module implements a
+standard 32-bit binary arithmetic coder with carry (E3) handling plus a
+counts-based adaptive probability model -- functionally the same class
+of coder, verified by exact roundtrip in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.vp9.bitio import BitReader, BitWriter
+
+_TOP = 0xFFFFFFFF
+_HALF = 0x80000000
+_QUARTER = 0x40000000
+_THREE_QUARTER = 0xC0000000
+
+
+class AdaptiveBit:
+    """A counts-based adaptive probability for one binary context."""
+
+    def __init__(self):
+        self.count0 = 1
+        self.count1 = 1
+
+    @property
+    def prob0(self) -> int:
+        """P(bit = 0), scaled to 1..255."""
+        p = (self.count0 * 256) // (self.count0 + self.count1)
+        return min(max(p, 1), 255)
+
+    def update(self, bit: int) -> None:
+        if bit:
+            self.count1 += 1
+        else:
+            self.count0 += 1
+        # Periodic halving keeps the model adaptive to local statistics.
+        if self.count0 + self.count1 > 1024:
+            self.count0 = (self.count0 + 1) // 2
+            self.count1 = (self.count1 + 1) // 2
+
+
+class RangeEncoder:
+    """Binary arithmetic encoder."""
+
+    def __init__(self):
+        self._writer = BitWriter()
+        self._low = 0
+        self._high = _TOP
+        self._pending = 0
+        self._closed = False
+
+    def encode(self, bit: int, prob0: int = 128) -> None:
+        """Encode one bit under P(0) = prob0/256."""
+        if self._closed:
+            raise RuntimeError("encoder already finished")
+        if not 1 <= prob0 <= 255:
+            raise ValueError("prob0 must be in 1..255")
+        span = self._high - self._low + 1
+        split = self._low + (span * prob0 >> 8) - 1
+        if bit:
+            self._low = split + 1
+        else:
+            self._high = split
+        # Renormalize.
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                break
+            self._low = (self._low << 1) & _TOP
+            self._high = ((self._high << 1) | 1) & _TOP
+
+    def encode_adaptive(self, bit: int, model: AdaptiveBit) -> None:
+        self.encode(bit, model.prob0)
+        model.update(bit)
+
+    def encode_literal(self, value: int, bits: int) -> None:
+        """Encode a raw ``bits``-wide literal at probability 1/2."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if value < 0 or (bits < 64 and value >> bits):
+            raise ValueError("value %d does not fit in %d bits" % (value, bits))
+        for shift in range(bits - 1, -1, -1):
+            self.encode((value >> shift) & 1, 128)
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        while self._pending:
+            self._writer.write_bit(1 - bit)
+            self._pending -= 1
+
+    def finish(self) -> bytes:
+        """Flush the final interval and return the bitstream."""
+        if not self._closed:
+            self._pending += 1
+            if self._low < _QUARTER:
+                self._emit(0)
+            else:
+                self._emit(1)
+            self._closed = True
+        return self._writer.getvalue()
+
+
+class RangeDecoder:
+    """Binary arithmetic decoder (mirror of :class:`RangeEncoder`)."""
+
+    def __init__(self, data: bytes):
+        self._reader = BitReader(data)
+        self._low = 0
+        self._high = _TOP
+        self._value = self._reader.read_bits(32)
+
+    def decode(self, prob0: int = 128) -> int:
+        if not 1 <= prob0 <= 255:
+            raise ValueError("prob0 must be in 1..255")
+        span = self._high - self._low + 1
+        split = self._low + (span * prob0 >> 8) - 1
+        bit = 0 if self._value <= split else 1
+        if bit:
+            self._low = split + 1
+        else:
+            self._high = split
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                break
+            self._low = (self._low << 1) & _TOP
+            self._high = ((self._high << 1) | 1) & _TOP
+            self._value = ((self._value << 1) | self._reader.read_bit()) & _TOP
+        return bit
+
+    def decode_adaptive(self, model: AdaptiveBit) -> int:
+        bit = self.decode(model.prob0)
+        model.update(bit)
+        return bit
+
+    def decode_literal(self, bits: int) -> int:
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.decode(128)
+        return value

@@ -1,0 +1,156 @@
+"""Motion estimation (paper Section 7.2.2).
+
+The encoder's inter-prediction search: for each macroblock, find the
+motion vector minimizing the sum of absolute differences (SAD) against a
+reference frame.  libvpx uses the diamond search algorithm [157]; a
+full (exhaustive) search is provided as the verification oracle for the
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.vp9.frame import MACROBLOCK
+from repro.workloads.vp9.mc import MotionVector
+
+
+@dataclass
+class SearchStats:
+    """Operation counts from one or more motion searches."""
+
+    sad_evaluations: int = 0
+    pixels_compared: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.sad_evaluations += other.sad_evaluations
+        self.pixels_compared += other.pixels_compared
+
+
+def sad(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of absolute differences between two equally-sized blocks."""
+    if a.shape != b.shape:
+        raise ValueError("SAD operands must have equal shape")
+    return int(np.abs(a.astype(np.int32) - b.astype(np.int32)).sum())
+
+
+def _block_at(ref: np.ndarray, y: int, x: int, size: int) -> np.ndarray | None:
+    """The (size, size) reference block at pixel (y, x), or None if it
+    falls outside the frame."""
+    if y < 0 or x < 0 or y + size > ref.shape[0] or x + size > ref.shape[1]:
+        return None
+    return ref[y : y + size, x : x + size]
+
+
+#: Large-diamond and small-diamond step patterns (dy, dx).
+_LDSP = ((0, -2), (-1, -1), (-2, 0), (-1, 1), (0, 2), (1, 1), (2, 0), (1, -1))
+_SDSP = ((0, -1), (-1, 0), (0, 1), (1, 0))
+
+
+def diamond_search(
+    current: np.ndarray,
+    ref: np.ndarray,
+    mb_row: int,
+    mb_col: int,
+    search_range: int = 16,
+    stats: SearchStats | None = None,
+    size: int = MACROBLOCK,
+) -> tuple[MotionVector, int]:
+    """Diamond search [157] for the best integer-pel motion vector.
+
+    Walks the large diamond pattern until the best point is the center,
+    then refines with the small diamond.  Returns (motion vector in
+    eighth-pel units, best SAD).
+    """
+    stats = stats if stats is not None else SearchStats()
+    base_y, base_x = mb_row * size, mb_col * size
+
+    def evaluate(dy: int, dx: int) -> int | None:
+        block = _block_at(ref, base_y + dy, base_x + dx, size)
+        if block is None:
+            return None
+        stats.sad_evaluations += 1
+        stats.pixels_compared += size * size
+        return sad(current, block)
+
+    best_dy, best_dx = 0, 0
+    best_cost = evaluate(0, 0)
+    if best_cost is None:
+        return MotionVector(0, 0), 1 << 30
+    # Large diamond until the center wins or the range is exhausted.
+    while True:
+        improved = False
+        for dy, dx in _LDSP:
+            ny, nx = best_dy + dy, best_dx + dx
+            if abs(ny) > search_range or abs(nx) > search_range:
+                continue
+            cost = evaluate(ny, nx)
+            if cost is not None and cost < best_cost:
+                best_cost, best_dy, best_dx = cost, ny, nx
+                improved = True
+        if not improved:
+            break
+    # Small diamond refinement.
+    for dy, dx in _SDSP:
+        ny, nx = best_dy + dy, best_dx + dx
+        if abs(ny) > search_range or abs(nx) > search_range:
+            continue
+        cost = evaluate(ny, nx)
+        if cost is not None and cost < best_cost:
+            best_cost, best_dy, best_dx = cost, ny, nx
+    return MotionVector(dx=best_dx * 8, dy=best_dy * 8), best_cost
+
+
+def full_search(
+    current: np.ndarray,
+    ref: np.ndarray,
+    mb_row: int,
+    mb_col: int,
+    search_range: int = 8,
+    stats: SearchStats | None = None,
+    size: int = MACROBLOCK,
+) -> tuple[MotionVector, int]:
+    """Exhaustive integer-pel search (test oracle; O(range^2) SADs)."""
+    stats = stats if stats is not None else SearchStats()
+    base_y, base_x = mb_row * size, mb_col * size
+    best = (MotionVector(0, 0), 1 << 30)
+    for dy in range(-search_range, search_range + 1):
+        for dx in range(-search_range, search_range + 1):
+            block = _block_at(ref, base_y + dy, base_x + dx, size)
+            if block is None:
+                continue
+            stats.sad_evaluations += 1
+            stats.pixels_compared += size * size
+            cost = sad(current, block)
+            if cost < best[1] or (
+                cost == best[1]
+                and (abs(dy) + abs(dx))
+                < (abs(best[0].int_y) + abs(best[0].int_x))
+            ):
+                best = (MotionVector(dx=dx * 8, dy=dy * 8), cost)
+    return best
+
+
+def multi_reference_search(
+    current: np.ndarray,
+    references: list[np.ndarray],
+    mb_row: int,
+    mb_col: int,
+    search_range: int = 16,
+    stats: SearchStats | None = None,
+    size: int = MACROBLOCK,
+) -> tuple[int, MotionVector, int]:
+    """Search up to three reference frames (paper Figure 14: the encoder
+    fetches three references).  Returns (ref index, mv, sad)."""
+    if not references:
+        raise ValueError("need at least one reference frame")
+    best = None
+    for idx, ref in enumerate(references[:3]):
+        mv, cost = diamond_search(
+            current, ref, mb_row, mb_col, search_range, stats, size
+        )
+        if best is None or cost < best[2]:
+            best = (idx, mv, cost)
+    return best

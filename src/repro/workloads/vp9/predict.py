@@ -1,0 +1,75 @@
+"""Intra prediction (paper Figure 14, 3).
+
+Predicts a macroblock from its already-reconstructed neighbours inside
+the same frame.  The four classic modes (DC, vertical, horizontal,
+TrueMotion) cover the behaviour that matters here; the encoder's mode
+decision picks the best one per macroblock by SAD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.vp9.frame import MACROBLOCK
+
+INTRA_MODES = ("dc", "vertical", "horizontal", "tm")
+
+
+def intra_predict(
+    reconstructed: np.ndarray, row: int, col: int, mode: str, size: int = MACROBLOCK
+) -> np.ndarray:
+    """Predict the (row, col) block from reconstructed neighbours.
+
+    Args:
+        reconstructed: the frame being reconstructed (uint8); only pixels
+            above and left of the target block are read.
+        row, col: block coordinates in *blocks*, not pixels.
+        mode: one of :data:`INTRA_MODES`.
+
+    Returns:
+        The (size, size) uint8 prediction.
+    """
+    if mode not in INTRA_MODES:
+        raise ValueError("unknown intra mode %r" % (mode,))
+    y, x = row * size, col * size
+    have_top = y > 0
+    have_left = x > 0
+    top = reconstructed[y - 1, x : x + size].astype(np.int32) if have_top else None
+    left = reconstructed[y : y + size, x - 1].astype(np.int32) if have_left else None
+    corner = int(reconstructed[y - 1, x - 1]) if (have_top and have_left) else 128
+
+    if mode == "dc":
+        parts = []
+        if top is not None:
+            parts.append(top)
+        if left is not None:
+            parts.append(left)
+        dc = int(np.mean(np.concatenate(parts))) if parts else 128
+        pred = np.full((size, size), dc, dtype=np.int32)
+    elif mode == "vertical":
+        row_vals = top if top is not None else np.full(size, 128, dtype=np.int32)
+        pred = np.tile(row_vals, (size, 1))
+    elif mode == "horizontal":
+        col_vals = left if left is not None else np.full(size, 128, dtype=np.int32)
+        pred = np.tile(col_vals.reshape(-1, 1), (1, size))
+    else:  # TrueMotion: left + top - corner, clamped.
+        t = top if top is not None else np.full(size, 128, dtype=np.int32)
+        l = left if left is not None else np.full(size, 128, dtype=np.int32)
+        pred = l.reshape(-1, 1) + t.reshape(1, -1) - corner
+    return np.clip(pred, 0, 255).astype(np.uint8)
+
+
+def best_intra_mode(
+    reconstructed: np.ndarray, target: np.ndarray, row: int, col: int, size: int = MACROBLOCK
+) -> tuple[str, np.ndarray, int]:
+    """Pick the intra mode minimizing SAD against ``target``.
+
+    Returns (mode, prediction, sad).
+    """
+    best = None
+    for mode in INTRA_MODES:
+        pred = intra_predict(reconstructed, row, col, mode, size)
+        cost = int(np.abs(pred.astype(np.int32) - target.astype(np.int32)).sum())
+        if best is None or cost < best[2]:
+            best = (mode, pred, cost)
+    return best

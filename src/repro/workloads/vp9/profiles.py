@@ -1,0 +1,269 @@
+"""Analytic kernel profiles for the VP9 software codec (Figures 10, 11, 15).
+
+The functional codec in this package runs on small frames; the paper
+characterizes 4K playback and HD capture.  These profiles scale the
+codec's per-pixel operation/traffic structure (validated against the
+functional implementation by the test suite) to arbitrary resolutions.
+
+Per-pixel constants below come from the kernel definitions:
+
+* **sub-pixel interpolation**: two 8-tap passes per predicted pixel
+  (~16 MACs); the decoder fetches ~2.9 reference pixels per decoded
+  pixel (Section 6.3.1), with poor locality because motion vectors point
+  anywhere in the reference frame;
+* **deblocking filter**: reads back the whole reconstructed frame plus
+  neighbour columns/rows, modifies up to 2 pixels per edge: ~2.5 bytes
+  of traffic and a few compare/average ops per pixel;
+* **motion estimation**: diamond search over three reference frames,
+  ~75 SAD rows per macroblock; the search windows overlap heavily, so
+  off-chip traffic is a few bytes per pixel while compute is tens of
+  ops per pixel.
+"""
+
+from __future__ import annotations
+
+from repro.core.workload import WorkloadFunction
+from repro.sim.profile import KernelProfile
+
+#: Reference pixels fetched per decoded pixel (paper Section 6.3.1).
+REF_PIXELS_PER_PIXEL = 2.9
+#: Fraction of macroblocks that are inter-predicted in steady state.
+INTER_FRACTION = 0.85
+#: Fraction of inter blocks needing sub-pixel interpolation.
+SUBPEL_FRACTION = 0.8
+
+
+def profile_sub_pixel_interpolation(width: int, height: int, frames: int) -> KernelProfile:
+    """Sub-pixel interpolation for ``frames`` frames of w x h video."""
+    pixels = float(width * height * frames) * INTER_FRACTION * SUBPEL_FRACTION
+    # Reference fetches: scattered, most miss the LLC (motion vectors
+    # point anywhere); each predicted pixel also gets written once.
+    ref_bytes = pixels * REF_PIXELS_PER_PIXEL * 0.95  # scant window-overlap reuse
+    out_bytes = pixels
+    dram_bytes = ref_bytes + out_bytes
+    # Two 8-tap passes: ~3 SIMD multiply-accumulate/round ops per output
+    # pixel (16 MACs across 8-16 lanes), plus vector loads.
+    alu_ops = pixels * 3.0
+    mem_instructions = (pixels * REF_PIXELS_PER_PIXEL + out_bytes) / 8.0
+    instructions = alu_ops + mem_instructions + pixels * 0.35
+    lines = dram_bytes / 64.0
+    return KernelProfile(
+        name="sub_pixel_interpolation",
+        instructions=instructions,
+        mem_instructions=mem_instructions,
+        alu_ops=alu_ops,
+        simd_fraction=0.95,
+        l1_misses=lines * 1.3,
+        llc_misses=lines,
+        dram_bytes=dram_bytes,
+        working_set_bytes=float(width * height * 2),
+        notes="8-tap separable MC interpolation (Section 6.2.2)",
+    )
+
+
+def profile_other_mc(width: int, height: int, frames: int) -> KernelProfile:
+    """The rest of motion compensation: full-pel copies, prediction
+    setup, residual add."""
+    pixels = float(width * height * frames) * INTER_FRACTION
+    return KernelProfile.streaming(
+        name="other_mc",
+        bytes_read=pixels * 1.4,
+        bytes_written=pixels * 0.6,
+        ops_per_byte=0.3,
+        instruction_overhead=0.1,
+        simd_fraction=0.85,
+        notes="full-pel MC, prediction assembly, residual add",
+    )
+
+
+def profile_deblocking_filter(width: int, height: int, frames: int) -> KernelProfile:
+    """The in-loop deblocking filter over whole reconstructed frames."""
+    pixels = float(width * height * frames)
+    # Edge pixels read (4 per side per 8-px edge, both orientations) and
+    # up to 2 modified per edge: ~2.3 bytes traffic per frame pixel.
+    bytes_read = pixels * 1.5
+    bytes_written = pixels * 0.8
+    return KernelProfile.streaming(
+        name="deblocking_filter",
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        ops_per_byte=0.6,
+        instruction_overhead=0.05,
+        simd_fraction=0.95,
+        notes="low-pass filter over 8x8 block edges (Section 6.2.2)",
+    )
+
+
+def profile_entropy_decoder(width: int, height: int, frames: int) -> KernelProfile:
+    """Range decoding of the compressed bitstream (cache-resident)."""
+    bitstream_bytes = float(width * height * frames) * 0.04  # ~0.3 bpp
+    return KernelProfile.cache_resident(
+        name="entropy_decoder",
+        bytes_touched=bitstream_bytes,
+        reuse_factor=6.0,
+        ops_per_byte=12.0,
+        simd_fraction=0.0,
+        notes="bit-serial range decoding; working set fits in cache",
+    )
+
+
+def profile_inverse_transform(width: int, height: int, frames: int) -> KernelProfile:
+    """Inverse DCT + dequantization on coded blocks (cache-resident)."""
+    coeff_bytes = float(width * height * frames) * 0.15  # coded-block coverage
+    return KernelProfile.cache_resident(
+        name="inverse_transform",
+        bytes_touched=coeff_bytes,
+        reuse_factor=2.0,
+        ops_per_byte=4.0,
+        simd_fraction=0.8,
+        notes="8x8 IDCT + dequant on decoded coefficients",
+    )
+
+
+def profile_decoder_other(width: int, height: int, frames: int) -> KernelProfile:
+    """Frame management, intra prediction, output copies."""
+    pixels = float(width * height * frames)
+    return KernelProfile.streaming(
+        name="other",
+        bytes_read=pixels * 0.4,
+        bytes_written=pixels * 0.3,
+        ops_per_byte=0.5,
+        instruction_overhead=0.2,
+        simd_fraction=0.4,
+        notes="intra prediction, frame buffers, misc",
+    )
+
+
+def decoder_functions(width: int, height: int, frames: int) -> list[WorkloadFunction]:
+    """The software-decoder workload decomposition (Figures 10 and 11)."""
+    return [
+        WorkloadFunction(
+            "sub_pixel_interpolation",
+            profile_sub_pixel_interpolation(width, height, frames),
+            accelerator_key="sub_pixel_interpolation",
+            invocations=frames,
+        ),
+        WorkloadFunction("other_mc", profile_other_mc(width, height, frames)),
+        WorkloadFunction(
+            "deblocking_filter",
+            profile_deblocking_filter(width, height, frames),
+            accelerator_key="deblocking_filter",
+            invocations=frames,
+        ),
+        WorkloadFunction("entropy_decoder", profile_entropy_decoder(width, height, frames)),
+        WorkloadFunction(
+            "inverse_transform", profile_inverse_transform(width, height, frames)
+        ),
+        WorkloadFunction("other", profile_decoder_other(width, height, frames)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Encoder side (Figure 15)
+# ----------------------------------------------------------------------
+#: Diamond-search candidate positions evaluated per macroblock per
+#: reference (with early termination, well below the full diamond walk).
+SADS_PER_MB_PER_REF = 12
+#: References searched (paper Figure 14).
+REFERENCES = 3
+
+
+def profile_motion_estimation(width: int, height: int, frames: int) -> KernelProfile:
+    """Diamond-search ME over three reference frames."""
+    pixels = float(width * height * frames)
+    sad_reads = pixels * SADS_PER_MB_PER_REF * REFERENCES  # pixel comparisons
+    # Search windows overlap heavily between neighbouring macroblocks;
+    # unique off-chip traffic is a few bytes per pixel per reference.
+    dram_bytes = pixels * 1.6 * REFERENCES
+    # CPU: 16-lane SAD instructions; accelerator: its systolic SAD array
+    # retires ~2.7 pixel-diffs per datapath op (alu_ops sizes PIM-Acc).
+    cpu_sad_instructions = sad_reads / 8.0
+    alu_ops = sad_reads / 2.7
+    mem_instructions = sad_reads / 16.0  # 16-byte vector loads
+    instructions = cpu_sad_instructions + mem_instructions + pixels * 0.5
+    lines = dram_bytes / 64.0
+    return KernelProfile(
+        name="motion_estimation",
+        instructions=instructions,
+        mem_instructions=mem_instructions,
+        alu_ops=alu_ops,
+        simd_fraction=0.4,
+        l1_misses=lines * 2.0,
+        llc_misses=lines,
+        dram_bytes=dram_bytes,
+        working_set_bytes=float(width * height * (REFERENCES + 1)),
+        notes="diamond search + SAD over 3 references (Section 7.2.2)",
+    )
+
+
+def profile_intra_prediction(width: int, height: int, frames: int) -> KernelProfile:
+    pixels = float(width * height * frames)
+    return KernelProfile.cache_resident(
+        name="intra_prediction",
+        bytes_touched=pixels * 0.6,
+        reuse_factor=4.0,
+        ops_per_byte=1.5,
+        simd_fraction=0.6,
+        notes="4-mode intra prediction + SAD mode decision",
+    )
+
+
+def profile_transform(width: int, height: int, frames: int) -> KernelProfile:
+    pixels = float(width * height * frames)
+    return KernelProfile.cache_resident(
+        name="transform",
+        bytes_touched=pixels * 0.5,
+        reuse_factor=2.0,
+        ops_per_byte=2.0,
+        simd_fraction=0.85,
+        notes="forward 8x8 DCT on residuals",
+    )
+
+
+def profile_quantization_enc(width: int, height: int, frames: int) -> KernelProfile:
+    pixels = float(width * height * frames)
+    return KernelProfile.cache_resident(
+        name="quantization",
+        bytes_touched=pixels * 1.0,
+        reuse_factor=1.5,
+        ops_per_byte=1.2,
+        simd_fraction=0.85,
+        notes="coefficient quantization + zigzag",
+    )
+
+
+def encoder_functions(width: int, height: int, frames: int) -> list[WorkloadFunction]:
+    """The software-encoder workload decomposition (Figure 15).
+
+    "Other" is the encoder's internal decode loop (MC + deblocking +
+    entropy coding of the reconstruction), which behaves like the
+    software decoder (Section 7.2.1).
+    """
+    decode_loop = (
+        profile_sub_pixel_interpolation(width, height, frames)
+        .merged(profile_other_mc(width, height, frames), name="other")
+        .scaled(0.8, name="other")
+    )
+    deblock = profile_deblocking_filter(width, height, frames)
+    return [
+        WorkloadFunction(
+            "motion_estimation",
+            profile_motion_estimation(width, height, frames),
+            accelerator_key="motion_estimation",
+            invocations=frames,
+        ),
+        WorkloadFunction(
+            "intra_prediction", profile_intra_prediction(width, height, frames)
+        ),
+        WorkloadFunction("transform", profile_transform(width, height, frames)),
+        WorkloadFunction(
+            "quantization", profile_quantization_enc(width, height, frames)
+        ),
+        WorkloadFunction(
+            "deblocking_filter",
+            deblock,
+            accelerator_key="deblocking_filter",
+            invocations=frames,
+        ),
+        WorkloadFunction("other", decode_loop),
+    ]

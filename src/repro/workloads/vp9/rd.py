@@ -1,0 +1,87 @@
+"""Rate-distortion tooling for the VP9-class codec.
+
+Utilities for comparing encoder configurations the way codec work is
+actually judged: encode the same clip across a quantizer sweep, collect
+(bitrate, PSNR) points, and compare two configurations by the average
+PSNR delta at matched bitrates (a simplified BD-PSNR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.encoder import Vp9Encoder
+from repro.workloads.vp9.frame import Frame
+
+
+@dataclass(frozen=True)
+class RdPoint:
+    """One (rate, distortion) measurement."""
+
+    qstep: float
+    bits_per_pixel: float
+    psnr_db: float
+
+
+def rd_curve(
+    frames: list[Frame],
+    qsteps=(4, 8, 16, 32, 64),
+    search_range: int = 16,
+    allow_split: bool = True,
+) -> list[RdPoint]:
+    """Encode ``frames`` at each quantizer and measure rate/PSNR."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    pixels_per_frame = frames[0].width * frames[0].height
+    points = []
+    for qstep in qsteps:
+        encoder = Vp9Encoder(
+            qstep=qstep, search_range=search_range, allow_split=allow_split
+        )
+        encoded = [encoder.encode_frame(f) for f in frames]
+        decoded, _ = decode_video(encoded)
+        total_bits = 8.0 * sum(len(f.data) for f in encoded)
+        bpp = total_bits / (pixels_per_frame * len(frames))
+        finite = [
+            f.psnr(d) for f, d in zip(frames, decoded) if f.psnr(d) != float("inf")
+        ]
+        psnr = sum(finite) / len(finite) if finite else 99.0
+        points.append(RdPoint(qstep=float(qstep), bits_per_pixel=bpp, psnr_db=psnr))
+    return points
+
+
+def _interp_psnr(points: list[RdPoint], bpp: float) -> float:
+    """PSNR at a bitrate, linearly interpolated in log-rate."""
+    pts = sorted(points, key=lambda p: p.bits_per_pixel)
+    rates = np.log([p.bits_per_pixel for p in pts])
+    psnrs = np.array([p.psnr_db for p in pts])
+    return float(np.interp(np.log(bpp), rates, psnrs))
+
+
+def bd_psnr(reference: list[RdPoint], candidate: list[RdPoint]) -> float:
+    """Average PSNR gain of ``candidate`` over ``reference`` across the
+    overlapping bitrate range (positive = candidate is better).
+
+    A simplified Bjontegaard delta: both curves are sampled at shared
+    bitrates and the PSNR difference is averaged.
+    """
+    if len(reference) < 2 or len(candidate) < 2:
+        raise ValueError("need at least two RD points per curve")
+    lo = max(
+        min(p.bits_per_pixel for p in reference),
+        min(p.bits_per_pixel for p in candidate),
+    )
+    hi = min(
+        max(p.bits_per_pixel for p in reference),
+        max(p.bits_per_pixel for p in candidate),
+    )
+    if hi <= lo:
+        raise ValueError("RD curves do not overlap in bitrate")
+    samples = np.exp(np.linspace(np.log(lo), np.log(hi), 16))
+    deltas = [
+        _interp_psnr(candidate, b) - _interp_psnr(reference, b) for b in samples
+    ]
+    return float(np.mean(deltas))

@@ -1,0 +1,58 @@
+"""Video PIM targets for the Figure 20 evaluation.
+
+The paper evaluates the three software-codec kernels in isolation
+(Section 9): sub-pixel interpolation and the deblocking filter on 100
+frames of 4K video, and motion estimation on 10 frames of HD video.
+"""
+
+from __future__ import annotations
+
+from repro.core.target import PimTarget
+from repro.workloads.vp9.frame import RESOLUTIONS
+from repro.workloads.vp9.profiles import (
+    profile_deblocking_filter,
+    profile_motion_estimation,
+    profile_sub_pixel_interpolation,
+)
+
+
+def sub_pixel_interpolation_target(frames: int = 100) -> PimTarget:
+    width, height = RESOLUTIONS["4K"]
+    return PimTarget(
+        name="sub_pixel_interpolation",
+        profile=profile_sub_pixel_interpolation(width, height, frames),
+        accelerator_key="sub_pixel_interpolation",
+        invocations=frames,
+        workload="vp9",
+    )
+
+
+def deblocking_filter_target(frames: int = 100) -> PimTarget:
+    width, height = RESOLUTIONS["4K"]
+    return PimTarget(
+        name="deblocking_filter",
+        profile=profile_deblocking_filter(width, height, frames),
+        accelerator_key="deblocking_filter",
+        invocations=frames,
+        workload="vp9",
+    )
+
+
+def motion_estimation_target(frames: int = 10) -> PimTarget:
+    width, height = RESOLUTIONS["HD"]
+    return PimTarget(
+        name="motion_estimation",
+        profile=profile_motion_estimation(width, height, frames),
+        accelerator_key="motion_estimation",
+        invocations=frames,
+        workload="vp9",
+    )
+
+
+def video_pim_targets() -> list[PimTarget]:
+    """The three Figure 20 kernels, in figure order."""
+    return [
+        sub_pixel_interpolation_target(),
+        deblocking_filter_target(),
+        motion_estimation_target(),
+    ]

@@ -1,0 +1,79 @@
+"""Block transforms and coefficient quantization (paper Figure 9, 5-6).
+
+The residual path of the codec: a 2-D orthonormal DCT-II on 8x8 blocks,
+uniform scalar quantization of the coefficients, and the inverses.  The
+forward/inverse pair is numerically exact to float64 precision; the only
+loss in the codec is quantization, as in real VP9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Transform block edge (pixels).
+BLOCK = 8
+
+
+def _dct_matrix(n: int) -> np.ndarray:
+    """The orthonormal DCT-II matrix of size n."""
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    mat = np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    mat[0] *= 1.0 / np.sqrt(2.0)
+    return mat * np.sqrt(2.0 / n)
+
+
+_DCT8 = _dct_matrix(BLOCK)
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """2-D DCT-II of one 8x8 residual block (float64 coefficients)."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK, BLOCK):
+        raise ValueError("forward_dct expects an 8x8 block")
+    return _DCT8 @ block @ _DCT8.T
+
+
+def inverse_dct(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT-II (exact inverse of :func:`forward_dct`)."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.shape != (BLOCK, BLOCK):
+        raise ValueError("inverse_dct expects an 8x8 block")
+    return _DCT8.T @ coeffs @ _DCT8
+
+
+def quantize_coefficients(coeffs: np.ndarray, qstep: float) -> np.ndarray:
+    """Uniform scalar quantization to int32 levels."""
+    if qstep <= 0:
+        raise ValueError("qstep must be positive")
+    return np.round(np.asarray(coeffs, dtype=np.float64) / qstep).astype(np.int32)
+
+
+def dequantize_coefficients(levels: np.ndarray, qstep: float) -> np.ndarray:
+    """Reconstruction: level * qstep."""
+    if qstep <= 0:
+        raise ValueError("qstep must be positive")
+    return np.asarray(levels, dtype=np.float64) * qstep
+
+
+#: Zigzag scan order for 8x8 blocks (low frequencies first).
+def _zigzag_order(n: int) -> np.ndarray:
+    order = sorted(
+        ((y, x) for y in range(n) for x in range(n)),
+        key=lambda p: (p[0] + p[1], p[1] if (p[0] + p[1]) % 2 == 0 else p[0]),
+    )
+    return np.array([y * n + x for y, x in order], dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order(BLOCK)
+INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def zigzag_scan(levels: np.ndarray) -> np.ndarray:
+    """Flatten an 8x8 level block in zigzag order."""
+    return np.asarray(levels).reshape(-1)[ZIGZAG]
+
+
+def zigzag_unscan(scanned: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_scan`."""
+    return np.asarray(scanned)[INVERSE_ZIGZAG].reshape(BLOCK, BLOCK)

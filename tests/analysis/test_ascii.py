@@ -1,0 +1,57 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.ascii import BAR_WIDTH, render_all_charts, render_chart
+from repro.analysis.base import FigureResult
+
+
+def figure(rows):
+    return FigureResult("Figure A", "ascii test", rows=rows)
+
+
+class TestRenderChart:
+    def test_stacked_bars_with_legend(self):
+        text = render_chart(
+            figure([
+                {"page": "Docs", "a": 0.5, "b": 0.5},
+                {"page": "Mail", "a": 0.25, "b": 0.25},
+            ])
+        )
+        lines = text.splitlines()
+        assert "legend" in lines[1]
+        assert "Docs" in lines[2]
+        # Mail's total is half of Docs': its bar is ~half the width.
+        docs_len = lines[2].split("|")[1].rstrip()
+        mail_len = lines[3].split("|")[1].rstrip()
+        assert len(mail_len) == pytest.approx(len(docs_len) / 2, abs=2)
+
+    def test_full_scale_row_spans_bar_width(self):
+        text = render_chart(figure([{"k": "x", "v": 1.0}]))
+        bar = text.splitlines()[-1].split("|")[1].rstrip()
+        assert len(bar) == BAR_WIDTH
+
+    def test_no_numeric_columns_falls_back(self):
+        text = render_chart(figure([{"component": "SoC", "desc": "stuff"}]))
+        assert "component=SoC" in text
+
+    def test_empty_rows_fall_back(self):
+        text = render_chart(FigureResult("F", "t"))
+        assert "F" in text
+
+    def test_booleans_not_charted(self):
+        text = render_chart(figure([{"name": "x", "flag": True, "v": 0.5}]))
+        assert "flag" not in text.splitlines()[1]
+
+    def test_render_all(self):
+        text = render_all_charts([figure([{"v": 1.0}]), figure([{"v": 0.5}])])
+        assert text.count("Figure A") == 2
+
+
+class TestRealFigures:
+    def test_fig01_charts(self):
+        from repro.analysis.chrome_figures import fig01_scrolling_energy
+
+        text = render_chart(fig01_scrolling_energy())
+        assert "Google Docs" in text
+        assert "#" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the JSON export."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.base import FigureResult
+from repro.analysis.export import export_all, figure_to_dict
+
+
+class TestFigureToDict:
+    def test_schema(self):
+        r = FigureResult(
+            "Figure 9", "t", rows=[{"a": 1.5}], anchors={"x": (0.5, 0.6)},
+            notes="n",
+        )
+        d = figure_to_dict(r)
+        assert d["figure_id"] == "Figure 9"
+        assert d["rows"] == [{"a": 1.5}]
+        assert d["anchors"]["x"] == {"paper": 0.5, "measured": 0.6}
+        assert d["notes"] == "n"
+
+    def test_json_serializable(self):
+        r = FigureResult("f", "t", rows=[{"a": 1}], anchors={"x": (1.0, 2.0)})
+        json.dumps(figure_to_dict(r))
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("figures"))
+        return directory, export_all(directory)
+
+    def test_one_file_per_experiment_plus_index(self, exported):
+        directory, written = exported
+        assert len(written) == 17  # 16 experiments + index
+        assert all(os.path.exists(p) for p in written)
+
+    def test_index_references_all_files(self, exported):
+        directory, written = exported
+        with open(os.path.join(directory, "index.json")) as f:
+            index = json.load(f)
+        assert len(index) == 16
+        for entry in index:
+            assert os.path.exists(os.path.join(directory, entry["file"]))
+            assert entry["num_rows"] > 0
+
+    def test_figure18_content(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "figure_18.json")) as f:
+            fig18 = json.load(f)
+        targets = [row["target"] for row in fig18["rows"]]
+        assert "texture_tiling" in targets
+        assert fig18["anchors"]["mean PIM-Core energy reduction"]["paper"] == 0.513

@@ -1,0 +1,95 @@
+"""Schema tests: every figure's rows carry the columns the paper plots."""
+
+import pytest
+
+from repro.analysis import (
+    fig01_scrolling_energy,
+    fig04_zram_traffic,
+    fig06_tf_energy,
+    fig11_sw_decoder_components,
+    fig12_hw_decoder_traffic,
+    fig16_hw_encoder_traffic,
+    fig18_browser_pim,
+    fig20_video_pim,
+    fig21_hw_codec_pim,
+)
+
+
+class TestRowSchemas:
+    def test_fig01_six_pages_shares_sum_to_one(self):
+        rows = fig01_scrolling_energy().rows
+        assert len(rows) == 6
+        for row in rows:
+            total = row["texture_tiling"] + row["color_blitting"] + row["other"]
+            assert total == pytest.approx(1.0)
+
+    def test_fig04_timeline_buckets(self):
+        rows = fig04_zram_traffic().rows
+        assert len(rows) >= 10
+        assert rows[0]["t_start_s"] == 0
+        for row in rows:
+            assert row["avg_out_MBps"] >= 0
+            assert row["avg_in_MBps"] >= 0
+
+    def test_fig06_four_networks(self):
+        rows = fig06_tf_energy().rows
+        names = [r["network"] for r in rows]
+        assert names == [
+            "ResNet-V2-152", "VGG-19", "Residual-GRU", "Inception-ResNet",
+        ]
+        for row in rows:
+            total = (
+                row["packing"] + row["quantization"]
+                + row["conv2d_matmul"] + row["other"]
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_fig11_component_matrix_sums_to_one(self):
+        rows = fig11_sw_decoder_components().rows
+        components = [r["component"] for r in rows]
+        assert components == ["cpu", "l1", "llc", "interconnect", "memctrl", "dram"]
+        total = sum(
+            v for row in rows for k, v in row.items() if k != "component"
+        )
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("figure_fn", [fig12_hw_decoder_traffic,
+                                           fig16_hw_encoder_traffic])
+    def test_traffic_rows_cover_four_configs(self, figure_fn):
+        rows = figure_fn().rows
+        configs = {(r["resolution"], r["compression"]) for r in rows}
+        assert configs == {
+            ("HD", False), ("HD", True), ("4K", False), ("4K", True),
+        }
+        for row in rows:
+            component_sum = sum(
+                v for k, v in row.items()
+                if k not in ("resolution", "compression", "total_MB")
+            )
+            assert component_sum == pytest.approx(row["total_MB"], rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "figure_fn,expected",
+        [
+            (fig18_browser_pim,
+             ["texture_tiling", "color_blitting", "compression", "decompression"]),
+            (fig20_video_pim,
+             ["sub_pixel_interpolation", "deblocking_filter", "motion_estimation"]),
+        ],
+    )
+    def test_pim_rows_in_figure_order(self, figure_fn, expected):
+        rows = figure_fn().rows
+        assert [r["target"] for r in rows] == expected
+        for row in rows:
+            assert row["energy_cpu"] == 1.0
+            assert 0 < row["energy_pim_acc"] <= 1.0
+
+    def test_fig21_twelve_bars(self):
+        rows = fig21_hw_codec_pim().rows
+        assert len(rows) == 12  # 2 codecs x 2 compression x 3 placements
+        for row in rows:
+            parts = (
+                row["dram_mJ"] + row["memctrl_mJ"]
+                + row["interconnect_mJ"] + row["computation_mJ"]
+            )
+            assert parts == pytest.approx(row["total_mJ"], rel=1e-9)

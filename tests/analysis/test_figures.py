@@ -1,0 +1,139 @@
+"""Regression suite: every paper figure regenerates and its anchors stay
+within tolerance of the paper's reported values.
+
+Tolerances: fractions within +-0.10 absolute; magnitudes within +-40%
+relative unless noted (our substrate is an analytical model, not the
+authors' testbed -- shapes, not absolute numbers, are the target).
+"""
+
+import pytest
+
+from repro.analysis import (
+    fig01_scrolling_energy,
+    fig02_docs_breakdown,
+    fig04_zram_traffic,
+    fig06_tf_energy,
+    fig07_tf_time,
+    fig10_sw_decoder_energy,
+    fig11_sw_decoder_components,
+    fig12_hw_decoder_traffic,
+    fig15_sw_encoder_energy,
+    fig16_hw_encoder_traffic,
+    fig18_browser_pim,
+    fig19_tf_pim,
+    fig20_video_pim,
+    fig21_hw_codec_pim,
+    headline_summary,
+    table1_configuration,
+)
+
+ALL_FIGURES = [
+    table1_configuration,
+    fig01_scrolling_energy,
+    fig02_docs_breakdown,
+    fig04_zram_traffic,
+    fig06_tf_energy,
+    fig07_tf_time,
+    fig10_sw_decoder_energy,
+    fig11_sw_decoder_components,
+    fig12_hw_decoder_traffic,
+    fig15_sw_encoder_energy,
+    fig16_hw_encoder_traffic,
+    fig18_browser_pim,
+    fig19_tf_pim,
+    fig20_video_pim,
+    fig21_hw_codec_pim,
+    headline_summary,
+]
+
+
+@pytest.mark.parametrize("figure_fn", ALL_FIGURES, ids=lambda f: f.__name__)
+def test_figure_regenerates(figure_fn):
+    result = figure_fn()
+    assert result.rows, result.figure_id
+    assert result.render_text()
+
+
+class TestAnchors:
+    def test_fig01(self):
+        r = fig01_scrolling_energy()
+        assert r.anchor_within("avg tiling+blitting share of scrolling energy", 0.10)
+
+    def test_fig02(self):
+        r = fig02_docs_breakdown()
+        for name in r.anchors:
+            assert r.anchor_within(name, 0.10), name
+
+    def test_fig04(self):
+        r = fig04_zram_traffic()
+        assert r.anchor_within("total swapped out (GB)", 0.40)
+        assert r.anchor_within("total swapped in (GB)", 0.40)
+        assert r.anchor_within("compression+decompression energy share", 0.07)
+        assert r.anchor_within("compression+decompression time share", 0.06)
+
+    def test_fig06(self):
+        r = fig06_tf_energy()
+        assert r.anchor_within("avg packing+quantization energy share", 0.10)
+        assert r.anchor_within("avg data-movement fraction of inference", 0.10)
+
+    def test_fig07(self):
+        assert fig07_tf_time().anchor_within(
+            "avg packing+quantization time share", 0.08
+        )
+
+    def test_fig10(self):
+        r = fig10_sw_decoder_energy()
+        for name in r.anchors:
+            assert r.anchor_within(name, 0.10), name
+
+    def test_fig11(self):
+        r = fig11_sw_decoder_components()
+        assert r.anchor_within("data-movement fraction of decoder energy", 0.08)
+        assert r.anchor_within("movement fraction within sub-pel interpolation", 0.10)
+
+    def test_fig12(self):
+        r = fig12_hw_decoder_traffic()
+        assert r.anchor_within("HD nocomp ref-frame traffic share", 0.08)
+        assert r.anchor_within("4K nocomp ref-frame traffic share", 0.08)
+
+    def test_fig15(self):
+        r = fig15_sw_encoder_energy()
+        assert r.anchor_within("motion estimation share", 0.08)
+        assert r.anchor_within("data-movement fraction of encoder energy", 0.08)
+
+    def test_fig16(self):
+        r = fig16_hw_encoder_traffic()
+        assert r.anchor_within("HD nocomp reference-frame share", 0.08)
+        assert r.anchor_within("HD current-frame share, nocomp", 0.05)
+
+    def test_fig18(self):
+        r = fig18_browser_pim()
+        assert r.anchor_within("mean PIM-Core energy reduction", 0.08)
+        assert r.anchor_within("mean PIM-Acc energy reduction", 0.10)
+        assert r.anchor_within("mean PIM-Core speedup", 0.40)
+        assert r.anchor_within("mean PIM-Acc speedup", 0.40)
+
+    def test_fig19(self):
+        r = fig19_tf_pim()
+        assert r.anchor_within("mean PIM-Core energy reduction", 0.09)
+        assert r.anchor_within("mean PIM-Acc energy reduction", 0.09)
+
+    def test_fig20(self):
+        r = fig20_video_pim()
+        assert r.anchor_within("mean PIM-Acc energy reduction", 0.08)
+        assert r.anchor_within("motion estimation PIM-Acc speedup", 0.30)
+
+    def test_fig21_qualitative(self):
+        r = fig21_hw_codec_pim()
+        # Both boolean orderings must hold exactly.
+        assert r.anchors["decoder PIM-Acc nocomp beats baseline comp"][1] == 1.0
+        assert r.anchors["encoder PIM-Acc nocomp beats baseline comp"][1] == 1.0
+        # PIM-Core overhead direction (positive = worse than baseline).
+        assert r.anchors["decoder PIM-Core overhead vs baseline (w/ comp)"][1] > 0.2
+
+    def test_headline(self):
+        r = headline_summary()
+        assert r.anchor_within("avg data-movement fraction of system energy", 0.08)
+        assert r.anchor_within("mean PIM-Core energy reduction", 0.10)
+        assert r.anchor_within("mean PIM-Acc energy reduction", 0.10)
+        assert r.anchor_within("max PIM-Acc energy reduction", 0.10)

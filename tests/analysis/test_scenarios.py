@@ -1,0 +1,70 @@
+"""Unit tests for the end-to-end consumer scenarios."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    Scenario,
+    evaluate_all,
+    evaluate_scenario,
+    standard_scenarios,
+)
+from repro.core.workload import WorkloadFunction
+from repro.sim.profile import KernelProfile
+
+MB = 1024 * 1024
+
+
+class TestScenario:
+    def test_four_standard_scenarios(self):
+        names = [s.name for s in standard_scenarios()]
+        assert len(names) == 4
+        assert any("movie" in n for n in names)
+
+    def test_functions_scaled_by_weight(self):
+        profile = KernelProfile.streaming("k", MB, MB, ops_per_byte=0.3)
+        part = (3.0, [WorkloadFunction("k", profile,
+                                       accelerator_key="texture_tiling")])
+        scenario = Scenario(name="s", parts=(part,))
+        fn = scenario.functions()[0]
+        assert fn.profile.dram_bytes == pytest.approx(3 * profile.dram_bytes)
+        assert fn.name == "p0_k"
+
+    def test_part_names_disjoint(self):
+        profile = KernelProfile.streaming("k", MB, MB, ops_per_byte=0.3)
+        parts = tuple(
+            (1.0, [WorkloadFunction("k", profile)]) for _ in range(3)
+        )
+        names = [f.name for f in Scenario("s", parts).functions()]
+        assert len(set(names)) == 3
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_all()
+
+    def test_every_scenario_benefits(self, results):
+        for r in results:
+            assert r.energy_reduction > 0.05, r.scenario
+            assert r.speedup > 1.0, r.scenario
+
+    def test_video_scenarios_benefit_most(self, results):
+        by_name = {r.scenario: r for r in results}
+        movie = by_name["movie night (90 min HD)"]
+        photos = by_name["photo organizing (200 images)"]
+        assert movie.energy_reduction > photos.energy_reduction
+
+    def test_battery_minutes_saved_positive(self, results):
+        for r in results:
+            assert r.battery_minutes_saved() > 0, r.scenario
+
+    def test_energy_magnitudes_plausible(self, results):
+        by_name = {r.scenario: r for r in results}
+        movie = by_name["movie night (90 min HD)"]
+        # 90 minutes of HD software decode: order of 10-100 J of SoC+mem.
+        assert 50.0 <= movie.cpu_energy_j <= 2000.0
+
+    def test_single_scenario_evaluation(self):
+        scenario = standard_scenarios()[0]
+        r = evaluate_scenario(scenario)
+        assert r.scenario == scenario.name

@@ -1,0 +1,54 @@
+"""Unit + acceptance tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.base import FigureResult
+from repro.analysis.scorecard import AnchorScore, full_scorecard, score_figures
+
+
+def figure(anchors):
+    return FigureResult("Figure T", "test", rows=[{"x": 1}], anchors=anchors)
+
+
+class TestScoring:
+    def test_fraction_tolerance_absolute(self):
+        card = score_figures([figure({"a": (0.5, 0.58), "b": (0.5, 0.65)})])
+        assert card.passed == 1
+        assert card.failures()[0].anchor == "b"
+
+    def test_magnitude_tolerance_relative(self):
+        card = score_figures([figure({"a": (100.0, 130.0), "b": (100.0, 150.0)})])
+        assert card.passed == 1
+
+    def test_deviation_metric(self):
+        s = AnchorScore("f", "a", paper=0.5, measured=0.6, within=True)
+        assert s.deviation == pytest.approx(0.1)
+        s = AnchorScore("f", "a", paper=200.0, measured=100.0, within=False)
+        assert s.deviation == pytest.approx(0.5)
+
+    def test_empty(self):
+        card = score_figures([])
+        assert card.total == 0
+        assert card.pass_rate == 0.0
+
+    def test_render(self):
+        card = score_figures([figure({"a": (0.5, 0.9)})])
+        text = card.render_text()
+        assert "0/1" in text
+        assert "MISS" in text
+
+    def test_worst_sorted(self):
+        card = score_figures(
+            [figure({"a": (0.5, 0.52), "b": (0.5, 0.8), "c": (0.5, 0.6)})]
+        )
+        worst = card.worst(2)
+        assert worst[0].anchor == "b"
+
+
+class TestFullScorecard:
+    def test_reproduction_quality_bar(self):
+        """The acceptance criterion for the whole repository: at least
+        85% of the paper's anchor values reproduce within tolerance."""
+        card = full_scorecard()
+        assert card.total >= 50
+        assert card.pass_rate >= 0.85, card.render_text()

@@ -1,0 +1,59 @@
+"""Unit tests for the 60 FPS frame-budget analysis."""
+
+import pytest
+
+from repro.workloads.chrome.frame_budget import (
+    FRAME_BUDGET_S,
+    frame_time,
+    scroll_survey,
+)
+from repro.workloads.chrome.pages import PAGES
+
+
+class TestFrameTime:
+    @pytest.fixture(scope="class")
+    def docs(self):
+        return frame_time(PAGES["Google Docs"])
+
+    def test_budget_is_sixty_fps(self):
+        assert FRAME_BUDGET_S == pytest.approx(16.7e-3, abs=0.1e-3)
+
+    def test_pim_shortens_the_frame(self, docs):
+        assert docs.with_pim_s < docs.cpu_only_s
+
+    def test_pim_raises_fps(self, docs):
+        assert docs.pim_fps > docs.cpu_fps
+
+    def test_frame_times_plausible(self, docs):
+        """A heavy scroll frame takes single-digit milliseconds of SoC
+        work on this class of device."""
+        assert 1e-3 <= docs.cpu_only_s <= 30e-3
+
+    def test_overlap_bounded_by_cpu_stream(self, docs):
+        assert docs.with_pim_s >= docs.layout_s * 0.999
+
+    def test_components_sum(self, docs):
+        assert docs.cpu_only_s == pytest.approx(
+            docs.layout_s + docs.blitting_s + docs.tiling_s
+        )
+
+
+class TestSurvey:
+    def test_all_pages_surveyed(self):
+        survey = scroll_survey(PAGES)
+        assert len(survey) == len(PAGES)
+
+    def test_pim_never_hurts_frame_time(self):
+        for ft in scroll_survey(PAGES):
+            assert ft.with_pim_s <= ft.cpu_only_s * 1.001, ft.page
+
+    def test_pim_meets_budget_wherever_cpu_does(self):
+        """Offloading must never turn a smooth page into a janky one."""
+        for ft in scroll_survey(PAGES):
+            if ft.cpu_meets_budget:
+                assert ft.pim_meets_budget, ft.page
+
+    def test_animation_page_is_heaviest(self):
+        survey = {ft.page: ft for ft in scroll_survey(PAGES)}
+        heaviest = max(survey.values(), key=lambda ft: ft.cpu_only_s)
+        assert heaviest.page == "Animation"

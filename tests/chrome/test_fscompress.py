@@ -1,0 +1,83 @@
+"""Unit tests for the transparent file-system compression extension."""
+
+import pytest
+
+from repro.workloads.chrome.fscompress import (
+    FlashModel,
+    FsCompressionModel,
+    FsConfig,
+)
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FsCompressionModel()
+
+
+class TestValidation:
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FsCompressionModel(ratio=0.8)
+
+    def test_negative_io_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(-1, 0, FsConfig.NONE)
+
+
+class TestTrafficSavings:
+    def test_compression_cuts_flash_traffic(self, model):
+        none = model.evaluate(100 * MB, 20 * MB, FsConfig.NONE)
+        pim = model.evaluate(100 * MB, 20 * MB, FsConfig.PIM)
+        assert pim.flash_bytes == pytest.approx(none.flash_bytes / model.ratio)
+
+
+class TestEnergyOrdering:
+    def test_pim_compression_beats_no_compression(self, model):
+        """The extension's claim: with in-memory (de)compression, the
+        flash-energy savings are no longer eaten by CPU codec energy."""
+        none = model.evaluate(200 * MB, 50 * MB, FsConfig.NONE)
+        pim = model.evaluate(200 * MB, 50 * MB, FsConfig.PIM)
+        assert pim.energy_j < none.energy_j
+
+    def test_pim_beats_cpu_compression(self, model):
+        cpu = model.evaluate(200 * MB, 50 * MB, FsConfig.CPU)
+        pim = model.evaluate(200 * MB, 50 * MB, FsConfig.PIM)
+        assert pim.energy_j < cpu.energy_j
+        assert pim.latency_s < cpu.latency_s
+
+    def test_compare_returns_all_three(self, model):
+        results = model.compare(10 * MB, 10 * MB)
+        assert [r.config for r in results] == list(FsConfig)
+
+
+class TestLatency:
+    def test_pim_latency_competitive_with_uncompressed(self, model):
+        """PIM decompression (249 GB/s-class internal path) must not blow
+        up read latency relative to raw flash reads -- the paper's 'zero
+        latency overhead' motivation [156]."""
+        none = model.evaluate(100 * MB, 0, FsConfig.NONE)
+        pim = model.evaluate(100 * MB, 0, FsConfig.PIM)
+        assert pim.latency_s < none.latency_s * 1.5
+
+    def test_slow_flash_amplifies_compression_benefit(self):
+        slow = FsCompressionModel(flash=FlashModel(read_bandwidth=50 * MB,
+                                                   write_bandwidth=20 * MB))
+        fast = FsCompressionModel()
+        io = (100 * MB, 20 * MB)
+        slow_gain = (
+            slow.evaluate(*io, FsConfig.NONE).latency_s
+            - slow.evaluate(*io, FsConfig.PIM).latency_s
+        )
+        fast_gain = (
+            fast.evaluate(*io, FsConfig.NONE).latency_s
+            - fast.evaluate(*io, FsConfig.PIM).latency_s
+        )
+        assert slow_gain > fast_gain
+
+
+class TestZeroIo:
+    def test_all_zero(self, model):
+        r = model.evaluate(0, 0, FsConfig.PIM)
+        assert r.energy_j == 0.0 and r.latency_s == 0.0

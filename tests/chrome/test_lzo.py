@@ -1,0 +1,105 @@
+"""Unit + property tests for the LZO-class compressor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.chrome.lzo import compress, decompress, roundtrip
+from repro.workloads.chrome.synthetic import generate_web_memory
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        compressed, stats = compress(b"")
+        assert decompress(compressed)[0] == b""
+        assert stats.input_bytes == 0
+
+    def test_short_literal_only(self):
+        data = b"abc"
+        compressed, stats = compress(data)
+        assert decompress(compressed)[0] == data
+        assert stats.matches == 0
+
+    def test_repetitive_data_compresses(self):
+        data = b"abcd" * 4096
+        compressed, cstats, _ = roundtrip(data)
+        assert len(compressed) < len(data) / 4
+        assert cstats.matches > 0
+
+    def test_incompressible_data_roundtrips(self, rng):
+        data = rng.integers(0, 256, size=8192, dtype="uint8").tobytes()
+        compressed, cstats, _ = roundtrip(data)
+        # Random data grows slightly (literal-run headers) but roundtrips.
+        assert len(compressed) <= len(data) * 1.02
+
+    def test_overlapping_match(self):
+        """LZ77's trademark: a match may overlap its own output (RLE)."""
+        data = b"x" * 1000
+        compressed, cstats, dstats = roundtrip(data)
+        assert cstats.matches >= 1
+        assert dstats.output_bytes == 1000
+
+    def test_long_match_lengths(self):
+        data = b"0123456789abcdef" * 2000  # forces extended length coding
+        roundtrip(data)
+
+    def test_web_memory_ratio(self):
+        """Browser-like memory must land near the ~2.5-3x LZO ratio the
+        ZRAM model assumes."""
+        data = generate_web_memory(256 * 1024, seed=3)
+        _, cstats, _ = roundtrip(data)
+        assert 2.0 <= cstats.ratio <= 4.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=4096))
+    def test_arbitrary_bytes_roundtrip(self, data):
+        compressed, _ = compress(data)
+        restored, _ = decompress(compressed)
+        assert restored == data
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        chunk=st.binary(min_size=1, max_size=64),
+        repeats=st.integers(min_value=2, max_value=200),
+    )
+    def test_periodic_data_roundtrip(self, chunk, repeats):
+        data = chunk * repeats
+        restored, _ = decompress(compress(data)[0])
+        assert restored == data
+
+
+class TestStats:
+    def test_literals_plus_matches_cover_input(self):
+        data = generate_web_memory(64 * 1024, seed=1)
+        _, cstats = compress(data)
+        assert cstats.literal_bytes + cstats.match_bytes == len(data)
+
+    def test_decompress_stats_mirror(self):
+        data = b"hello world " * 500
+        compressed, cstats = compress(data)
+        _, dstats = decompress(compressed)
+        assert dstats.matches == cstats.matches
+        assert dstats.match_bytes == cstats.match_bytes
+        assert dstats.output_bytes == len(data)
+
+    def test_ratio_zero_output(self):
+        _, stats = compress(b"")
+        assert stats.ratio == 0.0
+
+
+class TestCorruptInput:
+    def test_truncated_literal_run(self):
+        with pytest.raises(ValueError):
+            decompress(bytes([10]))  # promises 11 literals, provides none
+
+    def test_invalid_distance(self):
+        # Match token with distance 100 at stream start.
+        with pytest.raises(ValueError):
+            decompress(bytes([0x80, 100, 0]))
+
+    def test_zero_distance(self):
+        with pytest.raises(ValueError):
+            decompress(bytes([0x00, 65, 0x80, 0, 0]))
+
+    def test_truncated_distance(self):
+        with pytest.raises(ValueError):
+            decompress(bytes([0x00, 65, 0x80, 1]))

@@ -1,0 +1,60 @@
+"""Unit tests for the page-load interaction model."""
+
+import pytest
+
+from repro.core.workload import characterize
+from repro.workloads.chrome.pageload import evaluate_page_load, load_functions
+from repro.workloads.chrome.pages import PAGES
+
+
+class TestLoadFunctions:
+    def test_three_phases(self):
+        names = [f.name for f in load_functions(PAGES["Google Docs"])]
+        assert names == ["parse_style_layout", "color_blitting", "texture_tiling"]
+
+    def test_loading_is_kernel_heavy(self):
+        """The initial-paint burst makes tiling+blitting a large share of
+        load energy (the paper's motivation for keeping CPU raster +
+        PIM tiling over GPU raster)."""
+        ch = characterize("load", load_functions(PAGES["Google Docs"]))
+        kernels = ch.energy_share("texture_tiling") + ch.energy_share("color_blitting")
+        assert kernels > 0.35
+
+    def test_blend_mix_follows_page(self):
+        docs = load_functions(PAGES["Google Docs"])
+        anim = load_functions(PAGES["Animation"])
+        docs_blit = next(f for f in docs if f.name == "color_blitting").profile
+        anim_blit = next(f for f in anim if f.name == "color_blitting").profile
+        assert anim_blit.dram_bytes > docs_blit.dram_bytes  # higher overdraw
+
+
+class TestEvaluatePageLoad:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return evaluate_page_load(PAGES["Google Docs"])
+
+    def test_pim_reduces_load_time(self, result):
+        assert 0.0 < result.load_time_reduction < 0.8
+
+    def test_pim_reduces_load_energy(self, result):
+        assert result.pim_energy_j < result.cpu_energy_j
+
+    def test_overlap_caps_at_parse_stream(self, result):
+        """With full overlap, load time cannot drop below the CPU-side
+        parse/layout stream."""
+        functions = load_functions(PAGES["Google Docs"])
+        from repro.core.offload import OffloadEngine
+
+        parse = next(f for f in functions if f.accelerator_key is None)
+        parse_time = OffloadEngine().cpu_model.run(parse.profile).time_s
+        assert result.pim_time_s >= parse_time * 0.999
+
+    def test_all_pages_benefit(self):
+        for page in PAGES.values():
+            result = evaluate_page_load(page)
+            assert result.load_time_reduction > 0.0, page.name
+
+    def test_load_time_plausible(self, result):
+        """Initial render of a heavy page: hundreds of ms on a
+        Chromebook-class device."""
+        assert 0.05 <= result.cpu_time_s <= 2.0

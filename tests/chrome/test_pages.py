@@ -1,0 +1,75 @@
+"""Unit + calibration tests for the web-page scrolling models."""
+
+import pytest
+
+from repro.core.workload import characterize
+from repro.workloads.chrome.pages import PAGES, PAGE_ORDER, WebPage
+
+
+class TestPageSet:
+    def test_six_pages_in_paper_order(self):
+        assert len(PAGE_ORDER) == 6
+        assert PAGE_ORDER[0] == "Google Docs"
+        assert set(PAGE_ORDER) == set(PAGES)
+
+    def test_three_functions_per_page(self):
+        for page in PAGES.values():
+            names = [f.name for f in page.scrolling_functions()]
+            assert names == ["texture_tiling", "color_blitting", "other"]
+
+    def test_tiling_traffic_tracks_raster_area(self):
+        docs = PAGES["Google Docs"]
+        assert docs.tiling_profile().dram_bytes == pytest.approx(
+            2 * docs.raster_pixels * 4, rel=0.01
+        )
+
+    def test_blit_stats_respect_blend_fraction(self):
+        page = PAGES["Animation"]
+        stats = page.blit_stats()
+        blended_fraction = stats.pixels_blended / stats.total_pixels
+        assert blended_fraction == pytest.approx(page.blend_fraction, abs=0.02)
+
+
+class TestFigure1Calibration:
+    """Regression bands for the Figure 1 / Figure 2 anchors."""
+
+    def test_average_kernel_share(self):
+        shares = []
+        for name in PAGE_ORDER:
+            ch = characterize(name, PAGES[name].scrolling_functions())
+            s = ch.energy_shares()
+            shares.append(s["texture_tiling"] + s["color_blitting"])
+        avg = sum(shares) / len(shares)
+        assert avg == pytest.approx(0.419, abs=0.08)
+
+    def test_docs_breakdown(self):
+        ch = characterize("docs", PAGES["Google Docs"].scrolling_functions())
+        assert ch.data_movement_fraction == pytest.approx(0.77, abs=0.08)
+        assert ch.movement_share_of_workload("texture_tiling") == pytest.approx(
+            0.257, abs=0.05
+        )
+        assert ch.movement_fraction_of_function("texture_tiling") == pytest.approx(
+            0.815, abs=0.08
+        )
+        assert ch.movement_fraction_of_function("color_blitting") == pytest.approx(
+            0.639, abs=0.08
+        )
+
+    def test_all_pages_are_movement_dominated(self):
+        for name in PAGE_ORDER:
+            ch = characterize(name, PAGES[name].scrolling_functions())
+            assert ch.data_movement_fraction > 0.5, name
+
+    def test_animation_page_is_blit_heavy(self):
+        ch = characterize("anim", PAGES["Animation"].scrolling_functions())
+        s = ch.energy_shares()
+        assert s["color_blitting"] > s["texture_tiling"]
+
+    def test_script_heavy_pages_have_bigger_other(self):
+        twitter = characterize(
+            "tw", PAGES["Twitter"].scrolling_functions()
+        ).energy_share("other")
+        docs = characterize(
+            "docs", PAGES["Google Docs"].scrolling_functions()
+        ).energy_share("other")
+        assert twitter > docs

@@ -1,0 +1,101 @@
+"""Unit tests for the display-list rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.chrome.blitter import profile_color_blitting
+from repro.workloads.chrome.rasterizer import (
+    DisplayList,
+    GLYPH_H,
+    GLYPH_W,
+    rasterize,
+    synthetic_page_paint,
+)
+
+
+class TestDisplayList:
+    def test_builder_chains(self):
+        dl = DisplayList(100, 100).fill(0, 0, 10, 10).text(0, 20, 5)
+        assert len(dl.commands) == 2
+
+    def test_unknown_command_rejected(self):
+        dl = DisplayList(64, 64)
+        dl.commands.append("draw_owl")
+        with pytest.raises(TypeError):
+            rasterize(dl)
+
+
+class TestRasterize:
+    def test_fill_paints_pixels(self):
+        dl = DisplayList(64, 64).fill(8, 8, 16, 16, (255, 0, 0, 255))
+        bitmap, stats = rasterize(dl)
+        assert (bitmap[8:24, 8:24, 0] == 255).all()
+        assert stats.pixels_filled >= 16 * 16
+
+    def test_image_blits(self):
+        img = np.full((8, 8, 4), 7, dtype=np.uint8)
+        dl = DisplayList(64, 64).image(4, 4, img)
+        bitmap, stats = rasterize(dl)
+        assert (bitmap[4:12, 4:12] == 7).all()
+        assert stats.pixels_copied == 64
+
+    def test_text_blends_glyphs(self):
+        dl = DisplayList(200, 64).text(0, 10, 10)
+        bitmap, stats = rasterize(dl)
+        assert stats.pixels_blended == 10 * GLYPH_W * GLYPH_H
+        # Glyph cores are dark on the light-initialized rows they cover.
+        assert bitmap[16, 3, 0] < 100
+
+    def test_painters_order(self):
+        """Later commands draw over earlier ones."""
+        dl = (
+            DisplayList(32, 32)
+            .fill(0, 0, 32, 32, (10, 10, 10, 255))
+            .fill(0, 0, 32, 32, (200, 200, 200, 255))
+        )
+        bitmap, _ = rasterize(dl)
+        assert (bitmap[:, :, 0] == 200).all()
+
+    def test_deterministic(self):
+        dl = synthetic_page_paint(256, 192, seed=5)
+        a, _ = rasterize(dl, seed=1)
+        b, _ = rasterize(synthetic_page_paint(256, 192, seed=5), seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestSyntheticPagePaint:
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            synthetic_page_paint(text_fraction=0.8, image_fraction=0.5)
+        with pytest.raises(ValueError):
+            synthetic_page_paint(text_fraction=-0.1)
+
+    def test_text_heavy_page_blends_more(self):
+        texty = synthetic_page_paint(512, 384, text_fraction=0.7,
+                                     image_fraction=0.05, seed=2)
+        imagey = synthetic_page_paint(512, 384, text_fraction=0.05,
+                                      image_fraction=0.6, seed=2)
+        _, t_stats = rasterize(texty)
+        _, i_stats = rasterize(imagey)
+        assert t_stats.pixels_blended > i_stats.pixels_blended
+        assert i_stats.pixels_copied > t_stats.pixels_copied
+
+    def test_stats_feed_the_profile(self):
+        """End-to-end: real rasterization -> blit stats -> kernel profile
+        (what the page models approximate analytically)."""
+        _, stats = rasterize(synthetic_page_paint(512, 384, seed=1))
+        profile = profile_color_blitting(stats)
+        assert profile.dram_bytes > 0
+        assert profile.mpki > 5
+
+    def test_blend_share_tracks_text_fraction(self):
+        """The page models parameterize blit mixes by blend_fraction;
+        the functional path must reproduce that monotonic relationship."""
+        shares = []
+        for tf in (0.1, 0.4, 0.7):
+            _, stats = rasterize(
+                synthetic_page_paint(512, 384, text_fraction=tf,
+                                     image_fraction=0.1, seed=3)
+            )
+            shares.append(stats.pixels_blended / max(stats.total_pixels, 1))
+        assert shares[0] < shares[1] < shares[2]

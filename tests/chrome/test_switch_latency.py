@@ -1,0 +1,36 @@
+"""Unit tests for the tab-switch latency analysis."""
+
+import pytest
+
+from repro.workloads.chrome.zram import SwitchLatency, switch_latency
+
+MB = 1024 * 1024
+
+
+class TestSwitchLatency:
+    @pytest.fixture(scope="class")
+    def latency(self):
+        return switch_latency()
+
+    def test_pim_reduces_switch_latency(self, latency):
+        assert latency.pim_acc_s < latency.cpu_only_s
+        assert latency.pim_core_s <= latency.cpu_only_s * 1.01
+
+    def test_acc_at_least_as_fast_as_core(self, latency):
+        assert latency.pim_acc_s <= latency.pim_core_s
+
+    def test_speedup_band(self, latency):
+        """Decompression's PIM-Acc speedup (Figure 18) carries over to
+        the user-facing latency: expect ~1.3-2.5x."""
+        assert 1.2 <= latency.pim_acc_speedup <= 3.0
+
+    def test_latency_scales_with_tab_size(self):
+        small = switch_latency(tab_bytes=50 * MB)
+        large = switch_latency(tab_bytes=200 * MB)
+        assert large.cpu_only_s > small.cpu_only_s
+        assert large.cpu_only_s == pytest.approx(4 * small.cpu_only_s, rel=0.2)
+
+    def test_absolute_latency_plausible(self, latency):
+        """Re-activating a ~150 MB tab should take tens to hundreds of
+        milliseconds, matching user-perceived switch times."""
+        assert 5e-3 <= latency.cpu_only_s <= 1.0

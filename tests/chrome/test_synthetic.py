@@ -1,0 +1,41 @@
+"""Unit tests for the synthetic web-memory generator."""
+
+import pytest
+
+from repro.workloads.chrome.synthetic import generate_web_memory
+
+
+class TestGenerator:
+    def test_exact_size(self):
+        assert len(generate_web_memory(10_000, seed=0)) == 10_000
+
+    def test_zero_size(self):
+        assert generate_web_memory(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_web_memory(-1)
+
+    def test_deterministic(self):
+        assert generate_web_memory(8192, seed=5) == generate_web_memory(8192, seed=5)
+
+    def test_seeds_differ(self):
+        assert generate_web_memory(8192, seed=1) != generate_web_memory(8192, seed=2)
+
+    def test_contains_zero_pages(self):
+        data = generate_web_memory(256 * 1024, seed=0)
+        assert b"\x00" * 4096 in data
+
+    def test_mixed_entropy(self):
+        """The mix must contain both compressible and near-random pages."""
+        import collections
+
+        data = generate_web_memory(128 * 1024, seed=0)
+        pages = [data[i : i + 4096] for i in range(0, len(data), 4096)]
+        entropies = []
+        for page in pages:
+            counts = collections.Counter(page)
+            distinct = len(counts)
+            entropies.append(distinct)
+        assert min(entropies) < 10  # zero-ish page
+        assert max(entropies) > 200  # random page

@@ -1,0 +1,75 @@
+"""Unit tests for the Chrome PIM targets (Figure 18 inputs)."""
+
+import pytest
+
+from repro.core.runner import ExperimentRunner
+from repro.workloads.chrome.targets import (
+    browser_pim_targets,
+    color_blitting_target,
+    compression_target,
+    decompression_target,
+    texture_tiling_target,
+)
+
+
+class TestTargets:
+    def test_four_targets_in_figure_order(self):
+        names = [t.name for t in browser_pim_targets()]
+        assert names == [
+            "texture_tiling", "color_blitting", "compression", "decompression",
+        ]
+
+    def test_tiling_uses_512_square_default(self):
+        t = texture_tiling_target()
+        assert t.profile.dram_bytes == 2 * 512 * 512 * 4
+
+    def test_blitting_covers_size_sweep(self):
+        t = color_blitting_target()
+        # 32^2 + 64^2 + ... + 1024^2 pixels, each touched ~>1x.
+        total_pixels = sum((2**k) ** 2 for k in range(5, 11))
+        assert t.profile.working_set_bytes > total_pixels * 4
+
+    def test_compression_invocations_are_pages(self):
+        t = compression_target(megabytes=4)
+        assert t.invocations == 4 * 1024 * 1024 // 4096
+
+    def test_all_memory_intensive(self):
+        for t in browser_pim_targets():
+            assert t.profile.mpki > 10, t.name
+
+
+class TestFigure18Calibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ExperimentRunner().evaluate(browser_pim_targets())
+
+    def test_mean_energy_reductions(self, result):
+        assert result.mean_pim_core_energy_reduction == pytest.approx(0.513, abs=0.08)
+        assert result.mean_pim_acc_energy_reduction == pytest.approx(0.610, abs=0.10)
+
+    def test_mean_speedups(self, result):
+        assert result.mean_pim_core_speedup == pytest.approx(1.6, abs=0.45)
+        assert result.mean_pim_acc_speedup == pytest.approx(2.0, abs=0.5)
+
+    def test_no_kernel_slows_down_on_pim(self, result):
+        """Criterion 5 of Section 3.2 holds for every accepted target."""
+        for c in result.comparisons:
+            assert c.pim_core_speedup >= 0.99, c.target.name
+            assert c.pim_acc_speedup >= 1.0, c.target.name
+
+    def test_acc_beats_core_on_compression(self, result):
+        """Compression is the compute-heaviest browser kernel, so PIM-Acc's
+        advantage over PIM-Core is largest there (Section 10.1)."""
+        comp = result.by_name("compression")
+        tile = result.by_name("texture_tiling")
+        comp_gap = comp.pim_acc_speedup / comp.pim_core_speedup
+        tile_gap = tile.pim_acc_speedup / tile.pim_core_speedup
+        assert comp_gap > 1.2
+
+    def test_movement_dominates_reductions(self, result):
+        """Most of the PIM energy win comes from eliminated data movement
+        (Section 10.1: 77.7% for texture tiling)."""
+        c = result.by_name("texture_tiling")
+        saved = c.cpu.energy_j - c.pim_acc.energy_j
+        movement_saved = c.cpu.energy.data_movement - c.pim_acc.energy.data_movement
+        assert movement_saved / saved > 0.6

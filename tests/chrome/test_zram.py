@@ -1,0 +1,99 @@
+"""Unit tests for the ZRAM tab-switching model."""
+
+import pytest
+
+from repro.core.workload import characterize
+from repro.workloads.chrome.zram import (
+    TabSwitchingSession,
+    ZramConfig,
+    profile_compression,
+    profile_decompression,
+)
+
+GB = 1024.0**3
+MB = 1024.0**2
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = TabSwitchingSession()
+    s.run()
+    return s
+
+
+class TestSimulation:
+    def test_swap_out_exceeds_swap_in(self, session):
+        """Phase-1 evictions never swap back in full, so out > in (the
+        paper: 11.7 GB out vs 7.8 GB in)."""
+        t = session.timeline()
+        assert t.total_out > t.total_in > 0
+
+    def test_volumes_in_paper_range(self, session):
+        t = session.timeline()
+        assert 8 * GB <= t.total_out <= 16 * GB
+        assert 5 * GB <= t.total_in <= 10 * GB
+
+    def test_peak_rates_order_of_hundreds_mbps(self, session):
+        t = session.timeline()
+        assert 80 * MB <= t.peak_out_rate <= 500 * MB
+        assert 80 * MB <= t.peak_in_rate <= 500 * MB
+
+    def test_duration_covers_open_and_switch_phases(self, session):
+        cfg = session.config
+        expected = cfg.num_tabs * (cfg.seconds_per_open + cfg.seconds_per_switch)
+        assert session.timeline().duration_s >= expected
+
+    def test_run_is_idempotent(self, session):
+        first = session.timeline().total_out
+        session.run()
+        assert session.timeline().total_out == first
+
+    def test_memory_budget_respected(self, session):
+        assert session._memory_in_use() <= session.config.memory_budget_bytes * 1.001
+
+    def test_deterministic_given_seed(self):
+        a = TabSwitchingSession(ZramConfig(seed=42)).run()
+        b = TabSwitchingSession(ZramConfig(seed=42)).run()
+        assert a.total_out == b.total_out
+
+    def test_smaller_budget_swaps_more(self):
+        big = TabSwitchingSession(ZramConfig(memory_budget_bytes=1.9 * GB)).run()
+        small = TabSwitchingSession(ZramConfig(memory_budget_bytes=1.0 * GB)).run()
+        assert small.total_out > big.total_out
+
+
+class TestProfiles:
+    def test_compression_traffic(self):
+        p = profile_compression(100 * MB, ratio=2.5)
+        assert p.dram_bytes == pytest.approx(100 * MB + 40 * MB)
+
+    def test_decompression_traffic(self):
+        p = profile_decompression(100 * MB, ratio=2.5)
+        assert p.dram_bytes == pytest.approx(100 * MB + 40 * MB)
+
+    def test_profiles_memory_intensive(self):
+        assert profile_compression(64 * MB).mpki > 10
+        assert profile_decompression(64 * MB).mpki > 10
+
+    def test_session_profiles_match_timeline(self, session):
+        t = session.timeline()
+        comp = session.compression_profile()
+        ratio = session.config.compression_ratio
+        assert comp.dram_bytes == pytest.approx(t.total_out * (1 + 1 / ratio), rel=0.01)
+
+
+class TestWorkloadDecomposition:
+    def test_four_functions(self, session):
+        names = [f.name for f in session.workload_functions()]
+        assert names == [
+            "compression", "decompression", "tab_rendering", "script_and_layout",
+        ]
+
+    def test_paper_energy_and_time_shares(self, session):
+        """The paper: compression+decompression = 18.1% of energy and
+        14.2% of execution time during tab switching."""
+        ch = characterize("tabs", session.workload_functions())
+        e = ch.energy_share("compression") + ch.energy_share("decompression")
+        t = ch.time_share("compression") + ch.time_share("decompression")
+        assert e == pytest.approx(0.181, abs=0.06)
+        assert t == pytest.approx(0.142, abs=0.05)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_system
+from repro.core.offload import OffloadEngine
+from repro.sim.cpu import CpuModel
+from repro.sim.pim import PimAcceleratorModel, PimCoreModel
+
+
+@pytest.fixture(scope="session")
+def system():
+    return default_system()
+
+
+@pytest.fixture(scope="session")
+def cpu_model(system):
+    return CpuModel(system)
+
+
+@pytest.fixture(scope="session")
+def pim_core_model(system):
+    return PimCoreModel(system)
+
+
+@pytest.fixture(scope="session")
+def pim_acc_model(system):
+    return PimAcceleratorModel(system)
+
+
+@pytest.fixture(scope="session")
+def engine(system):
+    return OffloadEngine(system)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

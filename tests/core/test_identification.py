@@ -1,0 +1,99 @@
+"""Integration: the Section 3.2 identification pipeline accepts exactly
+the paper's PIM targets when run over our workload characterizations."""
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.target import PimTarget, evaluate_candidate
+from repro.core.workload import characterize
+from repro.workloads.chrome.pages import PAGES
+from repro.workloads.chrome.zram import TabSwitchingSession
+from repro.workloads.tensorflow.models import vgg19
+from repro.workloads.tensorflow.network import network_functions
+from repro.workloads.vp9.profiles import decoder_functions, encoder_functions
+
+
+def evaluate_workload(workload_name, functions, engine):
+    """Run the full Section 3.2 pipeline over one workload."""
+    ch = characterize(workload_name, functions)
+    evaluations = {}
+    for f in functions:
+        if f.accelerator_key is None:
+            continue
+        target = PimTarget(
+            f.name, f.profile, accelerator_key=f.accelerator_key,
+            invocations=f.invocations, workload=workload_name,
+        )
+        comparison = engine.compare(target)
+        evaluations[f.name] = evaluate_candidate(
+            name=f.name,
+            profile=f.profile,
+            energy_share=ch.energy_share(f.name),
+            movement_share_of_workload=ch.movement_share_of_workload(f.name),
+            movement_fraction_of_function=ch.movement_fraction_of_function(f.name),
+            pim_speedup=comparison.pim_core_speedup,
+            accelerator_key=f.accelerator_key,
+        )
+    return evaluations
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return OffloadEngine()
+
+
+class TestChromeTargets:
+    def test_scrolling_targets_accepted(self, engine):
+        evals = evaluate_workload(
+            "docs", PAGES["Google Docs"].scrolling_functions(), engine
+        )
+        assert evals["texture_tiling"].is_pim_target
+        assert evals["color_blitting"].is_pim_target
+
+    def test_tab_switching_targets_accepted(self, engine):
+        evals = evaluate_workload(
+            "tabs", TabSwitchingSession().workload_functions(), engine
+        )
+        assert evals["compression"].is_pim_target
+        assert evals["decompression"].is_pim_target
+
+
+class TestTensorFlowTargets:
+    def test_packing_and_quantization_accepted(self, engine):
+        evals = evaluate_workload("vgg", network_functions(vgg19()), engine)
+        assert evals["packing"].is_pim_target
+        assert evals["quantization"].is_pim_target
+
+    def test_targets_are_memory_intensive(self, engine):
+        evals = evaluate_workload("vgg", network_functions(vgg19()), engine)
+        for e in evals.values():
+            assert e.mpki > 10
+
+
+class TestVideoTargets:
+    def test_decoder_targets_accepted(self, engine):
+        evals = evaluate_workload(
+            "dec", decoder_functions(3840, 2160, 10), engine
+        )
+        assert evals["sub_pixel_interpolation"].is_pim_target
+        assert evals["deblocking_filter"].is_pim_target
+
+    def test_encoder_targets_accepted(self, engine):
+        evals = evaluate_workload("enc", encoder_functions(1280, 720, 10), engine)
+        assert evals["motion_estimation"].is_pim_target
+        assert evals["deblocking_filter"].is_pim_target
+
+
+class TestRejections:
+    def test_gemm_not_movement_dominated(self, engine):
+        """Conv2D/MatMul spends 67.5% of its energy on computation, so it
+        fails criterion 4 -- the paper's reason for leaving it on the CPU
+        (Section 5.2)."""
+        ch = characterize("vgg", network_functions(vgg19()))
+        assert ch.movement_fraction_of_function("conv2d_matmul") < 0.5
+
+    def test_compute_bound_function_rejected(self, engine):
+        """Layout/JS (the 'other' scrolling bucket) is not a candidate."""
+        ch = characterize("docs", PAGES["Google Docs"].scrolling_functions())
+        other = ch.function("other").function.profile
+        assert other.mpki > 10 or ch.movement_fraction_of_function("other") < 0.9

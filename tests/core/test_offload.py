@@ -1,0 +1,71 @@
+"""Unit tests for the offload engine."""
+
+import pytest
+
+from repro.core.offload import OffloadEngine
+from repro.core.target import PimTarget
+from repro.sim.profile import KernelProfile
+
+MB = 1024 * 1024
+
+
+def target(invocations=1):
+    profile = KernelProfile.streaming("k", 8 * MB, 8 * MB, ops_per_byte=0.3,
+                                      instruction_overhead=0.1, simd_fraction=0.9)
+    return PimTarget("k", profile, accelerator_key="texture_tiling",
+                     invocations=invocations, workload="test")
+
+
+class TestCompare:
+    def test_three_machines(self, engine):
+        c = engine.compare(target())
+        assert c.cpu.machine == "CPU-Only"
+        assert c.pim_core.machine == "PIM-Core"
+        assert c.pim_acc.machine == "PIM-Acc"
+
+    def test_normalized_energy_baseline_is_one(self, engine):
+        c = engine.compare(target())
+        norm = c.normalized_energy()
+        assert norm["CPU-Only"] == 1.0
+        assert 0.0 < norm["PIM-Acc"] <= norm["PIM-Core"] + 1e-9
+
+    def test_normalized_runtime_baseline_is_one(self, engine):
+        norm = engine.compare(target()).normalized_runtime()
+        assert norm["CPU-Only"] == 1.0
+
+    def test_speedup_consistency(self, engine):
+        c = engine.compare(target())
+        assert c.pim_core_speedup == pytest.approx(
+            c.cpu.time_s / c.pim_core.time_s
+        )
+        assert c.pim_acc_energy_reduction == pytest.approx(
+            1.0 - c.pim_acc.energy_j / c.cpu.energy_j
+        )
+
+
+class TestOverheads:
+    def test_pim_includes_coherence_overhead(self, engine):
+        t = target()
+        raw = engine.pim_core_model.run(t.profile)
+        charged = engine.run_pim_core(t)
+        assert charged.time_s > raw.time_s
+        assert charged.energy_j > raw.energy_j
+
+    def test_more_invocations_more_launch_overhead(self, engine):
+        few = engine.run_pim_acc(target(invocations=1))
+        many = engine.run_pim_acc(target(invocations=1000))
+        assert many.time_s > few.time_s
+
+    def test_cpu_has_no_offload_overhead(self, engine):
+        t = target()
+        direct = engine.cpu_model.run(t.profile)
+        via_engine = engine.run_cpu(t)
+        assert via_engine.time_s == pytest.approx(direct.time_s)
+        assert via_engine.energy_j == pytest.approx(direct.energy_j)
+
+    def test_overhead_charged_to_interconnect(self, engine):
+        t = target()
+        raw = engine.pim_acc_model.run(t.profile)
+        charged = engine.run_pim_acc(t)
+        assert charged.energy.interconnect > raw.energy.interconnect
+        assert charged.energy.pim_memory == pytest.approx(raw.energy.pim_memory)

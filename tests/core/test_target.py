@@ -1,0 +1,116 @@
+"""Unit tests for PIM targets and the Section 3.2 criteria."""
+
+import pytest
+
+from repro.core.target import (
+    CandidateCriteria,
+    CandidateEvaluation,
+    PimTarget,
+    evaluate_candidate,
+    identify_pim_targets,
+)
+from repro.sim.profile import KernelProfile
+
+
+def profile(mpki_target=30.0):
+    instructions = 1e6
+    llc_misses = mpki_target * instructions / 1000
+    return KernelProfile(
+        "k", instructions=instructions, mem_instructions=1e5, alu_ops=5e5,
+        llc_misses=llc_misses, dram_bytes=llc_misses * 64,
+    )
+
+
+def evaluation(**overrides):
+    defaults = dict(
+        name="k",
+        energy_share=0.25,
+        movement_share_of_workload=0.20,
+        mpki=30.0,
+        movement_dominates_function=True,
+        pim_speedup=1.5,
+        area_fraction_of_vault=0.1,
+    )
+    defaults.update(overrides)
+    return CandidateEvaluation(**defaults)
+
+
+class TestPimTarget:
+    def test_requires_known_accelerator(self):
+        with pytest.raises(KeyError):
+            PimTarget("k", profile(), accelerator_key="nonexistent")
+
+    def test_requires_positive_invocations(self):
+        with pytest.raises(ValueError):
+            PimTarget("k", profile(), accelerator_key="texture_tiling",
+                      invocations=0)
+
+    def test_valid_target(self):
+        t = PimTarget("k", profile(), accelerator_key="texture_tiling",
+                      workload="chrome")
+        assert t.workload == "chrome"
+
+
+class TestCriteria:
+    def test_good_candidate_passes(self):
+        assert evaluation().is_pim_target
+
+    def test_low_energy_share_fails(self):
+        assert not evaluation(energy_share=0.01).is_candidate
+
+    def test_low_movement_share_fails(self):
+        assert not evaluation(movement_share_of_workload=0.001).is_candidate
+
+    def test_mpki_threshold_is_strict(self):
+        """The paper requires MPKI > 10 (not >=)."""
+        assert not evaluation(mpki=10.0).is_candidate
+        assert evaluation(mpki=10.01).is_candidate
+
+    def test_movement_must_dominate_function(self):
+        assert not evaluation(movement_dominates_function=False).is_candidate
+
+    def test_slowdown_disqualifies(self):
+        e = evaluation(pim_speedup=0.9)
+        assert e.is_candidate
+        assert not e.is_pim_target
+
+    def test_area_budget_disqualifies(self):
+        e = evaluation(area_fraction_of_vault=1.2)
+        assert not e.fits_area_budget
+        assert not e.is_pim_target
+
+    def test_custom_criteria(self):
+        strict = CandidateCriteria(min_energy_share=0.5)
+        assert not evaluation(criteria=strict).is_candidate
+
+    def test_identify_filters(self):
+        evals = [evaluation(), evaluation(pim_speedup=0.5), evaluation(mpki=1.0)]
+        assert len(identify_pim_targets(evals)) == 1
+
+
+class TestEvaluateCandidate:
+    def test_builds_from_measurements(self):
+        e = evaluate_candidate(
+            name="texture_tiling",
+            profile=profile(mpki_target=25.0),
+            energy_share=0.3,
+            movement_share_of_workload=0.25,
+            movement_fraction_of_function=0.84,
+            pim_speedup=1.6,
+            accelerator_key="texture_tiling",
+        )
+        assert e.is_pim_target
+        assert e.mpki == pytest.approx(25.0)
+
+    def test_movement_dominance_uses_half(self):
+        e = evaluate_candidate(
+            "k", profile(), 0.3, 0.25, movement_fraction_of_function=0.49,
+            pim_speedup=1.5, accelerator_key="texture_tiling",
+        )
+        assert not e.movement_dominates_function
+
+    def test_pim_core_area_when_no_accelerator(self):
+        e = evaluate_candidate(
+            "k", profile(), 0.3, 0.25, 0.9, 1.5, accelerator_key=None,
+        )
+        assert e.area_fraction_of_vault <= 0.10  # Cortex-R8 bound

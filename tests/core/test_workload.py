@@ -1,0 +1,60 @@
+"""Unit tests for whole-workload characterization."""
+
+import pytest
+
+from repro.core.workload import WorkloadFunction, characterize
+from repro.sim.profile import KernelProfile
+
+MB = 1024 * 1024
+
+
+def functions():
+    heavy = KernelProfile.streaming("heavy", 32 * MB, 32 * MB, ops_per_byte=0.3)
+    light = KernelProfile.cache_resident("light", 1 * MB, reuse_factor=16,
+                                         ops_per_byte=2.0)
+    return [
+        WorkloadFunction("heavy", heavy, accelerator_key="texture_tiling"),
+        WorkloadFunction("light", light),
+    ]
+
+
+class TestCharacterize:
+    def test_shares_sum_to_one(self):
+        ch = characterize("wl", functions())
+        assert sum(ch.energy_shares().values()) == pytest.approx(1.0)
+        assert sum(ch.time_shares().values()) == pytest.approx(1.0)
+
+    def test_streaming_function_dominates_energy(self):
+        ch = characterize("wl", functions())
+        assert ch.energy_share("heavy") > ch.energy_share("light")
+
+    def test_movement_share_le_energy_share(self):
+        ch = characterize("wl", functions())
+        for name in ("heavy", "light"):
+            assert ch.movement_share_of_workload(name) <= ch.energy_share(name) + 1e-12
+
+    def test_movement_fraction_of_function(self):
+        ch = characterize("wl", functions())
+        assert ch.movement_fraction_of_function("heavy") > 0.7
+        assert ch.movement_fraction_of_function("light") < 0.7
+
+    def test_total_breakdown_matches_sum(self):
+        ch = characterize("wl", functions())
+        assert ch.total_breakdown.total == pytest.approx(ch.total_energy_j)
+
+    def test_component_matrix_covers_total(self):
+        ch = characterize("wl", functions())
+        matrix = ch.component_energy_by_function()
+        total = sum(sum(row.values()) for row in matrix.values())
+        assert total == pytest.approx(ch.total_energy_j)
+
+    def test_function_lookup(self):
+        ch = characterize("wl", functions())
+        assert ch.function("heavy").name == "heavy"
+        with pytest.raises(KeyError):
+            ch.function("missing")
+
+    def test_empty_workload(self):
+        ch = characterize("empty", [])
+        assert ch.total_energy_j == 0.0
+        assert ch.data_movement_fraction == 0.0

@@ -1,0 +1,67 @@
+"""Unit tests for the PIM area model (paper Section 3.3)."""
+
+import pytest
+
+from repro.config import PimCoreConfig, StackedMemoryConfig
+from repro.energy.area import AreaModel, PAPER_ACCELERATOR_AREAS
+
+
+class TestBudget:
+    def test_per_vault_budget_range(self):
+        """50-60 mm^2 over 16 vaults -> ~3.5-4.4 mm^2 per vault."""
+        model = AreaModel()
+        assert 3.0 <= model.budget_per_vault_mm2 <= 4.5
+
+    def test_budget_scales_with_logic_area(self):
+        small = AreaModel(StackedMemoryConfig(logic_layer_area_mm2=50.0))
+        large = AreaModel(StackedMemoryConfig(logic_layer_area_mm2=60.0))
+        assert small.budget_per_vault_mm2 < large.budget_per_vault_mm2
+
+
+class TestPimCore:
+    def test_pim_core_fits(self):
+        check = AreaModel().check_pim_core()
+        assert check.fits
+
+    def test_pim_core_under_ten_percent(self):
+        """Paper: the PIM core needs no more than 9.4% of a vault's area."""
+        check = AreaModel().check_pim_core()
+        assert check.fraction_of_budget <= 0.10
+
+    def test_oversized_core_rejected(self):
+        fat = PimCoreConfig(area_mm2=10.0)
+        check = AreaModel().check_pim_core(fat)
+        assert not check.fits
+
+
+class TestAccelerators:
+    def test_all_paper_accelerators_fit(self):
+        for check in AreaModel().check_all_accelerators():
+            assert check.fits, check.target
+
+    @pytest.mark.parametrize(
+        "target,paper_fraction",
+        [
+            ("texture_tiling", 0.071),  # <= 7.1% (Section 4.2.2)
+            ("sub_pixel_interpolation", 0.060),  # <= 6.0% (Section 6.2.2)
+            ("deblocking_filter", 0.034),  # <= 3.4% (Section 6.2.2)
+            ("motion_estimation", 0.354),  # <= 35.4% (Section 7.2.2)
+            ("motion_compensation_unit", 0.094),  # <= 9.4% (Section 6.3.2)
+        ],
+    )
+    def test_paper_area_fractions(self, target, paper_fraction):
+        check = AreaModel().check_accelerator(target)
+        assert check.fraction_of_budget == pytest.approx(paper_fraction, abs=0.02)
+
+    def test_motion_estimation_is_largest(self):
+        areas = {k: v.area_mm2 for k, v in PAPER_ACCELERATOR_AREAS.items()}
+        assert max(areas, key=areas.get) == "motion_estimation"
+
+    def test_unknown_accelerator_raises(self):
+        with pytest.raises(KeyError):
+            AreaModel().check_accelerator("warp_drive")
+
+    def test_every_area_entry_has_source(self):
+        for name, acc in PAPER_ACCELERATOR_AREAS.items():
+            assert acc.area_mm2 > 0, name
+            assert "Section" in acc.source, name

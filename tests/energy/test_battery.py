@@ -1,0 +1,81 @@
+"""Unit tests for the battery-life model and the whole-workload offload
+evaluator."""
+
+import pytest
+
+from repro.core.workload import offloaded_totals
+from repro.energy.battery import BatteryModel, DeviceConfig, UsageMix
+from repro.workloads.chrome.pages import PAGES
+
+
+class TestOffloadedTotals:
+    def test_pim_saves_energy_and_time(self):
+        functions = PAGES["Google Docs"].scrolling_functions()
+        totals = offloaded_totals(functions)
+        assert totals.pim_energy_j < totals.cpu_energy_j
+        assert totals.pim_time_s < totals.cpu_time_s
+        assert 0.0 < totals.energy_reduction < 1.0
+        assert totals.speedup > 1.0
+
+    def test_reduction_bounded_by_target_share(self):
+        """Offloading only the PIM targets cannot save more than their
+        share of workload energy (Amdahl)."""
+        functions = PAGES["Google Docs"].scrolling_functions()
+        totals = offloaded_totals(functions)
+        from repro.core.workload import characterize
+
+        ch = characterize("docs", functions)
+        target_share = (
+            ch.energy_share("texture_tiling") + ch.energy_share("color_blitting")
+        )
+        assert totals.energy_reduction <= target_share + 0.01
+
+    def test_core_saves_less_than_acc(self):
+        functions = PAGES["Google Docs"].scrolling_functions()
+        acc = offloaded_totals(functions, use_accelerators=True)
+        core = offloaded_totals(functions, use_accelerators=False)
+        assert acc.pim_energy_j <= core.pim_energy_j
+
+
+class TestUsageMix:
+    def test_default_sums_to_one(self):
+        UsageMix()  # must not raise
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            UsageMix(browsing=0.9, video_playback=0.9, video_capture=0.0,
+                     inference=0.0)
+
+
+class TestBatteryModel:
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return BatteryModel().estimate()
+
+    def test_pim_extends_battery_life(self, estimate):
+        assert estimate.pim_hours > estimate.cpu_only_hours
+
+    def test_improvement_band(self, estimate):
+        """PIM halves SoC+memory energy of the offloadable share, but the
+        display/fixed rail and non-offloaded compute dilute the win:
+        expect a 5-40% battery-life extension, not 2x."""
+        assert 0.05 <= estimate.improvement <= 0.45
+
+    def test_hours_plausible_for_chromebook(self, estimate):
+        assert 4.0 <= estimate.cpu_only_hours <= 20.0
+
+    def test_bigger_battery_scales_linearly(self):
+        small = BatteryModel(DeviceConfig(battery_wh=20.0)).estimate()
+        large = BatteryModel(DeviceConfig(battery_wh=40.0)).estimate()
+        assert large.cpu_only_hours == pytest.approx(2 * small.cpu_only_hours)
+
+    def test_video_heavy_mix_gains_more_than_inference_heavy(self):
+        """Video kernels offload a larger energy share than inference
+        (where the GEMM stays on the CPU), so a video-heavy user gains
+        more battery life."""
+        model = BatteryModel()
+        video = model.estimate(UsageMix(browsing=0.1, video_playback=0.8,
+                                        video_capture=0.05, inference=0.05))
+        ml = model.estimate(UsageMix(browsing=0.1, video_playback=0.05,
+                                     video_capture=0.05, inference=0.8))
+        assert video.improvement > ml.improvement

@@ -1,0 +1,94 @@
+"""Unit tests for EnergyBreakdown arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.breakdown import Component, EnergyBreakdown
+
+finite = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+def make(**kwargs):
+    return EnergyBreakdown(**kwargs)
+
+
+class TestTotals:
+    def test_zero_total(self):
+        assert EnergyBreakdown.zero().total == 0.0
+
+    def test_total_sums_all_components(self):
+        b = make(cpu=1, l1=2, llc=3, interconnect=4, memctrl=5, dram=6,
+                 pim_compute=7, pim_memory=8)
+        assert b.total == pytest.approx(36.0)
+
+    def test_cpu_stall_not_double_counted(self):
+        b = make(cpu=10, cpu_stall=4)
+        assert b.total == pytest.approx(10.0)
+
+    def test_movement_definition(self):
+        """Movement = caches + interconnect + memctrl + dram + pim memory
+        + CPU stall cycles (paper Section 4.2.1)."""
+        b = make(cpu=10, cpu_stall=4, l1=1, llc=2, interconnect=3, memctrl=4,
+                 dram=5, pim_memory=6)
+        assert b.data_movement == pytest.approx(4 + 1 + 2 + 3 + 4 + 5 + 6)
+
+    def test_compute_definition(self):
+        b = make(cpu=10, cpu_stall=4, pim_compute=3)
+        assert b.compute == pytest.approx(6 + 3)
+
+    def test_movement_plus_compute_equals_total(self):
+        b = make(cpu=10, cpu_stall=4, l1=1, llc=2, interconnect=3, memctrl=4,
+                 dram=5, pim_compute=6, pim_memory=7)
+        assert b.data_movement + b.compute == pytest.approx(b.total)
+
+    def test_movement_fraction_of_zero_total(self):
+        assert EnergyBreakdown.zero().data_movement_fraction == 0.0
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = make(cpu=1, dram=2)
+        b = make(cpu=3, dram=4, llc=5)
+        c = a + b
+        assert c.cpu == 4 and c.dram == 6 and c.llc == 5
+
+    def test_sum_builtin(self):
+        parts = [make(cpu=1), make(cpu=2), make(cpu=3)]
+        assert sum(parts, EnergyBreakdown.zero()).cpu == pytest.approx(6)
+        assert sum(parts).cpu == pytest.approx(6)  # __radd__ with 0
+
+    def test_scaled(self):
+        b = make(cpu=2, dram=4, cpu_stall=1)
+        s = b.scaled(0.5)
+        assert s.cpu == 1 and s.dram == 2 and s.cpu_stall == 0.5
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            make(cpu=1) + 3.0
+
+    def test_component_accessor(self):
+        b = make(dram=7)
+        assert b.component(Component.DRAM) == 7
+        assert b.component(Component.CPU) == 0
+
+    def test_as_dict_keys(self):
+        d = make(cpu=1).as_dict()
+        assert set(d) == {
+            "cpu", "l1", "llc", "interconnect", "memctrl", "dram",
+            "pim_compute", "pim_memory",
+        }
+
+
+class TestProperties:
+    @given(cpu=finite, l1=finite, llc=finite, dram=finite, stall=finite)
+    def test_total_nonnegative_and_consistent(self, cpu, l1, llc, dram, stall):
+        b = make(cpu=cpu + stall, cpu_stall=stall, l1=l1, llc=llc, dram=dram)
+        assert b.total >= 0
+        assert b.data_movement + b.compute == pytest.approx(b.total, rel=1e-9, abs=1e-12)
+        assert 0.0 <= b.data_movement_fraction <= 1.0 + 1e-9
+
+    @given(cpu=finite, dram=finite, factor=st.floats(min_value=0, max_value=100,
+                                                     allow_nan=False))
+    def test_scaling_is_linear(self, cpu, dram, factor):
+        b = make(cpu=cpu, dram=dram)
+        assert b.scaled(factor).total == pytest.approx(b.total * factor, rel=1e-9, abs=1e-12)

@@ -1,0 +1,66 @@
+"""Unit tests for the energy parameter set."""
+
+import pytest
+
+from repro.energy.components import EnergyParameters, default_energy_parameters, PJ
+
+
+class TestEnergyParameters:
+    def test_defaults_are_positive(self):
+        p = default_energy_parameters()
+        assert p.cpu_energy_per_instruction > 0
+        assert p.pim_core_energy_per_instruction > 0
+        assert p.l1_energy_per_access > 0
+        assert p.llc_energy_per_line > 0
+        assert p.dram_energy_per_bit > 0
+
+    def test_offchip_per_byte_sums_three_components(self):
+        p = default_energy_parameters()
+        expected = 8 * (
+            p.interconnect_energy_per_bit
+            + p.memctrl_energy_per_bit
+            + p.dram_energy_per_bit
+        )
+        assert p.offchip_energy_per_byte == pytest.approx(expected)
+
+    def test_internal_per_byte_sums_two_components(self):
+        p = default_energy_parameters()
+        expected = 8 * (
+            p.stacked_internal_energy_per_bit + p.vault_ctrl_energy_per_bit
+        )
+        assert p.internal_energy_per_byte == pytest.approx(expected)
+
+    def test_internal_path_cheaper_than_offchip(self):
+        """The premise of PIM: in-memory access avoids interface energy."""
+        p = default_energy_parameters()
+        assert p.internal_energy_per_byte < p.offchip_energy_per_byte
+
+    def test_internal_path_not_free(self):
+        """The DRAM array energy remains; internal is at most ~2x cheaper."""
+        p = default_energy_parameters()
+        assert p.internal_energy_per_byte > 0.25 * p.offchip_energy_per_byte
+
+    def test_accelerator_is_20x_cpu(self):
+        p = default_energy_parameters()
+        assert p.accelerator_efficiency_vs_cpu == pytest.approx(20.0)
+        assert p.accelerator_energy_per_op == pytest.approx(
+            p.cpu_energy_per_instruction / 20.0
+        )
+
+    def test_pim_core_cheaper_than_cpu_per_instruction(self):
+        p = default_energy_parameters()
+        assert p.pim_core_energy_per_instruction < p.cpu_energy_per_instruction
+
+    def test_moving_a_byte_costs_more_than_an_op(self):
+        """Keckler et al.'s observation, the paper's core premise."""
+        p = default_energy_parameters()
+        assert p.offchip_energy_per_byte > p.cpu_energy_per_instruction
+
+    def test_custom_parameters_flow_through(self):
+        p = EnergyParameters(dram_energy_per_bit=100 * PJ)
+        assert p.offchip_energy_per_byte > default_energy_parameters().offchip_energy_per_byte
+
+    def test_parameters_frozen(self):
+        p = default_energy_parameters()
+        with pytest.raises(AttributeError):
+            p.dram_energy_per_bit = 0.0

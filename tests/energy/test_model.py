@@ -1,0 +1,92 @@
+"""Unit tests for the event-based energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.sim.profile import KernelProfile
+
+
+def streaming(bytes_total=1024 * 1024):
+    return KernelProfile.streaming(
+        "k", bytes_read=bytes_total / 2, bytes_written=bytes_total / 2,
+        ops_per_byte=0.5,
+    )
+
+
+class TestCpuComponents:
+    def test_offchip_traffic_charged_per_bit(self):
+        model = EnergyModel()
+        p = streaming()
+        e = model.cpu_components(p, stall_cycles=0.0)
+        bits = p.dram_bytes * 8
+        assert e.dram == pytest.approx(bits * model.params.dram_energy_per_bit)
+        assert e.interconnect == pytest.approx(
+            bits * model.params.interconnect_energy_per_bit
+        )
+        assert e.memctrl == pytest.approx(bits * model.params.memctrl_energy_per_bit)
+
+    def test_cpu_energy_includes_stall(self):
+        model = EnergyModel()
+        p = streaming()
+        none = model.cpu_components(p, stall_cycles=0.0)
+        some = model.cpu_components(p, stall_cycles=1e6)
+        assert some.cpu > none.cpu
+        assert some.cpu_stall == pytest.approx(
+            1e6 * model.params.cpu_stall_energy_per_cycle
+        )
+
+    def test_negative_stall_clamped(self):
+        model = EnergyModel()
+        e = model.cpu_components(streaming(), stall_cycles=-5.0)
+        assert e.cpu_stall == 0.0
+
+    def test_l1_charged_per_access(self):
+        model = EnergyModel()
+        p = streaming()
+        e = model.cpu_components(p, 0.0)
+        assert e.l1 == pytest.approx(p.mem_instructions * model.params.l1_energy_per_access)
+
+    def test_no_pim_energy_on_cpu(self):
+        model = EnergyModel()
+        e = model.cpu_components(streaming(), 0.0)
+        assert e.pim_compute == 0.0 and e.pim_memory == 0.0
+
+
+class TestPimComponents:
+    def test_pim_core_has_no_offchip_energy(self):
+        model = EnergyModel()
+        e = model.pim_core_components(streaming(), 1e5, 1e4, 0.0)
+        assert e.dram == 0.0 and e.interconnect == 0.0 and e.memctrl == 0.0
+        assert e.pim_memory > 0.0
+
+    def test_simd_instructions_cost_double(self):
+        model = EnergyModel()
+        p = streaming()
+        scalar_only = model.pim_core_components(p, 1e6, 0.0, 0.0)
+        simd_only = model.pim_core_components(p, 0.0, 1e6, 0.0)
+        assert simd_only.pim_compute == pytest.approx(2 * scalar_only.pim_compute)
+
+    def test_pim_memory_cheaper_than_cpu_offchip(self):
+        model = EnergyModel()
+        p = streaming()
+        cpu = model.cpu_components(p, 0.0)
+        pim = model.pim_core_components(p, 0.0, 0.0, 0.0)
+        cpu_move = cpu.interconnect + cpu.memctrl + cpu.dram
+        assert pim.pim_memory < cpu_move
+
+    def test_accelerator_compute_is_20x_cheaper_than_cpu(self):
+        model = EnergyModel()
+        p = streaming()
+        acc = model.pim_accelerator_components(p)
+        assert acc.pim_compute == pytest.approx(
+            p.alu_ops * model.params.cpu_energy_per_instruction / 20.0
+        )
+
+    def test_accelerator_vs_core_energy(self):
+        """For compute-light kernels the two PIM options are close; the
+        accelerator never loses."""
+        model = EnergyModel()
+        p = streaming()
+        core = model.pim_core_components(p, p.instructions, 0.0, 0.0)
+        acc = model.pim_accelerator_components(p)
+        assert acc.total <= core.total

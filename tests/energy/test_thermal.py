@@ -1,0 +1,71 @@
+"""Unit tests for the thermal model."""
+
+import pytest
+
+from repro.analysis.headline import all_pim_targets
+from repro.energy.thermal import ThermalConfig, ThermalModel
+from repro.workloads.chrome.pages import PAGES
+from repro.workloads.vp9.profiles import encoder_functions
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ThermalModel()
+
+
+class TestThrottling:
+    def test_under_tdp_untouched(self, model):
+        r = model.sustained_execution(energy_j=2.0, time_s=1.0)  # 2 W < 4 W
+        assert not r.throttled
+        assert r.effective_time_s == 1.0
+
+    def test_over_tdp_stretches_time(self, model):
+        r = model.sustained_execution(energy_j=8.0, time_s=1.0)  # 8 W
+        assert r.throttled
+        assert r.throttle_factor == pytest.approx(0.5)
+        assert r.effective_time_s == pytest.approx(2.0)
+
+    def test_zero_time(self, model):
+        assert model.sustained_execution(0.0, 0.0).effective_time_s == 0.0
+
+    def test_tight_envelope_throttles_more(self):
+        hot = ThermalModel(ThermalConfig(soc_tdp_w=1.0))
+        cool = ThermalModel(ThermalConfig(soc_tdp_w=8.0))
+        hot_r = hot.sustained_execution(4.0, 1.0)
+        cool_r = cool.sustained_execution(4.0, 1.0)
+        assert hot_r.effective_time_s > cool_r.effective_time_s
+
+
+class TestWorkloadThrottling:
+    def test_pim_relieves_soc_power(self, model):
+        """Moving the data-movement kernels into memory cuts SoC-side
+        power, so PIM throttles no harder than CPU-only."""
+        functions = encoder_functions(1280, 720, 30)
+        cpu, pim = model.workload_throttling(functions)
+        assert pim.raw_power_w < cpu.raw_power_w
+
+    def test_pim_never_slower_after_throttling(self, model):
+        for page in PAGES.values():
+            cpu, pim = model.workload_throttling(page.scrolling_functions())
+            assert pim.effective_time_s <= cpu.effective_time_s * 1.01, page.name
+
+
+class TestLogicLayerBudget:
+    def test_all_paper_targets_fit(self, model):
+        """The thermal counterpart of Section 3.3's area check: every
+        accepted PIM accelerator must fit the logic layer's power
+        envelope while running flat out."""
+        for check in model.check_all_targets(all_pim_targets()):
+            assert check.fits, "%s draws %.1f W" % (check.target, check.pim_power_w)
+
+    def test_power_fraction_reported(self, model):
+        from repro.workloads.chrome.targets import texture_tiling_target
+
+        check = model.check_pim_target(texture_tiling_target())
+        assert 0.0 < check.fraction_of_budget < 1.0
+
+    def test_pim_core_also_fits(self, model):
+        from repro.workloads.chrome.targets import texture_tiling_target
+
+        check = model.check_pim_target(texture_tiling_target(), use_accelerator=False)
+        assert check.fits

@@ -1,0 +1,64 @@
+"""Integration: the functional codec's measured statistics support the
+analytic per-pixel constants used by the characterization profiles."""
+
+import pytest
+
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.encoder import encode_video
+from repro.workloads.vp9.profiles import INTER_FRACTION
+from repro.workloads.vp9.video import synthetic_video
+
+
+@pytest.fixture(scope="module")
+def run():
+    clip = synthetic_video(96, 96, 8, motion=3.1, objects=5, noise=1.5, seed=21)
+    encoded, encoder = encode_video(clip, qstep=20)
+    decoded, decoder = decode_video(encoded)
+    return clip, encoder, decoder
+
+
+class TestInterFraction:
+    def test_steady_state_mostly_inter(self, run):
+        """The profiles assume ~85% of macroblocks are inter-predicted in
+        steady state; the functional codec on moving content agrees
+        (excluding the all-intra key frame)."""
+        _, encoder, _ = run
+        non_key_mbs = encoder.stats.macroblocks * 7 // 8
+        inter_fraction = encoder.stats.inter_macroblocks / non_key_mbs
+        assert inter_fraction == pytest.approx(INTER_FRACTION, abs=0.2)
+
+
+class TestReferenceTraffic:
+    def test_reference_pixels_per_pixel_bounded(self, run):
+        """The HW decoder model uses 2.9 reference pixels per decoded
+        pixel (paper); the functional decoder must land in the same
+        regime (1-3x, depending on the sub-pel mix)."""
+        _, _, decoder = run
+        assert 0.5 <= decoder.stats.reference_pixels_per_pixel <= 3.2
+
+    def test_subpel_blocks_present(self, run):
+        """Sub-pixel interpolation must actually occur (the dominant
+        decoder PIM target is not a dead code path)."""
+        _, _, decoder = run
+        assert decoder.stats.subpel_blocks > 0
+
+
+class TestDeblocking:
+    def test_filter_fires_on_coded_content(self, run):
+        _, _, decoder = run
+        assert decoder.stats.deblock.edges_filtered > 0
+
+    def test_encoder_and_decoder_filter_identically(self, run):
+        _, encoder, decoder = run
+        assert encoder.stats.deblock.edges_filtered == decoder.stats.deblock.edges_filtered
+
+
+class TestSearchEffort:
+    def test_sad_evaluations_per_block_match_profile_scale(self, run):
+        """The ME profile assumes ~12 SAD probes per macroblock per
+        reference (diamond search with early termination); the functional
+        encoder must be within a small factor."""
+        _, encoder, _ = run
+        inter_blocks = max(encoder.stats.inter_macroblocks, 1)
+        probes = encoder.stats.search.sad_evaluations / (inter_blocks * 3)
+        assert 3 <= probes <= 60

@@ -1,0 +1,55 @@
+"""End-to-end integration: the paper's top-level claims hold across the
+whole pipeline (workloads -> profiles -> machine models -> analysis)."""
+
+import pytest
+
+from repro.analysis.headline import all_pim_targets, workload_characterizations
+from repro.core.runner import ExperimentRunner
+from repro.energy.area import AreaModel
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return ExperimentRunner().evaluate(all_pim_targets())
+
+
+class TestHeadlineClaims:
+    def test_ten_pim_targets(self, sweep):
+        """4 browser + 2 TF + 3 video kernels (compression/decompression
+        are counted separately, as in Figure 18)."""
+        assert len(sweep.comparisons) == 9
+
+    def test_every_target_memory_intensive(self, sweep):
+        for c in sweep.comparisons:
+            assert c.target.profile.mpki > 10, c.target.name
+
+    def test_no_target_slows_down(self, sweep):
+        """Section 3.2's criterion 5 holds for the accepted target set."""
+        for c in sweep.comparisons:
+            assert c.pim_core_speedup >= 0.99, c.target.name
+            assert c.pim_acc_speedup >= 1.0, c.target.name
+
+    def test_all_accelerators_fit_vault_budget(self, sweep):
+        area = AreaModel()
+        for c in sweep.comparisons:
+            check = area.check_accelerator(c.target.accelerator_key)
+            assert check.fits, c.target.name
+
+    def test_paper_headline_energy_reductions(self, sweep):
+        assert sweep.mean_pim_core_energy_reduction == pytest.approx(0.491, abs=0.10)
+        assert sweep.mean_pim_acc_energy_reduction == pytest.approx(0.554, abs=0.10)
+
+    def test_acc_saves_at_least_as_much_as_core(self, sweep):
+        for c in sweep.comparisons:
+            assert c.pim_acc_energy_reduction >= c.pim_core_energy_reduction - 1e-9
+
+    def test_movement_dominates_every_workload(self):
+        """62.7% average; no workload below 40%."""
+        characterizations = workload_characterizations()
+        fractions = [c.data_movement_fraction for c in characterizations]
+        assert sum(fractions) / len(fractions) == pytest.approx(0.627, abs=0.08)
+        assert min(fractions) > 0.40
+
+    def test_twelve_workloads_characterized(self):
+        """6 pages + tab switching + 4 networks + decode + encode."""
+        assert len(workload_characterizations()) == 13

@@ -1,0 +1,47 @@
+"""Integration: the analytic page models' blit mixes are backed by the
+functional display-list rasterizer."""
+
+import pytest
+
+from repro.workloads.chrome.blitter import profile_color_blitting
+from repro.workloads.chrome.pages import PAGES
+from repro.workloads.chrome.rasterizer import rasterize, synthetic_page_paint
+
+
+def painted_blend_share(text_fraction: float, image_fraction: float) -> float:
+    _, stats = rasterize(
+        synthetic_page_paint(
+            512, 384, text_fraction=text_fraction, image_fraction=image_fraction,
+            seed=7,
+        )
+    )
+    return stats.pixels_blended / max(stats.total_pixels, 1)
+
+
+class TestBlendFractionBacking:
+    def test_docs_like_paint_is_blend_heavy(self):
+        """A text-dominated paint produces a blend-heavy mix.  The share
+        is diluted below the page model's 0.75 by the one-time background
+        and card fills (which the scroll model amortizes away), but text
+        paints must still blend several times more than media paints."""
+        docs_like = painted_blend_share(text_fraction=0.75, image_fraction=0.05)
+        media_like = painted_blend_share(text_fraction=0.1, image_fraction=0.6)
+        assert docs_like > 0.3
+        assert docs_like > 4 * media_like
+        # Ordering matches the page-model parameters.
+        assert (
+            PAGES["Google Docs"].blend_fraction > 0.5
+        )  # the model's scroll-steady-state value
+
+    def test_media_paint_is_copy_heavy(self):
+        share = painted_blend_share(text_fraction=0.1, image_fraction=0.6)
+        assert share < 0.3
+
+    def test_profiles_from_painted_stats_are_pim_candidates(self):
+        """Blit statistics measured from real rasterization -- not just
+        the analytic page parameters -- still satisfy the Section 3.2
+        memory-intensity criterion when scaled to page-sized batches."""
+        _, stats = rasterize(synthetic_page_paint(1366, 768, seed=1))
+        profile = profile_color_blitting(stats)
+        assert profile.mpki > 8
+        assert profile.dram_bytes > 1024 * 1024

@@ -1,0 +1,60 @@
+"""Unit tests for the CPU<->PIM coherence cost model."""
+
+import pytest
+
+from repro.sim.coherence import CoherenceModel
+
+MB = 1024 * 1024
+
+
+class TestOffloadOverhead:
+    def test_overhead_positive(self):
+        o = CoherenceModel().offload_overhead(1 * MB, 16384, invocations=1)
+        assert o.time_s > 0 and o.energy_j > 0
+
+    def test_invocations_validated(self):
+        with pytest.raises(ValueError):
+            CoherenceModel().offload_overhead(1 * MB, 100, invocations=0)
+
+    def test_dirty_fraction_validated(self):
+        with pytest.raises(ValueError):
+            CoherenceModel(dirty_fraction=1.5)
+
+    def test_per_invocation_flush_uses_slice_not_total(self):
+        """Many small offloads over a big input must not each flush the
+        whole input (regression: a 64 MB input in 4 kB pages)."""
+        model = CoherenceModel()
+        many_small = model.offload_overhead(64 * MB, 1e6, invocations=16384)
+        # Each 4 kB page is flushed at most once: the total can never
+        # exceed the input's line count times the dirty fraction.
+        input_lines = 64 * MB / 64
+        assert many_small.flushed_lines <= input_lines * model.dirty_fraction * 1.01
+
+    def test_flush_bounded_by_llc(self):
+        model = CoherenceModel(dirty_fraction=1.0)
+        huge = model.offload_overhead(1024 * MB, 100, invocations=1)
+        llc_lines = model.system.soc.l2.size_bytes / 64
+        assert huge.flushed_lines <= llc_lines
+
+    def test_launch_latency_scales_with_invocations(self):
+        model = CoherenceModel(dirty_fraction=0.0)
+        one = model.offload_overhead(0, 0, invocations=1)
+        ten = model.offload_overhead(0, 0, invocations=10)
+        assert ten.time_s == pytest.approx(10 * one.time_s)
+
+    def test_directory_energy_scales_with_lines(self):
+        model = CoherenceModel(dirty_fraction=0.0)
+        small = model.offload_overhead(0, 1000, invocations=1)
+        large = model.offload_overhead(0, 100_000, invocations=1)
+        assert large.energy_j == pytest.approx(100 * small.energy_j)
+
+    def test_overhead_small_vs_kernel(self, engine):
+        """The paper's argument (Section 8.2): fine-grained coherence
+        costs single-digit percent of the offloaded kernels."""
+        from repro.workloads.chrome.targets import texture_tiling_target
+
+        target = texture_tiling_target()
+        plain = engine.pim_core_model.run(target.profile)
+        with_overhead = engine.run_pim_core(target)
+        assert with_overhead.energy_j < plain.energy_j * 1.15
+        assert with_overhead.time_s < plain.time_s * 1.15

@@ -1,0 +1,90 @@
+"""Unit tests for the CPU timing/energy model."""
+
+import pytest
+
+from repro.sim.cpu import CpuModel
+from repro.sim.profile import KernelProfile
+
+MB = 1024 * 1024
+
+
+def compute_bound_profile():
+    """Many instructions, no memory traffic."""
+    return KernelProfile("compute", instructions=1e9, mem_instructions=1e8,
+                         alu_ops=8e8, llc_misses=0, dram_bytes=0)
+
+
+def memory_bound_profile():
+    """Streaming over 64 MB with almost no compute."""
+    return KernelProfile.streaming("stream", 32 * MB, 32 * MB, ops_per_byte=0.01,
+                                   instruction_overhead=0.01)
+
+
+class TestRoofline:
+    def test_compute_bound_time(self, cpu_model):
+        p = compute_bound_profile()
+        e = cpu_model.run(p)
+        soc = cpu_model.system.soc
+        expected = p.instructions / (soc.sustained_ipc * soc.frequency_hz)
+        assert e.time_s == pytest.approx(expected)
+
+    def test_compute_bound_has_no_stalls(self, cpu_model):
+        e = cpu_model.run(compute_bound_profile())
+        assert e.energy.cpu_stall == 0.0
+
+    def test_memory_bound_time_exceeds_compute_time(self, cpu_model):
+        p = memory_bound_profile()
+        e = cpu_model.run(p)
+        soc = cpu_model.system.soc
+        compute = p.instructions / (soc.sustained_ipc * soc.frequency_hz)
+        assert e.time_s > compute
+
+    def test_memory_bound_kernel_stalls(self, cpu_model):
+        """The paper: the CPU spends most of its time stalling on the PIM
+        targets (Section 6.2.1)."""
+        e = cpu_model.run(memory_bound_profile())
+        assert e.energy.cpu_stall > 0.0
+
+    def test_memory_bound_is_movement_dominated(self, cpu_model):
+        e = cpu_model.run(memory_bound_profile())
+        assert e.energy.data_movement_fraction > 0.8
+
+
+class TestMultiCore:
+    def test_compute_scales_with_cores(self, cpu_model):
+        p = compute_bound_profile()
+        one = cpu_model.run(p, cores=1)
+        four = cpu_model.run(p, cores=4)
+        assert four.time_s == pytest.approx(one.time_s / 4)
+
+    def test_memory_bound_floor_is_channel_bandwidth(self, cpu_model):
+        """All cores share the one off-chip channel: no core count can
+        beat the channel's sustained bandwidth."""
+        p = memory_bound_profile()
+        four = cpu_model.run(p, cores=4)
+        floor = p.dram_bytes / cpu_model.dram.timings.sustained_bandwidth
+        assert four.time_s >= floor * 0.999
+
+    def test_cores_clamped(self, cpu_model):
+        p = compute_bound_profile()
+        assert cpu_model.run(p, cores=100).time_s == pytest.approx(
+            cpu_model.run(p, cores=4).time_s
+        )
+
+
+class TestExecution:
+    def test_machine_label(self, cpu_model):
+        assert cpu_model.run(compute_bound_profile()).machine == "CPU-Only"
+
+    def test_speedup_and_reduction_helpers(self, cpu_model):
+        p = memory_bound_profile()
+        a = cpu_model.run(p)
+        b = cpu_model.run(p.scaled(2.0))
+        assert a.speedup_over(b) == pytest.approx(2.0, rel=0.01)
+        assert b.energy_reduction_vs(a) == pytest.approx(-1.0, rel=0.05)
+
+    def test_energy_scales_linearly_with_work(self, cpu_model):
+        p = memory_bound_profile()
+        one = cpu_model.run(p)
+        two = cpu_model.run(p.scaled(2.0))
+        assert two.energy_j == pytest.approx(2 * one.energy_j, rel=0.01)

@@ -1,0 +1,77 @@
+"""Unit tests for the DRAM bandwidth/latency models."""
+
+import pytest
+
+from repro.config import StackedMemoryConfig
+from repro.sim.dram import DramTimings, OffChipDram, StackedDramInternal
+
+GB = 1024**3
+
+
+class TestDramTimings:
+    def test_zero_request_zero_time(self):
+        t = DramTimings(peak_bandwidth=32 * GB, access_latency_s=100e-9)
+        assert t.service_time(0, 0, mlp=4) == 0.0
+
+    def test_bandwidth_bound_regime(self):
+        """Huge sequential transfers: time ~ bytes / sustained bandwidth."""
+        t = DramTimings(peak_bandwidth=32 * GB, access_latency_s=100e-9,
+                        bandwidth_efficiency=0.8)
+        one_gb = float(GB)
+        time = t.service_time(one_gb, requests=one_gb / 64, mlp=1e9)
+        assert time == pytest.approx(one_gb / (32 * GB * 0.8))
+
+    def test_latency_bound_regime(self):
+        """Few, dependent requests: time ~ requests * latency / mlp."""
+        t = DramTimings(peak_bandwidth=32 * GB, access_latency_s=100e-9)
+        time = t.service_time(64 * 100, requests=100, mlp=1.0)
+        assert time == pytest.approx(100 * 100e-9)
+
+    def test_mlp_hides_latency(self):
+        t = DramTimings(peak_bandwidth=32 * GB, access_latency_s=100e-9)
+        serial = t.service_time(64 * 1000, 1000, mlp=1.0)
+        parallel = t.service_time(64 * 1000, 1000, mlp=8.0)
+        assert parallel < serial
+
+    def test_sustained_below_peak(self):
+        t = DramTimings(peak_bandwidth=32 * GB, access_latency_s=100e-9,
+                        bandwidth_efficiency=0.8)
+        assert t.sustained_bandwidth == pytest.approx(0.8 * 32 * GB)
+
+
+class TestOffChip:
+    def test_service_time_positive(self):
+        assert OffChipDram().service_time(1 << 20) > 0.0
+
+
+class TestStackedInternal:
+    def test_internal_faster_than_offchip(self):
+        """The 8x internal bandwidth is the core PIM advantage; even a
+        single vault's share plus lower latency beats the off-chip path
+        for the latency-bound streams the kernels produce."""
+        bytes_ = 64.0 * 100_000
+        off = OffChipDram().service_time(bytes_, mlp=6)
+        internal = StackedDramInternal().service_time(bytes_, mlp=6, vaults_used=1)
+        assert internal < off
+
+    def test_per_vault_bandwidth(self):
+        mem = StackedMemoryConfig()
+        d = StackedDramInternal(mem)
+        assert d.per_vault_bandwidth == pytest.approx(
+            mem.internal_bandwidth * 0.8 / mem.num_vaults
+        )
+
+    def test_more_vaults_is_faster(self):
+        d = StackedDramInternal()
+        one = d.service_time(1 << 30, vaults_used=1)
+        four = d.service_time(1 << 30, vaults_used=4)
+        assert four < one
+
+    def test_vaults_clamped_to_config(self):
+        d = StackedDramInternal()
+        capped = d.service_time(1 << 30, vaults_used=1000)
+        full = d.service_time(1 << 30, vaults_used=16)
+        assert capped == pytest.approx(full)
+
+    def test_zero_bytes(self):
+        assert StackedDramInternal().service_time(0.0) == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for the PIM core and PIM accelerator models."""
+
+import pytest
+
+from repro.config import PimCoreConfig, SystemConfig
+from repro.sim.pim import PimAcceleratorModel, PimCoreModel
+from repro.sim.profile import KernelProfile
+
+MB = 1024 * 1024
+
+
+def streaming_profile():
+    return KernelProfile.streaming("k", 16 * MB, 16 * MB, ops_per_byte=0.3,
+                                   instruction_overhead=0.1, simd_fraction=0.9)
+
+
+class TestInstructionMix:
+    def test_no_simd(self, pim_core_model):
+        p = KernelProfile("k", 1000, 100, 500, simd_fraction=0.0)
+        scalar, simd = pim_core_model.instruction_mix(p)
+        assert scalar == 1000 and simd == 0
+
+    def test_full_simd_collapses_by_width(self, pim_core_model):
+        p = KernelProfile("k", 1000, 200, 800, simd_fraction=1.0)
+        scalar, simd = pim_core_model.instruction_mix(p)
+        # vectorizable = alu + mem = 1000; simd = 1000/4
+        assert scalar == pytest.approx(0.0)
+        assert simd == pytest.approx(250.0)
+
+    def test_vectorizable_clamped_to_instructions(self, pim_core_model):
+        p = KernelProfile("k", 500, 100, 800, simd_fraction=1.0)
+        scalar, simd = pim_core_model.instruction_mix(p)
+        assert scalar >= 0.0
+        assert scalar + simd <= 500
+
+    def test_simd_reduces_effective_instructions(self, pim_core_model):
+        base = KernelProfile("k", 1000, 200, 800, simd_fraction=0.0)
+        vec = KernelProfile("k", 1000, 200, 800, simd_fraction=1.0)
+        s0, v0 = pim_core_model.instruction_mix(base)
+        s1, v1 = pim_core_model.instruction_mix(vec)
+        assert s1 + v1 < s0 + v0
+
+
+class TestPimCore:
+    def test_machine_label(self, pim_core_model):
+        assert pim_core_model.run(streaming_profile()).machine == "PIM-Core"
+
+    def test_no_offchip_energy(self, pim_core_model):
+        e = pim_core_model.run(streaming_profile()).energy
+        assert e.dram == 0.0 and e.interconnect == 0.0 and e.memctrl == 0.0
+
+    def test_beats_cpu_on_streaming_kernels(self, cpu_model, pim_core_model):
+        """The headline claim for the simple PIM core (paper Section 1)."""
+        p = streaming_profile()
+        cpu = cpu_model.run(p)
+        pim = pim_core_model.run(p)
+        assert pim.time_s < cpu.time_s
+        assert pim.energy_j < cpu.energy_j
+
+    def test_vault_parallelism_speeds_up(self, pim_core_model):
+        p = streaming_profile()
+        one = pim_core_model.run(p, vaults_used=1)
+        four = pim_core_model.run(p, vaults_used=4)
+        assert four.time_s < one.time_s
+
+
+class TestPimAccelerator:
+    def test_machine_label(self, pim_acc_model):
+        assert pim_acc_model.run(streaming_profile()).machine == "PIM-Acc"
+
+    def test_acc_no_slower_than_core(self, pim_core_model, pim_acc_model):
+        p = streaming_profile()
+        assert pim_acc_model.run(p).time_s <= pim_core_model.run(p).time_s
+
+    def test_acc_energy_no_worse_than_core(self, pim_core_model, pim_acc_model):
+        p = streaming_profile()
+        assert pim_acc_model.run(p).energy_j <= pim_core_model.run(p).energy_j
+
+    def test_compute_bound_accelerator(self, pim_acc_model):
+        p = KernelProfile("dense", instructions=1e9, mem_instructions=1e6,
+                          alu_ops=1e10, dram_bytes=1e6, llc_misses=1e4)
+        e = pim_acc_model.run(p)
+        acc = pim_acc_model.system.pim_accelerator
+        throughput = acc.logic_units * acc.ops_per_unit_per_cycle * acc.frequency_hz
+        assert e.time_s == pytest.approx(p.alu_ops / throughput)
+
+    def test_memory_bound_accelerator(self, pim_acc_model):
+        p = KernelProfile.streaming("mem", 64 * MB, 64 * MB, ops_per_byte=0.01)
+        e = pim_acc_model.run(p)
+        assert e.time_s > 0
+        # Memory-bound: time tracks the internal service time, inflated by
+        # the streaming efficiency factor.
+        mem_time = pim_acc_model.dram.service_time(p.pim_bytes, mlp=16.0)
+        assert e.time_s == pytest.approx(mem_time / 0.67, rel=0.01)
+
+
+class TestConfigInteraction:
+    def test_wider_simd_helps(self):
+        p = streaming_profile()
+        narrow = PimCoreModel(SystemConfig(pim_core=PimCoreConfig(simd_width=1)))
+        wide = PimCoreModel(SystemConfig(pim_core=PimCoreConfig(simd_width=8)))
+        assert wide.run(p).time_s < narrow.run(p).time_s

@@ -1,0 +1,96 @@
+"""Unit tests for the DRAM row-buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram import OffChipDram
+from repro.sim.rowbuffer import DramGeometry, RowBufferModel
+from repro.sim.trace import TraceRecorder
+
+MB = 1024 * 1024
+
+
+def stream_lines(n_lines):
+    return np.arange(n_lines, dtype=np.int64)
+
+
+class TestGeometry:
+    def test_lines_interleave_banks(self):
+        g = DramGeometry()
+        banks = [g.bank_and_row(i)[0] for i in range(8)]
+        assert banks == list(range(8))
+
+    def test_rows_advance_every_row_bytes(self):
+        g = DramGeometry(num_banks=8, row_bytes=2048)
+        lines_per_row_set = 2048 * 8 // 64
+        assert g.bank_and_row(0)[1] == 0
+        assert g.bank_and_row(lines_per_row_set)[1] == 1
+
+
+class TestRowBufferModel:
+    def test_queue_window_validated(self):
+        with pytest.raises(ValueError):
+            RowBufferModel(queue_window=0)
+
+    def test_streaming_has_high_hit_rate(self):
+        """Sequential line streams keep rows open: this is where the
+        analytic model's 0.8 bandwidth efficiency comes from."""
+        stats = RowBufferModel().replay_lines(stream_lines(16384))
+        assert stats.hit_rate > 0.9
+
+    def test_random_has_low_hit_rate(self, rng):
+        lines = rng.integers(0, 1 << 20, size=16384)
+        stats = RowBufferModel().replay_lines(lines)
+        assert stats.hit_rate < 0.2
+
+    def test_latency_between_hit_and_miss(self, rng):
+        g = DramGeometry()
+        lines = rng.integers(0, 1 << 20, size=4096)
+        stats = RowBufferModel(g).replay_lines(lines)
+        avg = stats.average_latency_ns(g)
+        assert g.row_hit_ns <= avg <= g.row_miss_ns
+
+    def test_frfcfs_reordering_helps(self, rng):
+        """Interleaving two row-local streams: the FR-FCFS window groups
+        row hits that strict FIFO would break up."""
+        a = stream_lines(512)
+        b = stream_lines(512) + (1 << 18)
+        interleaved = np.empty(1024, dtype=np.int64)
+        interleaved[0::2] = a
+        interleaved[1::2] = b
+        frfcfs = RowBufferModel(queue_window=16).replay_lines(interleaved)
+        fifo = RowBufferModel(queue_window=1).replay_lines(interleaved)
+        assert frfcfs.hit_rate >= fifo.hit_rate
+
+    def test_empty(self):
+        stats = RowBufferModel().replay_lines([])
+        assert stats.hit_rate == 0.0
+        assert stats.average_latency_ns(DramGeometry()) == 0.0
+
+
+class TestConstantsGrounded:
+    def test_streaming_latency_beats_analytic_constant(self):
+        """The analytic off-chip latency (100 ns) is a *random-access*
+        figure; row-hit streaming should land far below it, consistent
+        with streaming kernels being bandwidth- (not latency-) bound."""
+        g = DramGeometry()
+        stats = RowBufferModel(g).replay_lines(stream_lines(16384))
+        assert stats.average_latency_ns(g) < 25.0
+
+    def test_random_latency_order_of_analytic_constant(self, rng):
+        """Random access: row-miss latency plus queueing approaches the
+        analytic model's 100 ns figure (the model adds controller and
+        channel time on top of the DRAM core's ~45 ns)."""
+        g = DramGeometry()
+        lines = rng.integers(0, 1 << 22, size=8192)
+        stats = RowBufferModel(g).replay_lines(lines)
+        analytic_ns = OffChipDram().timings.access_latency_s * 1e9
+        assert stats.average_latency_ns(g) > 0.35 * analytic_ns
+
+    def test_recorded_kernel_trace(self):
+        """A real recorded streaming trace (not synthetic line numbers)
+        also sustains row locality."""
+        rec = TraceRecorder(granularity=64)
+        rec.read(0, 4 * MB)
+        stats = RowBufferModel().replay_in_order(rec.trace())
+        assert stats.hit_rate > 0.9

@@ -1,0 +1,105 @@
+"""Unit + property tests for memory traces and the recorder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import AddressSpace, MemoryTrace, TraceRecorder
+
+
+class TestMemoryTrace:
+    def test_length_and_counts(self):
+        t = MemoryTrace(
+            addresses=np.array([0, 8, 16], dtype=np.uint64),
+            is_write=np.array([False, True, False]),
+        )
+        assert len(t) == 3
+        assert t.num_reads == 2
+        assert t.num_writes == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTrace(addresses=np.array([1, 2]), is_write=np.array([True]))
+
+    def test_unique_lines(self):
+        t = MemoryTrace(
+            addresses=np.array([0, 8, 63, 64, 128], dtype=np.uint64),
+            is_write=np.zeros(5, dtype=bool),
+        )
+        assert t.unique_lines() == 3
+        assert t.footprint_bytes() == 192
+
+    def test_concatenated(self):
+        a = MemoryTrace(np.array([0], dtype=np.uint64), np.array([False]))
+        b = MemoryTrace(np.array([64], dtype=np.uint64), np.array([True]))
+        c = a.concatenated(b)
+        assert len(c) == 2
+        assert c.num_writes == 1
+
+
+class TestTraceRecorder:
+    def test_read_range_expands_by_granularity(self):
+        r = TraceRecorder(granularity=8)
+        r.read(0, 64)
+        t = r.trace()
+        assert len(t) == 8
+        assert t.num_reads == 8
+
+    def test_partial_chunk_rounds_up(self):
+        r = TraceRecorder(granularity=8)
+        r.write(0, 12)
+        assert len(r.trace()) == 2
+
+    def test_zero_size_ignored(self):
+        r = TraceRecorder()
+        r.read(0, 0)
+        assert len(r.trace()) == 0
+
+    def test_negative_size_rejected(self):
+        r = TraceRecorder()
+        with pytest.raises(ValueError):
+            r.read(0, -1)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(granularity=0)
+
+    def test_scattered_indices(self):
+        r = TraceRecorder()
+        r.read_indices(1000, np.array([0, 10, 20]), element_size=4)
+        t = r.trace()
+        assert list(t.addresses) == [1000, 1040, 1080]
+
+    def test_order_preserved(self):
+        r = TraceRecorder(granularity=8)
+        r.read(0, 8)
+        r.write(64, 8)
+        r.read(128, 8)
+        t = r.trace()
+        assert list(t.addresses) == [0, 64, 128]
+        assert list(t.is_write) == [False, True, False]
+
+    def test_empty_recorder(self):
+        t = TraceRecorder().trace()
+        assert len(t) == 0
+
+    @given(size=st.integers(min_value=1, max_value=4096),
+           gran=st.integers(min_value=1, max_value=64))
+    def test_access_count_formula(self, size, gran):
+        r = TraceRecorder(granularity=gran)
+        r.read(0, size)
+        assert len(r.trace()) == (size + gran - 1) // gran
+
+
+class TestAddressSpace:
+    def test_allocations_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=4096)
+        a = space.alloc(1)
+        b = space.alloc(1)
+        assert (b - a) % 4096 == 0

@@ -1,0 +1,53 @@
+"""Unit tests for the float baseline / quantization trade-off."""
+
+import pytest
+
+from repro.workloads.tensorflow.float_baseline import (
+    float_functions,
+    profile_float_gemm,
+    quantization_tradeoff,
+)
+from repro.workloads.tensorflow.gemm import profile_gemm
+from repro.workloads.tensorflow.models import resnet_v2_152, vgg19
+
+
+class TestFloatGemm:
+    def test_four_times_the_traffic_of_uint8(self):
+        fp = profile_float_gemm(256, 512, 128)
+        q = profile_gemm(256, 512, 128)
+        # fp32 LHS/RHS are 4x uint8; the int32 result is the same size.
+        assert fp.dram_bytes > 2.5 * q.dram_bytes
+
+    def test_more_instructions_than_uint8(self):
+        fp = profile_float_gemm(256, 512, 128)
+        q = profile_gemm(256, 512, 128)
+        assert fp.instructions > q.instructions
+
+    def test_float_functions_two_buckets(self):
+        names = [f.name for f in float_functions(vgg19())]
+        assert names == ["float_gemm", "other"]
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def tradeoff(self):
+        return quantization_tradeoff(resnet_v2_152())
+
+    def test_quantization_saves_over_float(self, tradeoff):
+        """Quantization must beat float32 even with its CPU overheads
+        (or nobody would use it)."""
+        assert tradeoff.quantization_saving > 0.1
+
+    def test_pim_recovers_overhead(self, tradeoff):
+        """The paper's Section 5.2 narrative: packing/quantization 'lose
+        part of the energy savings they aim to achieve', and PIM recovers
+        a substantial slice of the quantized inference's energy."""
+        assert tradeoff.pim_saving > tradeoff.quantization_saving
+        assert 0.15 <= tradeoff.overhead_recovered <= 0.60
+
+    def test_pim_also_faster(self, tradeoff):
+        assert tradeoff.quantized_pim_time_s < tradeoff.quantized_time_s
+
+    def test_ordering_holds_for_vgg_too(self):
+        t = quantization_tradeoff(vgg19())
+        assert t.float_energy_j > t.quantized_energy_j > t.quantized_pim_energy_j

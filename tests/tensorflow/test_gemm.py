@@ -1,0 +1,89 @@
+"""Unit tests for the quantized GEMM kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.tensorflow.gemm import (
+    profile_gemm,
+    quantized_gemm,
+    quantized_gemm_reference,
+)
+from repro.workloads.tensorflow.quantization import QuantizedTensor, quantize_tensor
+
+
+def qtensor(rows, cols, seed=0, zero_point=7):
+    rng = np.random.default_rng(seed)
+    return QuantizedTensor(
+        values=rng.integers(0, 256, size=(rows, cols), dtype=np.uint8),
+        scale=0.1,
+        zero_point=zero_point,
+    )
+
+
+class TestCorrectness:
+    def test_matches_reference(self):
+        lhs, rhs = qtensor(9, 7, 1), qtensor(7, 5, 2, zero_point=100)
+        assert np.array_equal(quantized_gemm(lhs, rhs), quantized_gemm_reference(lhs, rhs))
+
+    def test_matches_float_gemm_within_quantization_error(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-2, 2, size=(12, 20)).astype(np.float32)
+        b = rng.uniform(-2, 2, size=(20, 8)).astype(np.float32)
+        qa, qb = quantize_tensor(a), quantize_tensor(b)
+        acc = quantized_gemm(qa, qb).astype(np.float64) * (qa.scale * qb.scale)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        # Error per output element ~ K * (step_a*|b| + step_b*|a|).
+        assert np.abs(acc - exact).max() < 20 * (qa.scale * 2 + qb.scale * 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            quantized_gemm(qtensor(4, 5), qtensor(6, 3))
+
+    def test_non_2d_rejected(self):
+        bad = QuantizedTensor(values=np.zeros(4, dtype=np.uint8), scale=1.0,
+                              zero_point=0)
+        with pytest.raises(ValueError):
+            quantized_gemm(bad, qtensor(4, 4))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=12),
+        k=st.integers(min_value=1, max_value=12),
+        n=st.integers(min_value=1, max_value=12),
+        panel=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_panelwise_equals_reference_property(self, m, k, n, panel, seed):
+        lhs, rhs = qtensor(m, k, seed), qtensor(k, n, seed + 1, zero_point=255)
+        assert np.array_equal(
+            quantized_gemm(lhs, rhs, panel_rows=panel),
+            quantized_gemm_reference(lhs, rhs),
+        )
+
+
+class TestProfile:
+    def test_ops_count(self):
+        p = profile_gemm(64, 128, 32)
+        assert p.alu_ops == pytest.approx(2 * 64 * 128 * 32 / 16)
+
+    def test_blocking_amplifies_lhs_traffic(self):
+        """When the RHS strip no longer fits in the LLC, the LHS is
+        re-read once per strip."""
+        small = profile_gemm(1024, 512, 512)
+        huge = profile_gemm(1024, 512, 100_000)
+        lhs_bytes_small = small.dram_bytes
+        assert huge.dram_bytes > (huge.alu_ops / small.alu_ops) * lhs_bytes_small * 0.5
+
+    def test_compute_dominates_energy(self, cpu_model):
+        """Paper: 67.5% of Conv2D/MatMul energy is computation, which is
+        why the GEMM kernel is *not* a PIM target (Section 5.2)."""
+        p = profile_gemm(3136, 576, 128)  # a VGG-like conv GEMM
+        e = cpu_model.run(p)
+        assert e.energy.data_movement_fraction < 0.5
+
+    def test_fc_layer_is_weight_bound(self, cpu_model):
+        """M=1 GEMMs (fully-connected) are movement-heavy instead."""
+        p = profile_gemm(1, 25088, 4096)
+        e = cpu_model.run(p)
+        assert e.energy.data_movement_fraction > 0.5

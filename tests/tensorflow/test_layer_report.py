@@ -1,0 +1,63 @@
+"""Unit tests for the per-layer report tooling."""
+
+import pytest
+
+from repro.workloads.tensorflow.layer_report import (
+    layer_reports,
+    render_table,
+    top_layers_by_energy,
+)
+from repro.workloads.tensorflow.models import vgg19
+
+
+class TestLayerReports:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return layer_reports(vgg19())
+
+    def test_one_report_per_layer(self, reports):
+        assert len(reports) == 19
+
+    def test_shapes_match_layers(self, reports):
+        first = reports[0]
+        assert (first.m, first.k, first.n) == (224 * 224, 27, 64)
+
+    def test_energies_positive(self, reports):
+        for r in reports:
+            assert r.gemm_energy_j > 0
+            assert r.overhead_energy_j > 0
+
+    def test_fc_layers_are_overhead_heavy(self, reports):
+        """M=1 GEMMs re-pack huge weight matrices: their overhead share
+        dwarfs that of the compute-dense mid-network convolutions (the
+        first conv, with its K=27 kernel, is itself overhead-heavy)."""
+        fc = next(r for r in reports if r.name == "fc6")
+        dense_conv = max(
+            (r for r in reports if r.name.startswith("conv")),
+            key=lambda r: r.macs / max(r.m * r.k + r.k * r.n, 1),
+        )
+        assert fc.overhead_energy_share > dense_conv.overhead_energy_share
+
+    def test_shares_bounded(self, reports):
+        for r in reports:
+            assert 0.0 < r.overhead_energy_share < 1.0
+            assert 0.0 < r.overhead_time_share < 1.0
+
+
+class TestTopLayers:
+    def test_count_respected(self):
+        assert len(top_layers_by_energy(vgg19(), count=4)) == 4
+
+    def test_sorted_by_total_energy(self):
+        top = top_layers_by_energy(vgg19(), count=6)
+        totals = [r.gemm_energy_j + r.overhead_energy_j for r in top]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestRenderTable:
+    def test_renders_header_and_rows(self):
+        table = render_table(layer_reports(vgg19()), limit=5)
+        lines = table.splitlines()
+        assert len(lines) == 6
+        assert "MACs" in lines[0]
+        assert "conv224_0" in table

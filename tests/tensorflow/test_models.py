@@ -1,0 +1,117 @@
+"""Unit tests for the four paper network definitions."""
+
+import pytest
+
+from repro.core.workload import characterize
+from repro.workloads.tensorflow.models import (
+    all_models,
+    inception_resnet_v2,
+    residual_gru,
+    resnet_v2_152,
+    vgg19,
+)
+from repro.workloads.tensorflow.network import ConvLayer, network_functions
+
+
+class TestVgg19:
+    def test_nineteen_gemm_layers(self):
+        """Paper Section 5.3: "VGG requires only 19 Conv2D operations"."""
+        assert len(vgg19().layers) == 19
+
+    def test_sixteen_convs_three_fc(self):
+        net = vgg19()
+        assert net.num_conv2d == 16
+        assert len(net.layers) - net.num_conv2d == 3
+
+    def test_total_macs_near_published(self):
+        """VGG-19 is ~19.6 GMACs for a 224x224 input."""
+        assert vgg19().total_macs == pytest.approx(19.6e9, rel=0.15)
+
+    def test_channel_chaining(self):
+        convs = [l for l in vgg19().layers if isinstance(l, ConvLayer)]
+        for prev, cur in zip(convs, convs[1:]):
+            if prev.out_h == cur.in_h:
+                assert prev.out_c == cur.in_c
+
+
+class TestResnet152:
+    def test_conv_count_matches_paper(self):
+        """Paper Section 5.3: "ResNet requires 156 Conv2D operations"."""
+        assert resnet_v2_152().num_conv2d in range(152, 160)
+
+    def test_stage_structure(self):
+        net = resnet_v2_152()
+        # 1 stem + 3*(3+8+36+3) bottleneck convs + 4 projections.
+        assert net.num_conv2d == 1 + 3 * 50 + 4
+
+    def test_quantization_heavier_than_vgg(self):
+        """More Conv2D ops -> more quantization passes (Section 5.3)."""
+        resnet = characterize("r", network_functions(resnet_v2_152()))
+        vgg = characterize("v", network_functions(vgg19()))
+        assert resnet.energy_share("quantization") > vgg.energy_share("quantization")
+
+
+class TestInceptionResnet:
+    def test_has_many_convs(self):
+        assert inception_resnet_v2().num_conv2d > 150
+
+    def test_input_resolution(self):
+        first = inception_resnet_v2().layers[0]
+        assert (first.in_h, first.in_w) == (299, 299)
+
+
+class TestResidualGru:
+    def test_iterations_scale_layer_count(self):
+        short = residual_gru(iterations=2)
+        long = residual_gru(iterations=4)
+        assert len(long.layers) > len(short.layers)
+
+    def test_gru_gates_come_in_threes(self):
+        net = residual_gru(iterations=1)
+        gates = [l for l in net.layers if "_enc0_" in l.name]
+        assert len(gates) == 3
+
+    def test_packing_heavy(self):
+        """Small-M, wide-K GEMMs make Residual-GRU packing-dominated
+        (weights are re-packed on every call)."""
+        ch = characterize("gru", network_functions(residual_gru()))
+        assert ch.energy_share("packing") > ch.energy_share("quantization")
+
+
+class TestAllModels:
+    def test_four_networks(self):
+        names = [n.name for n in all_models()]
+        assert names == ["ResNet-V2-152", "VGG-19", "Residual-GRU", "Inception-ResNet"]
+
+    def test_figure6_calibration(self):
+        """Packing+quantization average 39.3% of energy (paper Fig. 6)."""
+        shares = []
+        for net in all_models():
+            ch = characterize(net.name, network_functions(net))
+            s = ch.energy_shares()
+            shares.append(s["packing"] + s["quantization"])
+        assert sum(shares) / len(shares) == pytest.approx(0.393, abs=0.09)
+
+    def test_figure7_calibration(self):
+        """Packing+quantization average 27.4% of execution time."""
+        shares = []
+        for net in all_models():
+            ch = characterize(net.name, network_functions(net))
+            t = ch.time_shares()
+            shares.append(t["packing"] + t["quantization"])
+        assert sum(shares) / len(shares) == pytest.approx(0.274, abs=0.08)
+
+    def test_movement_fraction_calibration(self):
+        """57.3% of inference energy is data movement (Section 5.2)."""
+        fractions = [
+            characterize(n.name, network_functions(n)).data_movement_fraction
+            for n in all_models()
+        ]
+        assert sum(fractions) / len(fractions) == pytest.approx(0.573, abs=0.08)
+
+    def test_gemm_movement_fraction(self):
+        """32.5% of Conv2D/MatMul energy goes to movement (Section 5.3)."""
+        ch = characterize("resnet", network_functions(resnet_v2_152()))
+        assert ch.movement_fraction_of_function("conv2d_matmul") == pytest.approx(
+            0.325, abs=0.1
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for layers, im2col convolution, and the inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tensorflow.network import (
+    ConvLayer,
+    FcLayer,
+    Network,
+    conv2d_quantized,
+    im2col,
+    infer,
+    network_functions,
+)
+
+
+def float_conv_reference(x, w, stride=1, padding=0):
+    """Direct float convolution for comparison."""
+    k = w.shape[0]
+    if padding:
+        x = np.pad(x, ((padding, padding), (padding, padding), (0, 0)))
+    out_h = (x.shape[0] - k) // stride + 1
+    out_w = (x.shape[1] - k) // stride + 1
+    out = np.zeros((out_h, out_w, w.shape[3]), dtype=np.float64)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = x[oy * stride : oy * stride + k, ox * stride : ox * stride + k, :]
+            out[oy, ox] = np.tensordot(patch, w, axes=([0, 1, 2], [0, 1, 2]))
+    return out
+
+
+class TestLayers:
+    def test_conv_output_dims(self):
+        layer = ConvLayer("c", 224, 224, 3, 64, kernel=3, stride=1, padding=1)
+        assert layer.out_h == 224 and layer.out_w == 224
+
+    def test_conv_stride(self):
+        layer = ConvLayer("c", 224, 224, 3, 64, kernel=7, stride=2, padding=3)
+        assert layer.out_h == 112
+
+    def test_gemm_dims(self):
+        layer = ConvLayer("c", 56, 56, 64, 128, kernel=3, padding=1)
+        assert layer.gemm_dims == (56 * 56, 9 * 64, 128)
+
+    def test_macs(self):
+        layer = FcLayer("fc", 100, 10)
+        assert layer.macs == 1000
+        assert layer.gemm_dims == (1, 100, 10)
+
+    def test_network_counts(self):
+        net = Network("n", (ConvLayer("c", 8, 8, 3, 4, 3, padding=1),
+                            FcLayer("f", 256, 10)))
+        assert net.num_conv2d == 1
+        assert net.total_macs > 0
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(5 * 5 * 2, dtype=np.uint8).reshape(5, 5, 2)
+        patches = im2col(x, kernel=3)
+        assert patches.shape == (9, 18)
+
+    def test_first_patch_content(self):
+        x = np.arange(4 * 4 * 1, dtype=np.uint8).reshape(4, 4, 1)
+        patches = im2col(x, kernel=2)
+        assert list(patches[0]) == [0, 1, 4, 5]
+
+    def test_stride(self):
+        x = np.zeros((6, 6, 1), dtype=np.uint8)
+        assert im2col(x, kernel=2, stride=2).shape[0] == 9
+
+    def test_padding(self):
+        x = np.zeros((4, 4, 1), dtype=np.uint8)
+        assert im2col(x, kernel=3, padding=1).shape[0] == 16
+
+    def test_too_large_kernel(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((2, 2, 1), dtype=np.uint8), kernel=5)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4), dtype=np.uint8), kernel=2)
+
+
+class TestConv2dQuantized:
+    def test_matches_float_reference(self, rng):
+        x = rng.uniform(-1, 1, size=(10, 10, 3)).astype(np.float32)
+        w = rng.uniform(-1, 1, size=(3, 3, 3, 4)).astype(np.float32)
+        ours = conv2d_quantized(x, w, padding=1)
+        exact = float_conv_reference(x, w, padding=1)
+        # Two quantizations (input, output): error within a few output steps.
+        scale = (exact.max() - exact.min()) / 255.0
+        assert np.abs(ours - exact).max() < 6 * scale + 0.1
+
+    def test_output_shape_with_stride(self, rng):
+        x = rng.uniform(-1, 1, size=(8, 8, 2)).astype(np.float32)
+        w = rng.uniform(-1, 1, size=(2, 2, 2, 5)).astype(np.float32)
+        assert conv2d_quantized(x, w, stride=2).shape == (4, 4, 5)
+
+    def test_channel_mismatch(self, rng):
+        x = np.zeros((8, 8, 2), dtype=np.float32)
+        w = np.zeros((3, 3, 3, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            conv2d_quantized(x, w)
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_quantized(
+                np.zeros((8, 8, 1), dtype=np.float32),
+                np.zeros((3, 2, 1, 4), dtype=np.float32),
+            )
+
+
+class TestInfer:
+    def test_small_network_end_to_end(self, rng):
+        net = Network(
+            "tiny",
+            (
+                ConvLayer("c1", 8, 8, 3, 4, kernel=3, padding=1),
+                ConvLayer("c2", 8, 8, 4, 8, kernel=3, padding=1),
+                FcLayer("fc", 8 * 8 * 8, 10),
+            ),
+        )
+        x = rng.uniform(0, 1, size=(8, 8, 3)).astype(np.float32)
+        out = infer(net, x)
+        assert out.shape == (1, 10)
+        assert np.isfinite(out).all()
+
+    def test_fc_dimension_check(self, rng):
+        net = Network("bad", (FcLayer("fc", 999, 10),))
+        with pytest.raises(ValueError):
+            infer(net, rng.uniform(size=(4, 4, 3)).astype(np.float32))
+
+
+class TestNetworkFunctions:
+    def test_four_buckets(self):
+        net = Network("n", (ConvLayer("c", 16, 16, 3, 8, 3, padding=1),))
+        names = [f.name for f in network_functions(net)]
+        assert names == ["packing", "quantization", "conv2d_matmul", "other"]
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            network_functions(Network("empty", ()))
+
+    def test_quantization_invocations_twice_per_conv(self):
+        net = Network("n", (ConvLayer("c", 16, 16, 3, 8, 3, padding=1),) * 3)
+        fns = {f.name: f for f in network_functions(net)}
+        assert fns["quantization"].invocations == 6

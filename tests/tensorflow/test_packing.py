@@ -1,0 +1,89 @@
+"""Unit + property tests for gemmlowp-style packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.tensorflow.packing import (
+    pack_matrix,
+    profile_packing,
+    profile_unpacking,
+    unpack_matrix,
+)
+
+
+def matrix(rows, cols, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        m = matrix(16, 12)
+        assert np.array_equal(unpack_matrix(pack_matrix(m)), m)
+
+    def test_roundtrip_partial_panel(self):
+        m = matrix(10, 7)  # 10 rows with panel_rows=4 -> padded to 12
+        assert np.array_equal(unpack_matrix(pack_matrix(m)), m)
+
+    def test_panel_count(self):
+        p = pack_matrix(matrix(10, 7), panel_rows=4)
+        assert p.num_panels == 3
+
+    def test_panel_contents(self):
+        m = matrix(8, 5)
+        p = pack_matrix(m, panel_rows=4)
+        assert np.array_equal(p.panel(0), m[0:4])
+        assert np.array_equal(p.panel(1), m[4:8])
+
+    def test_padding_is_zero(self):
+        m = matrix(5, 3)
+        p = pack_matrix(m, panel_rows=4)
+        last = p.panel(1)
+        assert np.array_equal(last[0], m[4])
+        assert (last[1:] == 0).all()
+
+    def test_panel_major_layout(self):
+        """Within a panel, data is stored column-by-column so the GEMM
+        kernel streams panel_rows operands with unit stride."""
+        m = matrix(4, 3)
+        p = pack_matrix(m, panel_rows=4)
+        expected = m.T.reshape(-1)  # columns concatenated
+        assert np.array_equal(p.data[: expected.size], expected)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_matrix(np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_bad_panel_rows(self):
+        with pytest.raises(ValueError):
+            pack_matrix(matrix(4, 4), panel_rows=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=40),
+        cols=st.integers(min_value=1, max_value=40),
+        panel=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_roundtrip_property(self, rows, cols, panel, seed):
+        m = matrix(rows, cols, seed)
+        assert np.array_equal(unpack_matrix(pack_matrix(m, panel_rows=panel)), m)
+
+
+class TestProfiles:
+    def test_pack_traffic_reads_and_writes_once(self):
+        p = profile_packing(1_000_000, element_bytes=1)
+        assert p.dram_bytes == 2_000_000
+
+    def test_unpack_uses_int32(self):
+        p = profile_unpacking(1_000_000)
+        assert p.dram_bytes == 8_000_000
+
+    def test_packing_is_movement_dominated(self, cpu_model):
+        """Paper: 82.1% of packing energy is data movement."""
+        e = cpu_model.run(profile_packing(16_000_000))
+        assert e.energy.data_movement_fraction == pytest.approx(0.821, abs=0.12)
+
+    def test_memory_intensive(self):
+        assert profile_packing(4_000_000).mpki > 10

@@ -1,0 +1,95 @@
+"""Unit + property tests for quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.workloads.tensorflow.quantization import (
+    dequantize_tensor,
+    profile_quantization,
+    profile_requantization,
+    quantize_tensor,
+    requantize,
+)
+
+float_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=16),
+    elements=st.floats(min_value=-1e4, max_value=1e4, width=32),
+)
+
+
+class TestQuantize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.array([], dtype=np.float32))
+
+    def test_constant_tensor(self):
+        q = quantize_tensor(np.zeros((4, 4), dtype=np.float32))
+        assert (q.values == 0).all()
+
+    def test_range_mapped_to_uint8(self):
+        x = np.linspace(-10, 10, 100, dtype=np.float32)
+        q = quantize_tensor(x)
+        # Within one code of the rails (float32 rounding at the extremes).
+        assert q.values.min() <= 1
+        assert q.values.max() >= 254
+
+    def test_zero_point_represents_zero_exactly(self):
+        x = np.array([-3.0, 0.0, 5.0], dtype=np.float32)
+        q = quantize_tensor(x)
+        restored = dequantize_tensor(q)
+        assert restored[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_roundtrip_error_bounded_by_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-50, 50, size=(32, 32)).astype(np.float32)
+        q = quantize_tensor(x)
+        err = np.abs(dequantize_tensor(q) - x).max()
+        assert err <= q.scale * 0.51
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=float_arrays)
+    def test_roundtrip_property(self, x):
+        q = quantize_tensor(x)
+        restored = dequantize_tensor(q)
+        # The representable range always includes zero (affine scheme).
+        span = max(max(float(x.max()), 0.0) - min(float(x.min()), 0.0), 1e-9)
+        assert np.abs(restored - x).max() <= span / 255.0 + 1e-4
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=float_arrays)
+    def test_values_fit_uint8(self, x):
+        q = quantize_tensor(x)
+        assert q.values.dtype == np.uint8
+        assert 0 <= q.zero_point <= 255
+
+
+class TestRequantize:
+    def test_requantize_matches_direct_quantization(self):
+        rng = np.random.default_rng(1)
+        acc = rng.integers(-100_000, 100_000, size=(8, 8))
+        scale = 1e-3
+        q = requantize(acc, scale)
+        direct = quantize_tensor((acc * scale).astype(np.float32))
+        assert np.abs(q.values.astype(int) - direct.values.astype(int)).max() <= 1
+
+
+class TestProfiles:
+    def test_two_scans_of_input(self):
+        p = profile_quantization(1_000_000)
+        # 2 passes x 4 B reads + 1 B write per element.
+        assert p.dram_bytes == pytest.approx(9_000_000)
+
+    def test_requantization_same_traffic_shape(self):
+        q = profile_quantization(1000)
+        r = profile_requantization(1000)
+        assert r.dram_bytes == q.dram_bytes
+
+    def test_memory_intensive(self):
+        assert profile_quantization(4_000_000).mpki > 10
+
+    def test_movement_dominates(self, cpu_model):
+        e = cpu_model.run(profile_quantization(4_000_000))
+        assert e.energy.data_movement_fraction > 0.6

@@ -1,0 +1,74 @@
+"""Unit tests for TensorFlow PIM targets and the Figure 19 pipeline."""
+
+import pytest
+
+from repro.core.runner import ExperimentRunner
+from repro.workloads.tensorflow.models import vgg19
+from repro.workloads.tensorflow.targets import (
+    GemmPipelineModel,
+    packing_target,
+    quantization_target,
+    tensorflow_pim_targets,
+    top_gemm_layers,
+)
+
+
+class TestTargetConstruction:
+    def test_top_layers_sorted_by_macs(self):
+        layers = top_gemm_layers(vgg19(), count=4)
+        macs = [l.macs for l in layers]
+        assert macs == sorted(macs, reverse=True)
+
+    def test_packing_target_aggregates_four_layers(self):
+        t = packing_target(vgg19())
+        assert t.invocations == 4
+        assert t.accelerator_key == "packing"
+
+    def test_quantization_target_two_passes_per_layer(self):
+        t = quantization_target(vgg19())
+        assert t.invocations == 8
+
+    def test_two_aggregate_targets(self):
+        names = [t.name for t in tensorflow_pim_targets()]
+        assert names == ["packing", "quantization"]
+
+
+class TestFigure19Calibration:
+    @pytest.fixture(scope="class")
+    def energy(self):
+        return ExperimentRunner().evaluate(tensorflow_pim_targets())
+
+    def test_energy_reductions(self, energy):
+        assert energy.mean_pim_core_energy_reduction == pytest.approx(0.509, abs=0.09)
+        assert energy.mean_pim_acc_energy_reduction == pytest.approx(0.549, abs=0.09)
+
+    def test_no_slowdown(self, energy):
+        for c in energy.comparisons:
+            assert c.pim_core_speedup >= 1.0
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return GemmPipelineModel().sweep([1, 2, 4, 8, 16])
+
+    def test_speedup_grows_with_gemm_count(self, sweep):
+        core = [p.pim_core_speedup for p in sweep]
+        acc = [p.pim_acc_speedup for p in sweep]
+        assert core == sorted(core)
+        assert acc == sorted(acc)
+
+    def test_acc_at_least_matches_core(self, sweep):
+        for p in sweep:
+            assert p.pim_acc_speedup >= p.pim_core_speedup
+
+    def test_single_gemm_speedup_modest(self, sweep):
+        """Paper: +13.1% / +17.2% for one GEMM."""
+        assert 1.0 <= sweep[0].pim_core_speedup <= 1.45
+
+    def test_sixteen_gemm_speedup_band(self, sweep):
+        """Paper: +57.2% / +98.1% at 16 GEMMs."""
+        assert 1.35 <= sweep[-1].pim_core_speedup <= 1.9
+        assert 1.4 <= sweep[-1].pim_acc_speedup <= 2.2
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            GemmPipelineModel().sweep([0])

@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_areas(self, capsys):
+        assert main(["areas"]) == 0
+        out = capsys.readouterr().out
+        assert "pim_core" in out
+        assert "motion_estimation" in out
+        assert "TOO BIG" not in out
+
+    def test_codec(self, capsys):
+        assert main(["codec", "--width", "48", "--height", "48", "--frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+
+    def test_evaluate_chrome(self, capsys):
+        assert main(["evaluate", "--workload", "chrome"]) == 0
+        out = capsys.readouterr().out
+        assert "texture_tiling" in out
+        assert "mean energy reduction" in out
+
+    def test_evaluate_vp9(self, capsys):
+        assert main(["evaluate", "--workload", "vp9"]) == 0
+        assert "motion_estimation" in capsys.readouterr().out
+
+    def test_figures_filter(self, capsys):
+        assert main(["figures", "--figure", "Table 1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 18" not in out
+
+    def test_figures_write(self, tmp_path, capsys):
+        path = tmp_path / "EXP.md"
+        assert main(["figures", "--write", str(path)]) == 0
+        assert path.exists()
+        assert "## Headline" in path.read_text()
+
+    def test_characterize(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+        assert "62.7%" in out
+
+    def test_export(self, tmp_path, capsys):
+        d = tmp_path / "data"
+        assert main(["export", "--dir", str(d)]) == 0
+        assert (d / "index.json").exists()
+        assert "17 files" in capsys.readouterr().out
+
+    def test_scorecard(self, capsys):
+        assert main(["scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "anchors within tolerance" in out
+
+    def test_figures_chart(self, capsys):
+        assert main(["figures", "--figure", "Figure 1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "#" in out

@@ -1,0 +1,67 @@
+"""Unit + property tests for bit I/O."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.vp9.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 1, 0):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10101010])
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == bytes([0b10000000])
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_value_too_large(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(16, 4)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        w.write_bits(0, 11)
+        assert len(w) == 11
+
+
+class TestBitReader:
+    def test_reads_what_was_written(self):
+        w = BitWriter()
+        w.write_bits(0b110010111, 9)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(9) == 0b110010111
+
+    def test_reads_past_end_return_zero(self):
+        r = BitReader(b"\xff")
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(8) == 0
+
+    def test_bits_read_counter(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits(5)
+        assert r.bits_read == 5
+
+    @given(values=st.lists(st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                                     st.integers(min_value=16, max_value=20)),
+                           min_size=0, max_size=50))
+    def test_roundtrip_property(self, values):
+        w = BitWriter()
+        for value, width in values:
+            w.write_bits(value, width)
+        r = BitReader(w.getvalue())
+        for value, width in values:
+            assert r.read_bits(width) == value

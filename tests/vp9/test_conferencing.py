@@ -1,0 +1,51 @@
+"""Unit tests for the video-conferencing combined workload."""
+
+import pytest
+
+from repro.workloads.vp9.conferencing import (
+    ConferencingScenario,
+    evaluate_conferencing,
+)
+
+
+class TestScenario:
+    def test_functions_are_prefixed_and_disjoint(self):
+        functions = ConferencingScenario().functions()
+        names = [f.name for f in functions]
+        assert len(names) == len(set(names))
+        assert any(n.startswith("capture_") for n in names)
+        assert any(n.startswith("playback_") for n in names)
+
+    def test_both_deblocking_instances_present(self):
+        names = [f.name for f in ConferencingScenario().functions()]
+        assert "capture_deblocking_filter" in names
+        assert "playback_deblocking_filter" in names
+
+    def test_characterization_movement_dominated(self):
+        ch = ConferencingScenario().characterize()
+        assert ch.data_movement_fraction > 0.5
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return evaluate_conferencing()
+
+    def test_pim_reduces_call_energy(self, result):
+        assert 0.1 < result.energy_reduction < result.offloadable_share + 0.01
+
+    def test_pim_reduces_call_time(self, result):
+        assert result.pim_time_s < result.cpu_time_s
+
+    def test_offloadable_share_substantial(self, result):
+        """ME + sub-pel + both deblocking filters cover a large share of
+        a call's energy."""
+        assert result.offloadable_share > 0.4
+
+    def test_energy_scales_with_resolution(self):
+        small = evaluate_conferencing(
+            ConferencingScenario(capture_width=640, capture_height=368,
+                                 playback_width=640, playback_height=368)
+        )
+        large = evaluate_conferencing()
+        assert large.cpu_energy_j > 2 * small.cpu_energy_j

@@ -1,0 +1,76 @@
+"""Unit tests for the deblocking filter."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.deblock import DeblockStats, deblock_frame
+from repro.workloads.vp9.frame import Frame
+
+
+def frame_with_vertical_step(step=8, size=64):
+    """Two flat half-planes meeting exactly on a block boundary."""
+    pixels = np.full((size, size), 100, dtype=np.uint8)
+    pixels[:, 32:] = 100 + step
+    return Frame(pixels=pixels)
+
+
+class TestDeblocking:
+    def test_small_step_smoothed(self):
+        f = frame_with_vertical_step(step=8)
+        stats = DeblockStats()
+        out = deblock_frame(f, threshold=12, stats=stats)
+        before = abs(int(f.pixels[10, 32]) - int(f.pixels[10, 31]))
+        after = abs(int(out.pixels[10, 32]) - int(out.pixels[10, 31]))
+        assert after < before
+        assert stats.edges_filtered > 0
+
+    def test_large_step_preserved(self):
+        """A real image edge (step above threshold) must not be blurred."""
+        f = frame_with_vertical_step(step=80)
+        out = deblock_frame(f, threshold=12)
+        assert np.array_equal(out.pixels, f.pixels)
+
+    def test_flat_frame_untouched(self):
+        f = Frame(pixels=np.full((64, 64), 42, dtype=np.uint8))
+        out = deblock_frame(f)
+        assert np.array_equal(out.pixels, f.pixels)
+
+    def test_horizontal_edges_filtered_too(self):
+        pixels = np.full((64, 64), 100, dtype=np.uint8)
+        pixels[32:, :] = 108
+        stats = DeblockStats()
+        out = deblock_frame(Frame(pixels=pixels), threshold=12, stats=stats)
+        before = abs(int(pixels[32, 10]) - int(pixels[31, 10]))
+        after = abs(int(out.pixels[32, 10]) - int(out.pixels[31, 10]))
+        assert after < before
+
+    def test_threshold_zero_is_noop(self, rng):
+        pixels = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        out = deblock_frame(Frame(pixels=pixels.copy()), threshold=0)
+        assert np.array_equal(out.pixels, pixels)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            deblock_frame(Frame.blank(64, 64), threshold=-1)
+
+    def test_input_frame_not_modified(self):
+        f = frame_with_vertical_step()
+        original = f.pixels.copy()
+        deblock_frame(f)
+        assert np.array_equal(f.pixels, original)
+
+    def test_stats_accounting(self):
+        f = frame_with_vertical_step(step=8)
+        stats = DeblockStats()
+        deblock_frame(f, threshold=12, stats=stats)
+        assert stats.pixels_modified == 2 * stats.edges_filtered
+        assert stats.edges_checked >= stats.edges_filtered
+
+    def test_interior_only(self):
+        """Only interior 8-px-grid edges are checked, not the frame
+        borders."""
+        f = Frame.blank(64, 64)
+        stats = DeblockStats()
+        deblock_frame(f, stats=stats)
+        # 7 interior vertical edge columns x 64 rows, both orientations.
+        assert stats.edges_checked == 2 * 7 * 64

@@ -1,0 +1,142 @@
+"""Unit + property tests for the binary range coder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.vp9.entropy import AdaptiveBit, RangeDecoder, RangeEncoder
+
+
+def roundtrip(bits, probs=None):
+    probs = probs or [128] * len(bits)
+    enc = RangeEncoder()
+    for bit, p in zip(bits, probs):
+        enc.encode(bit, p)
+    data = enc.finish()
+    dec = RangeDecoder(data)
+    return [dec.decode(p) for p in probs], data
+
+
+class TestRangeCoder:
+    def test_empty_stream(self):
+        enc = RangeEncoder()
+        assert isinstance(enc.finish(), bytes)
+
+    def test_simple_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        decoded, _ = roundtrip(bits)
+        assert decoded == bits
+
+    def test_skewed_probability_roundtrip(self):
+        bits = [0] * 100 + [1] + [0] * 100
+        decoded, _ = roundtrip(bits, [250] * len(bits))
+        assert decoded == bits
+
+    def test_skewed_probability_compresses(self):
+        """Coding mostly-zero bits at P(0)=250/256 must take far fewer
+        than 1 bit per symbol."""
+        bits = [0] * 1000
+        _, data = roundtrip(bits, [250] * 1000)
+        assert len(data) < 1000 / 8 / 2
+
+    def test_wrong_probability_expands(self):
+        bits = [1] * 200  # coded as if 1 were rare
+        _, data = roundtrip(bits, [250] * 200)
+        assert len(data) > 200 / 8
+
+    def test_invalid_probability(self):
+        enc = RangeEncoder()
+        with pytest.raises(ValueError):
+            enc.encode(0, 0)
+        with pytest.raises(ValueError):
+            enc.encode(0, 256)
+
+    def test_encode_after_finish_rejected(self):
+        enc = RangeEncoder()
+        enc.finish()
+        with pytest.raises(RuntimeError):
+            enc.encode(1, 128)
+
+    def test_literal_roundtrip(self):
+        enc = RangeEncoder()
+        enc.encode_literal(0xABC, 12)
+        enc.encode_literal(5, 3)
+        dec = RangeDecoder(enc.finish())
+        assert dec.decode_literal(12) == 0xABC
+        assert dec.decode_literal(3) == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), max_size=300),
+        prob=st.integers(min_value=1, max_value=255),
+    )
+    def test_roundtrip_property(self, bits, prob):
+        decoded, _ = roundtrip(bits, [prob] * len(bits))
+        assert decoded == bits
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1),
+                      st.integers(min_value=1, max_value=255)),
+            max_size=200,
+        )
+    )
+    def test_varying_probabilities_property(self, pairs):
+        bits = [b for b, _ in pairs]
+        probs = [p for _, p in pairs]
+        decoded, _ = roundtrip(bits, probs)
+        assert decoded == bits
+
+
+class TestAdaptiveBit:
+    def test_starts_at_half(self):
+        assert AdaptiveBit().prob0 == 128
+
+    def test_adapts_toward_zeros(self):
+        m = AdaptiveBit()
+        for _ in range(50):
+            m.update(0)
+        assert m.prob0 > 200
+
+    def test_adapts_toward_ones(self):
+        m = AdaptiveBit()
+        for _ in range(50):
+            m.update(1)
+        assert m.prob0 < 50
+
+    def test_probability_clamped(self):
+        m = AdaptiveBit()
+        for _ in range(10_000):
+            m.update(0)
+        assert 1 <= m.prob0 <= 255
+
+    def test_halving_keeps_model_adaptive(self):
+        m = AdaptiveBit()
+        for _ in range(2000):
+            m.update(0)
+        for _ in range(600):
+            m.update(1)
+        assert m.prob0 < 200  # reacted to the shift
+
+    def test_adaptive_roundtrip(self):
+        bits = ([0] * 20 + [1] * 5) * 8
+        enc = RangeEncoder()
+        model = AdaptiveBit()
+        for b in bits:
+            enc.encode_adaptive(b, model)
+        dec = RangeDecoder(enc.finish())
+        model2 = AdaptiveBit()
+        assert [dec.decode_adaptive(model2) for _ in bits] == bits
+
+    def test_adaptive_beats_static_on_skewed_data(self):
+        bits = [0] * 1900 + [1] * 100
+        enc_a = RangeEncoder()
+        model = AdaptiveBit()
+        for b in bits:
+            enc_a.encode_adaptive(b, model)
+        adaptive_len = len(enc_a.finish())
+        enc_s = RangeEncoder()
+        for b in bits:
+            enc_s.encode(b, 128)
+        static_len = len(enc_s.finish())
+        assert adaptive_len < static_len / 2

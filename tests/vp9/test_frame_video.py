@@ -1,0 +1,94 @@
+"""Unit tests for Frame and the synthetic video generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.frame import Frame, MACROBLOCK, RESOLUTIONS
+from repro.workloads.vp9.video import synthetic_video
+
+
+class TestFrame:
+    def test_dimensions_must_be_mb_aligned(self):
+        with pytest.raises(ValueError):
+            Frame(pixels=np.zeros((60, 64), dtype=np.uint8))
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ValueError):
+            Frame(pixels=np.zeros((64, 64), dtype=np.float32))
+
+    def test_macroblock_access(self):
+        f = Frame.blank(64, 48)
+        assert f.mb_rows == 3 and f.mb_cols == 4
+        assert f.num_macroblocks == 12
+        assert f.macroblock(2, 3).shape == (MACROBLOCK, MACROBLOCK)
+
+    def test_macroblock_out_of_range(self):
+        with pytest.raises(IndexError):
+            Frame.blank(64, 64).macroblock(4, 0)
+
+    def test_set_macroblock(self):
+        f = Frame.blank(32, 32, 0)
+        block = np.full((16, 16), 7, dtype=np.uint8)
+        f.set_macroblock(1, 1, block)
+        assert (f.pixels[16:, 16:] == 7).all()
+        assert (f.pixels[:16, :16] == 0).all()
+
+    def test_psnr_identical_is_infinite(self):
+        f = Frame.blank(32, 32)
+        assert f.psnr(f.copy()) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = Frame.blank(32, 32, 100)
+        b = Frame.blank(32, 32, 110)
+        # MSE = 100 -> PSNR = 10 log10(255^2/100) = 28.13 dB.
+        assert a.psnr(b) == pytest.approx(28.13, abs=0.01)
+
+    def test_psnr_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Frame.blank(32, 32).psnr(Frame.blank(64, 64))
+
+    def test_copy_is_deep(self):
+        f = Frame.blank(32, 32)
+        c = f.copy()
+        c.pixels[0, 0] = 99
+        assert f.pixels[0, 0] != 99
+
+    def test_paper_resolutions(self):
+        assert RESOLUTIONS["HD"] == (1280, 720)
+        assert RESOLUTIONS["4K"] == (3840, 2160)
+
+
+class TestSyntheticVideo:
+    def test_frame_count_and_size(self):
+        clip = synthetic_video(64, 48, 5)
+        assert len(clip) == 5
+        assert clip[0].width == 64 and clip[0].height == 48
+
+    def test_deterministic(self):
+        a = synthetic_video(64, 64, 3, seed=4)
+        b = synthetic_video(64, 64, 3, seed=4)
+        assert np.array_equal(a[2].pixels, b[2].pixels)
+
+    def test_motion_changes_frames(self):
+        clip = synthetic_video(64, 64, 4, motion=4.0, noise=0.0)
+        assert not np.array_equal(clip[0].pixels, clip[3].pixels)
+
+    def test_zero_motion_keeps_objects_static(self):
+        clip = synthetic_video(64, 64, 3, motion=0.0, noise=0.0)
+        assert np.array_equal(clip[0].pixels, clip[2].pixels)
+
+    def test_noise_perturbs(self):
+        quiet = synthetic_video(64, 64, 1, noise=0.0, seed=1)[0]
+        noisy = synthetic_video(64, 64, 1, noise=5.0, seed=1)[0]
+        assert not np.array_equal(quiet.pixels, noisy.pixels)
+
+    def test_invalid_frame_count(self):
+        with pytest.raises(ValueError):
+            synthetic_video(64, 64, 0)
+
+    def test_motion_is_trackable(self):
+        """Consecutive frames must correlate strongly (the codec's inter
+        prediction relies on it)."""
+        clip = synthetic_video(64, 64, 2, motion=2.0, noise=1.0)
+        psnr = clip[0].psnr(clip[1])
+        assert psnr > 15.0

@@ -1,0 +1,81 @@
+"""Unit tests for lossless reference-frame compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.vp9.frame import Frame
+from repro.workloads.vp9.framecompress import (
+    compress_frame,
+    decompress_frame,
+    measure_compression_factor,
+)
+from repro.workloads.vp9.hardware import FRAME_COMPRESSION_FACTOR
+from repro.workloads.vp9.video import synthetic_video
+
+
+class TestRoundtrip:
+    def test_flat_frame(self):
+        f = Frame.blank(64, 64, 90)
+        c = compress_frame(f)
+        assert np.array_equal(decompress_frame(c).pixels, f.pixels)
+        assert c.compression_factor < 0.1  # nearly free
+
+    def test_smooth_frame(self):
+        f = synthetic_video(64, 64, 1, noise=0.0)[0]
+        c = compress_frame(f)
+        assert np.array_equal(decompress_frame(c).pixels, f.pixels)
+
+    def test_noisy_frame(self):
+        f = synthetic_video(64, 64, 1, noise=10.0)[0]
+        c = compress_frame(f)
+        assert np.array_equal(decompress_frame(c).pixels, f.pixels)
+
+    def test_random_frame_uses_escape_blocks(self, rng):
+        pixels = rng.integers(0, 256, size=(32, 32), dtype=np.uint8)
+        f = Frame(pixels=pixels)
+        c = compress_frame(f)
+        assert np.array_equal(decompress_frame(c).pixels, pixels)
+        # Random data cannot compress: stays near (or slightly above) 1x.
+        assert c.compression_factor <= 1.1
+
+    def test_extreme_gradients(self):
+        pixels = np.zeros((32, 32), dtype=np.uint8)
+        pixels[:, ::2] = 255  # maximal horizontal residuals
+        f = Frame(pixels=pixels)
+        assert np.array_equal(decompress_frame(compress_frame(f)).pixels, pixels)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           noise=st.floats(min_value=0.0, max_value=20.0))
+    def test_roundtrip_property(self, seed, noise):
+        f = synthetic_video(32, 32, 1, noise=noise, seed=seed)[0]
+        assert np.array_equal(decompress_frame(compress_frame(f)).pixels, f.pixels)
+
+
+class TestCompressionFactor:
+    def test_video_frames_near_model_constant(self):
+        """The hardware model assumes compressed frames keep ~60% of raw
+        bytes; the functional scheme on codec-like content must land in
+        the same band."""
+        frames = synthetic_video(128, 128, 4, motion=2.0, noise=2.0, seed=3)
+        factor = measure_compression_factor(frames)
+        assert factor == pytest.approx(FRAME_COMPRESSION_FACTOR, abs=0.2)
+
+    def test_smoother_content_compresses_better(self):
+        smooth = synthetic_video(64, 64, 1, noise=0.0, seed=1)[0]
+        noisy = synthetic_video(64, 64, 1, noise=12.0, seed=1)[0]
+        assert (
+            compress_frame(smooth).compression_factor
+            < compress_frame(noisy).compression_factor
+        )
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            measure_compression_factor([])
+
+    def test_metadata(self):
+        f = Frame.blank(64, 48)
+        c = compress_frame(f)
+        assert (c.width, c.height) == (64, 48)
+        assert c.raw_bytes == 64 * 48

@@ -1,0 +1,144 @@
+"""Unit tests for the hardware codec traffic/energy models."""
+
+import pytest
+
+from repro.workloads.vp9.hardware import (
+    HardwareDecoderModel,
+    HardwareEncoderModel,
+    PimPlacement,
+)
+
+MB = 1024.0**2
+
+
+@pytest.fixture(scope="module")
+def dec4k():
+    return HardwareDecoderModel(3840, 2160)
+
+
+@pytest.fixture(scope="module")
+def dec_hd():
+    return HardwareDecoderModel(1280, 720)
+
+
+@pytest.fixture(scope="module")
+def enc_hd():
+    return HardwareEncoderModel(1280, 720)
+
+
+class TestTraffic:
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            HardwareDecoderModel(0, 720)
+
+    def test_reference_frame_dominates_decoder(self, dec4k, dec_hd):
+        for model in (dec4k, dec_hd):
+            t = model.traffic(compression=False)
+            assert t.share("Reference Frame") > 0.5
+
+    def test_hd_more_reference_heavy_than_4k(self, dec4k, dec_hd):
+        """Paper Figure 12: 75.5% (HD) vs 59.6% (4K) reference share."""
+        assert dec_hd.traffic(False).share("Reference Frame") > dec4k.traffic(
+            False
+        ).share("Reference Frame")
+
+    def test_4k_moves_much_more_than_hd(self, dec4k, dec_hd):
+        ratio = dec4k.traffic(False).total / dec_hd.traffic(False).total
+        assert 4.0 <= ratio <= 8.0
+
+    def test_compression_reduces_traffic(self, dec4k):
+        assert dec4k.traffic(True).total < dec4k.traffic(False).total
+
+    def test_compression_adds_metadata(self, dec4k):
+        t = dec4k.traffic(True)
+        assert t.components["Compression Info"] > 0
+        assert "Compression Info" not in dec4k.traffic(False).components
+
+    def test_reconstructed_frame_second_biggest(self, dec4k):
+        """Paper: the reconstructed frame is the second contributor
+        (22.2% of decoder traffic)."""
+        t = dec4k.traffic(False)
+        shares = {k: t.share(k) for k in t.components}
+        ordered = sorted(shares, key=shares.get, reverse=True)
+        assert ordered[0] == "Reference Frame"
+        assert ordered[1] == "Reconstructed Frame"
+        assert shares["Reconstructed Frame"] == pytest.approx(0.222, abs=0.06)
+
+    def test_encoder_current_frame_share_grows_with_compression(self, enc_hd):
+        """Paper Figure 16: the raw camera input cannot be compressed, so
+        its share rises from 14.2% to 31.9%."""
+        nocomp = enc_hd.traffic(False).share("Current Frame")
+        comp = enc_hd.traffic(True).share("Current Frame")
+        assert comp > nocomp
+        assert nocomp == pytest.approx(0.142, abs=0.04)
+
+    def test_megabytes_helper(self, dec_hd):
+        mb = dec_hd.traffic(False).megabytes()
+        assert sum(mb.values()) == pytest.approx(dec_hd.traffic(False).total / MB)
+
+
+class TestPimSplit:
+    def test_baseline_everything_offchip(self, dec4k):
+        off, internal = dec4k.pim_traffic_split(False, PimPlacement.NONE)
+        assert internal == 0.0
+        assert off == pytest.approx(dec4k.traffic(False).total)
+
+    def test_pim_moves_pixel_streams_in_memory(self, dec4k):
+        off, internal = dec4k.pim_traffic_split(False, PimPlacement.PIM_ACC)
+        t = dec4k.traffic(False)
+        assert internal == pytest.approx(
+            t.components["Reference Frame"] + t.components["Reconstructed Frame"]
+        )
+        assert off + internal == pytest.approx(t.total)
+
+
+class TestEnergy:
+    def test_movement_share_near_paper(self, dec4k, enc_hd):
+        e = dec4k.energy(False, PimPlacement.NONE)
+        share = (e.dram + e.memctrl + e.interconnect) / e.total
+        assert share == pytest.approx(0.692, abs=0.08)
+        e = enc_hd.energy(False, PimPlacement.NONE)
+        share = (e.dram + e.memctrl + e.interconnect) / e.total
+        assert share == pytest.approx(0.715, abs=0.12)
+
+    def test_pim_acc_always_wins(self, dec4k, enc_hd):
+        for model in (dec4k, enc_hd):
+            for comp in (False, True):
+                base = model.energy(comp, PimPlacement.NONE).total
+                acc = model.energy(comp, PimPlacement.PIM_ACC).total
+                assert acc < base
+
+    def test_pim_core_loses_to_compressed_baseline(self, dec4k, enc_hd):
+        """Figure 21's second key observation: RTL compute is an order of
+        magnitude more efficient than the PIM core, so with compression
+        enabled PIM-Core costs *more* than the VP9 baseline."""
+        for model in (dec4k, enc_hd):
+            base_comp = model.energy(True, PimPlacement.NONE).total
+            core_comp = model.energy(True, PimPlacement.PIM_CORE).total
+            assert core_comp > base_comp
+
+    def test_pim_acc_nocomp_beats_baseline_comp(self, dec4k, enc_hd):
+        """Figure 21's fourth observation: PIM is more effective than
+        frame compression alone."""
+        for model in (dec4k, enc_hd):
+            acc_nocomp = model.energy(False, PimPlacement.PIM_ACC).total
+            base_comp = model.energy(True, PimPlacement.NONE).total
+            assert acc_nocomp < base_comp
+
+    def test_best_configuration_is_acc_plus_compression(self, dec4k):
+        energies = {
+            (comp, pl): dec4k.energy(comp, pl).total
+            for comp in (False, True)
+            for pl in PimPlacement
+        }
+        assert min(energies, key=energies.get) == (True, PimPlacement.PIM_ACC)
+
+    def test_six_configurations(self, dec4k):
+        assert len(dec4k.configurations()) == 6
+
+    def test_energy_components_positive(self, dec4k):
+        e = dec4k.energy(True, PimPlacement.PIM_ACC)
+        assert e.dram > 0 and e.computation > 0
+        assert e.total == pytest.approx(
+            e.dram + e.memctrl + e.interconnect + e.computation
+        )

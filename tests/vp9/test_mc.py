@@ -1,0 +1,108 @@
+"""Unit tests for motion compensation / sub-pixel interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.mc import (
+    MotionVector,
+    SUBPEL_TAPS,
+    interpolate_block,
+    motion_compensate_block,
+    reference_pixels_fetched,
+)
+
+
+class TestMotionVector:
+    def test_integer_split(self):
+        mv = MotionVector(dx=19, dy=-5)
+        assert mv.int_x == 2 and mv.frac_x == 3
+        # Arithmetic shift semantics for negative components.
+        assert mv.int_y == -1 and mv.frac_y == 3
+
+    def test_subpel_detection(self):
+        assert not MotionVector(8, -16).is_subpel
+        assert MotionVector(9, 0).is_subpel
+
+
+class TestFilterBank:
+    def test_eight_phases_eight_taps(self):
+        assert SUBPEL_TAPS.shape == (8, 8)
+
+    def test_taps_sum_to_128(self):
+        """Unity DC gain: every phase's taps sum to the 128 scale."""
+        assert (SUBPEL_TAPS.sum(axis=1) == 128).all()
+
+    def test_phase_zero_is_identity(self):
+        assert SUBPEL_TAPS[0, 3] == 128
+        assert SUBPEL_TAPS[0].sum() == 128
+
+    def test_half_pel_is_symmetric(self):
+        assert np.array_equal(SUBPEL_TAPS[4], SUBPEL_TAPS[4][::-1])
+
+    def test_mirror_phases(self):
+        """Phase k and phase 8-k are mirror images."""
+        for k in (1, 2, 3):
+            assert np.array_equal(SUBPEL_TAPS[k], SUBPEL_TAPS[8 - k][::-1])
+
+
+class TestInterpolation:
+    def test_integer_position_is_copy(self, rng):
+        ref = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        block = interpolate_block(ref, 8, 8, 0, 0, 16, 16)
+        assert np.array_equal(block, ref[8:24, 8:24])
+
+    def test_constant_field_stays_constant(self):
+        ref = np.full((64, 64), 99, dtype=np.uint8)
+        for fy in range(8):
+            for fx in range(8):
+                block = interpolate_block(ref, 16, 16, fy, fx, 8, 8)
+                assert (block == 99).all(), (fy, fx)
+
+    def test_linear_ramp_interpolates_between_samples(self):
+        """Half-pel samples of a linear ramp land midway (+-1 for
+        rounding)."""
+        ref = np.tile(np.arange(0, 128, 2, dtype=np.uint8), (64, 1))
+        block = interpolate_block(ref, 16, 20, 0, 4, 8, 8)
+        expected = ref[16:24, 20:28].astype(int) + 1  # halfway up a slope of 2
+        assert np.abs(block.astype(int) - expected).max() <= 1
+
+    def test_invalid_fraction_rejected(self):
+        ref = np.zeros((32, 32), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            interpolate_block(ref, 0, 0, 8, 0, 8, 8)
+
+    def test_edge_clamping(self):
+        """Blocks near the frame border clamp coordinates instead of
+        reading out of bounds."""
+        ref = np.zeros((32, 32), dtype=np.uint8)
+        ref[:, 0] = 200
+        block = interpolate_block(ref, 0, -2, 0, 4, 8, 8)
+        assert block.shape == (8, 8)
+        assert block[0, 0] > 150  # dominated by the clamped edge column
+
+    def test_output_dtype_and_range(self, rng):
+        ref = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        block = interpolate_block(ref, 10, 10, 3, 5, 16, 16)
+        assert block.dtype == np.uint8
+
+    def test_separability_horizontal_only(self, rng):
+        """frac_y = 0 must skip the vertical pass entirely: a pure
+        horizontal interpolation of a column-constant image is exact."""
+        col = np.arange(64, dtype=np.uint8) * 2
+        ref = np.tile(col, (64, 1))
+        a = interpolate_block(ref, 5, 5, 0, 3, 8, 8)
+        b = interpolate_block(ref, 25, 5, 0, 3, 8, 8)
+        assert np.array_equal(a, b)  # rows identical regardless of y
+
+
+class TestMotionCompensation:
+    def test_full_pel_motion_recovers_shifted_block(self, rng):
+        ref = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        mv = MotionVector(dx=3 * 8, dy=-2 * 8)
+        pred = motion_compensate_block(ref, 1, 1, mv)
+        assert np.array_equal(pred, ref[16 - 2 : 32 - 2, 16 + 3 : 32 + 3])
+
+    def test_reference_pixels_fetched(self):
+        assert reference_pixels_fetched(MotionVector(0, 0)) == 256
+        assert reference_pixels_fetched(MotionVector(1, 0)) == 23 * 16
+        assert reference_pixels_fetched(MotionVector(1, 1)) == 23 * 23

@@ -1,0 +1,87 @@
+"""Unit tests for intra prediction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.predict import INTRA_MODES, best_intra_mode, intra_predict
+
+
+def frame_with_borders(size=16):
+    """A 2x2-macroblock frame with known top/left neighbours for (1, 1)."""
+    f = np.zeros((2 * size, 2 * size), dtype=np.uint8)
+    f[size - 1, size:] = np.arange(size, dtype=np.uint8) + 10  # top row
+    f[size:, size - 1] = np.arange(size, dtype=np.uint8) + 50  # left col
+    f[size - 1, size - 1] = 99  # corner
+    return f
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            intra_predict(np.zeros((32, 32), dtype=np.uint8), 1, 1, "diagonal")
+
+    def test_vertical_copies_top_row(self):
+        f = frame_with_borders()
+        pred = intra_predict(f, 1, 1, "vertical")
+        for row in range(16):
+            assert np.array_equal(pred[row], f[15, 16:32])
+
+    def test_horizontal_copies_left_column(self):
+        f = frame_with_borders()
+        pred = intra_predict(f, 1, 1, "horizontal")
+        for col in range(16):
+            assert np.array_equal(pred[:, col], f[16:32, 15])
+
+    def test_dc_is_mean_of_neighbours(self):
+        f = frame_with_borders()
+        pred = intra_predict(f, 1, 1, "dc")
+        expected = int(np.mean(np.concatenate([
+            f[15, 16:32].astype(int), f[16:32, 15].astype(int)
+        ])))
+        assert (pred == expected).all()
+
+    def test_tm_formula(self):
+        f = frame_with_borders()
+        pred = intra_predict(f, 1, 1, "tm")
+        top = f[15, 16:32].astype(int)
+        left = f[16:32, 15].astype(int)
+        expected = np.clip(left[:, None] + top[None, :] - 99, 0, 255)
+        assert np.array_equal(pred, expected.astype(np.uint8))
+
+    def test_top_left_block_uses_defaults(self):
+        f = np.full((32, 32), 77, dtype=np.uint8)
+        pred = intra_predict(f, 0, 0, "dc")
+        assert (pred == 128).all()
+
+    def test_prediction_in_uint8_range(self, rng):
+        f = rng.integers(0, 256, size=(64, 64), dtype=np.uint8)
+        for mode in INTRA_MODES:
+            pred = intra_predict(f, 2, 2, mode)
+            assert pred.dtype == np.uint8
+
+
+class TestModeDecision:
+    def test_picks_vertical_for_vertical_content(self):
+        f = np.zeros((32, 32), dtype=np.uint8)
+        f[:, 16:] = np.tile(np.arange(16, dtype=np.uint8) * 10, (32, 1))
+        target = f[16:32, 16:32]
+        mode, pred, cost = best_intra_mode(f, target, 1, 1)
+        assert mode == "vertical"
+        assert cost == 0
+
+    def test_picks_horizontal_for_horizontal_content(self):
+        f = np.zeros((32, 32), dtype=np.uint8)
+        f[16:, :] = np.tile((np.arange(16, dtype=np.uint8) * 9)[:, None], (1, 32))
+        target = f[16:32, 16:32]
+        mode, _, cost = best_intra_mode(f, target, 1, 1)
+        assert mode == "horizontal"
+        assert cost == 0
+
+    def test_returns_minimum_cost(self, rng):
+        f = rng.integers(0, 256, size=(32, 32), dtype=np.uint8)
+        target = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+        _, _, best = best_intra_mode(f, target, 1, 1)
+        for mode in INTRA_MODES:
+            pred = intra_predict(f, 1, 1, mode)
+            cost = int(np.abs(pred.astype(int) - target.astype(int)).sum())
+            assert best <= cost

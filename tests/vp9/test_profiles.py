@@ -1,0 +1,97 @@
+"""Unit + calibration tests for the VP9 analytic profiles."""
+
+import pytest
+
+from repro.core.workload import characterize
+from repro.workloads.vp9.profiles import (
+    decoder_functions,
+    encoder_functions,
+    profile_deblocking_filter,
+    profile_motion_estimation,
+    profile_sub_pixel_interpolation,
+)
+
+
+class TestScaling:
+    def test_subpel_scales_with_pixels(self):
+        hd = profile_sub_pixel_interpolation(1280, 720, 10)
+        uhd = profile_sub_pixel_interpolation(3840, 2160, 10)
+        assert uhd.dram_bytes == pytest.approx(hd.dram_bytes * 9, rel=0.01)
+
+    def test_profiles_scale_with_frames(self):
+        one = profile_deblocking_filter(1280, 720, 1)
+        ten = profile_deblocking_filter(1280, 720, 10)
+        assert ten.dram_bytes == pytest.approx(10 * one.dram_bytes)
+
+    def test_all_targets_memory_intensive(self):
+        assert profile_sub_pixel_interpolation(3840, 2160, 10).mpki > 10
+        assert profile_deblocking_filter(3840, 2160, 10).mpki > 10
+        assert profile_motion_estimation(1280, 720, 10).mpki > 10
+
+    def test_me_searches_three_references(self):
+        p = profile_motion_estimation(1280, 720, 1)
+        pixels = 1280 * 720
+        assert p.dram_bytes == pytest.approx(pixels * 1.6 * 3)
+
+
+class TestDecoderDecomposition:
+    @pytest.fixture(scope="class")
+    def ch(self):
+        return characterize("dec", decoder_functions(3840, 2160, 20))
+
+    def test_six_functions(self):
+        names = [f.name for f in decoder_functions(3840, 2160, 1)]
+        assert names == [
+            "sub_pixel_interpolation", "other_mc", "deblocking_filter",
+            "entropy_decoder", "inverse_transform", "other",
+        ]
+
+    def test_figure10_shares(self, ch):
+        s = ch.energy_shares()
+        assert s["sub_pixel_interpolation"] == pytest.approx(0.375, abs=0.09)
+        assert s["deblocking_filter"] == pytest.approx(0.297, abs=0.07)
+        mc_total = s["sub_pixel_interpolation"] + s["other_mc"]
+        assert mc_total == pytest.approx(0.534, abs=0.09)
+
+    def test_figure11_movement(self, ch):
+        assert ch.data_movement_fraction == pytest.approx(0.635, abs=0.07)
+        assert ch.movement_fraction_of_function(
+            "sub_pixel_interpolation"
+        ) == pytest.approx(0.653, abs=0.09)
+
+    def test_mc_and_deblock_dominate_movement(self, ch):
+        """Paper: 80.4% of decoder data movement comes from MC plus the
+        deblocking filter."""
+        movement = ch.total_breakdown.data_movement
+        mc_deblock = (
+            ch.movement_share_of_workload("sub_pixel_interpolation")
+            + ch.movement_share_of_workload("other_mc")
+            + ch.movement_share_of_workload("deblocking_filter")
+        ) * ch.total_energy_j
+        assert mc_deblock / movement == pytest.approx(0.804, abs=0.12)
+
+    def test_entropy_decoder_cache_resident(self, ch):
+        assert ch.movement_fraction_of_function("entropy_decoder") < 0.5
+
+
+class TestEncoderDecomposition:
+    @pytest.fixture(scope="class")
+    def ch(self):
+        return characterize("enc", encoder_functions(1280, 720, 10))
+
+    def test_figure15_me_share(self, ch):
+        assert ch.energy_share("motion_estimation") == pytest.approx(0.396, abs=0.08)
+
+    def test_figure15_movement(self, ch):
+        assert ch.data_movement_fraction == pytest.approx(0.591, abs=0.08)
+
+    def test_me_is_top_consumer(self, ch):
+        shares = ch.energy_shares()
+        assert max(shares, key=shares.get) == "motion_estimation"
+
+    def test_minor_functions_below_me(self, ch):
+        """Intra prediction, transform, quantization each stay under ~12%
+        (paper: none individually above 9%)."""
+        s = ch.energy_shares()
+        for name in ("intra_prediction", "transform", "quantization"):
+            assert s[name] < 0.15, name

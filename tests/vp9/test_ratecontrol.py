@@ -1,0 +1,83 @@
+"""Unit tests for the one-pass rate controller."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.encoder import encode_video
+from repro.workloads.vp9.ratecontrol import (
+    RateControlConfig,
+    RateControlledEncoder,
+    encode_at_bitrate,
+)
+from repro.workloads.vp9.video import synthetic_video
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return synthetic_video(64, 64, 14, motion=2.4, objects=4, noise=1.5, seed=5)
+
+
+class TestConfig:
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            RateControlConfig(target_bytes_per_frame=0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RateControlConfig(target_bytes_per_frame=100, min_qstep=50,
+                              max_qstep=10)
+
+
+class TestConvergence:
+    def test_converges_to_target(self, clip):
+        target = 250.0
+        encoded, controller = encode_at_bitrate(clip, target)
+        tail = [len(f.data) for f in encoded[len(encoded) // 2 :]]
+        mean_tail = sum(tail) / len(tail)
+        assert mean_tail == pytest.approx(target, rel=0.5)
+
+    def test_low_target_raises_qstep(self, clip):
+        _, tight = encode_at_bitrate(clip, 80.0)
+        _, loose = encode_at_bitrate(clip, 2000.0)
+        assert tight.qstep > loose.qstep
+
+    def test_low_target_costs_quality(self, clip):
+        tight_encoded, _ = encode_at_bitrate(clip, 80.0)
+        loose_encoded, _ = encode_at_bitrate(clip, 2000.0)
+        tight = decode_video(tight_encoded)[0]
+        loose = decode_video(loose_encoded)[0]
+        assert clip[-1].psnr(loose[-1]) > clip[-1].psnr(tight[-1])
+
+    def test_qstep_stays_in_bounds(self, clip):
+        _, controller = encode_at_bitrate(clip, 10.0)  # impossible target
+        cfg = controller.config
+        for h in controller.history:
+            assert cfg.min_qstep - 1 <= h["qstep"] <= cfg.max_qstep + 1
+
+    def test_stream_remains_decodable(self, clip):
+        encoded, controller = encode_at_bitrate(clip, 300.0)
+        decoded, _ = decode_video(encoded)
+        assert np.array_equal(
+            controller._encoder.last_reconstructed.pixels, decoded[-1].pixels
+        )
+
+    def test_key_frame_gets_headroom(self, clip):
+        _, controller = encode_at_bitrate(clip, 250.0)
+        assert controller.history[0]["is_key"]
+        # The oversized key frame must not slam qstep to the maximum.
+        assert controller.history[1]["qstep"] < controller.config.max_qstep / 2
+
+
+class TestComparisonWithFixedQ:
+    def test_rate_control_tracks_target_better_than_fixed_q(self, clip):
+        target = 220.0
+        rc_encoded, _ = encode_at_bitrate(clip, target)
+        fixed_encoded, _ = encode_video(clip, qstep=16)
+        rc_err = abs(
+            np.mean([len(f.data) for f in rc_encoded[4:]]) - target
+        )
+        fixed_err = abs(
+            np.mean([len(f.data) for f in fixed_encoded[4:]]) - target
+        )
+        assert rc_err <= fixed_err

@@ -1,0 +1,64 @@
+"""Unit tests for the rate-distortion tooling."""
+
+import pytest
+
+from repro.workloads.vp9.rd import RdPoint, bd_psnr, rd_curve
+from repro.workloads.vp9.video import synthetic_video
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return synthetic_video(64, 64, 5, motion=2.5, objects=3, noise=1.0, seed=13)
+
+
+@pytest.fixture(scope="module")
+def curve(clip):
+    return rd_curve(clip, qsteps=(8, 24, 64))
+
+
+class TestRdCurve:
+    def test_empty_clip_rejected(self):
+        with pytest.raises(ValueError):
+            rd_curve([])
+
+    def test_monotone_rate_in_qstep(self, curve):
+        rates = [p.bits_per_pixel for p in curve]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_monotone_quality_in_qstep(self, curve):
+        psnrs = [p.psnr_db for p in curve]
+        assert psnrs == sorted(psnrs, reverse=True)
+
+    def test_point_fields(self, curve):
+        for p in curve:
+            assert p.bits_per_pixel > 0
+            assert 15 < p.psnr_db < 70
+
+
+class TestBdPsnr:
+    def test_identical_curves_zero_delta(self, curve):
+        assert bd_psnr(curve, curve) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_curve_positive_delta(self, curve):
+        better = [
+            RdPoint(p.qstep, p.bits_per_pixel, p.psnr_db + 1.0) for p in curve
+        ]
+        assert bd_psnr(curve, better) == pytest.approx(1.0, abs=1e-6)
+
+    def test_needs_two_points(self, curve):
+        with pytest.raises(ValueError):
+            bd_psnr(curve[:1], curve)
+
+    def test_disjoint_curves_rejected(self, curve):
+        shifted = [
+            RdPoint(p.qstep, p.bits_per_pixel * 1000.0, p.psnr_db) for p in curve
+        ]
+        with pytest.raises(ValueError):
+            bd_psnr(curve, shifted)
+
+    def test_split_prediction_does_not_hurt_rd(self, clip):
+        """The 8x8 split feature must be RD-neutral-or-better on real
+        content (it is only chosen when it beats the whole-block SAD)."""
+        with_split = rd_curve(clip, qsteps=(8, 24, 64), allow_split=True)
+        without = rd_curve(clip, qsteps=(8, 24, 64), allow_split=False)
+        assert bd_psnr(without, with_split) > -0.3

@@ -1,0 +1,82 @@
+"""Unit tests for variable block-size (16x16 -> 8x8) inter prediction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.vp9.decoder import decode_video
+from repro.workloads.vp9.encoder import Vp9Encoder, encode_video
+from repro.workloads.vp9.frame import Frame
+from repro.workloads.vp9.video import synthetic_video
+
+
+def divergent_motion_clip(frames=4, size=64, seed=3):
+    """Two halves of the frame move in opposite directions: whole-block
+    motion vectors cannot describe macroblocks straddling the boundary,
+    so splits must trigger."""
+    rng = np.random.default_rng(seed)
+    coarse = rng.uniform(0, 255, size=(size // 4 + 8, size // 4 + 8))
+    big = np.kron(coarse, np.ones((8, 8)))
+    for _ in range(2):
+        big = (
+            big + np.roll(big, 1, 0) + np.roll(big, -1, 0)
+            + np.roll(big, 1, 1) + np.roll(big, -1, 1)
+        ) / 5.0
+    out = []
+    for t in range(frames):
+        canvas = np.empty((size, size))
+        canvas[: size // 2] = np.roll(big, 3 * t, axis=1)[8 : 8 + size // 2, 8 : 8 + size]
+        canvas[size // 2 :] = np.roll(big, -3 * t, axis=1)[
+            16 : 16 + size // 2, 8 : 8 + size
+        ]
+        out.append(Frame(pixels=np.clip(canvas, 0, 255).astype(np.uint8)))
+    return out
+
+
+class TestSplitFeature:
+    def test_splits_trigger_on_divergent_motion(self):
+        clip = divergent_motion_clip()
+        encoded, encoder = encode_video(clip, qstep=16)
+        assert encoder.stats.split_macroblocks > 0
+
+    def test_split_streams_roundtrip_bit_exactly(self):
+        clip = divergent_motion_clip()
+        encoded, encoder = encode_video(clip, qstep=16)
+        decoded, decoder = decode_video(encoded)
+        assert decoder.stats.split_macroblocks == encoder.stats.split_macroblocks
+        assert np.array_equal(encoder.last_reconstructed.pixels, decoded[-1].pixels)
+
+    def test_split_improves_rate_on_divergent_motion(self):
+        clip = divergent_motion_clip()
+        with_split, _ = encode_video(clip, qstep=16)
+        encoder = Vp9Encoder(qstep=16, allow_split=False)
+        without_split = [encoder.encode_frame(f) for f in clip]
+        assert sum(len(f.data) for f in with_split) < sum(
+            len(f.data) for f in without_split
+        )
+
+    def test_disabled_split_never_splits(self):
+        clip = divergent_motion_clip()
+        encoder = Vp9Encoder(qstep=16, allow_split=False)
+        for f in clip:
+            encoder.encode_frame(f)
+        assert encoder.stats.split_macroblocks == 0
+
+    def test_uniform_motion_rarely_splits(self):
+        """Whole-frame translation: whole-block MVs suffice, so the
+        SPLIT_BIAS should keep splits rare."""
+        clip = synthetic_video(64, 64, 5, motion=2.0, objects=2, noise=0.5,
+                               seed=9)
+        encoded, encoder = encode_video(clip, qstep=16)
+        split_rate = encoder.stats.split_macroblocks / max(
+            encoder.stats.inter_macroblocks, 1
+        )
+        assert split_rate < 0.5
+
+    def test_split_quality_not_worse(self):
+        clip = divergent_motion_clip()
+        with_split, _ = encode_video(clip, qstep=16)
+        encoder = Vp9Encoder(qstep=16, allow_split=False)
+        without_split = [encoder.encode_frame(f) for f in clip]
+        psnr_split = clip[-1].psnr(decode_video(with_split)[0][-1])
+        psnr_whole = clip[-1].psnr(decode_video(without_split)[0][-1])
+        assert psnr_split >= psnr_whole - 0.5

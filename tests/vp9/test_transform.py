@@ -1,0 +1,105 @@
+"""Unit + property tests for the DCT transform path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.workloads.vp9.transform import (
+    BLOCK,
+    dequantize_coefficients,
+    forward_dct,
+    inverse_dct,
+    quantize_coefficients,
+    zigzag_scan,
+    zigzag_unscan,
+    ZIGZAG,
+)
+
+blocks = hnp.arrays(
+    dtype=np.float64, shape=(BLOCK, BLOCK),
+    elements=st.floats(min_value=-255, max_value=255, allow_nan=False),
+)
+
+
+class TestDct:
+    def test_inverse_is_exact(self, rng):
+        b = rng.uniform(-128, 128, size=(BLOCK, BLOCK))
+        assert np.allclose(inverse_dct(forward_dct(b)), b, atol=1e-9)
+
+    def test_constant_block_is_dc_only(self):
+        b = np.full((BLOCK, BLOCK), 50.0)
+        coeffs = forward_dct(b)
+        assert coeffs[0, 0] == pytest.approx(50.0 * BLOCK)
+        off_dc = coeffs.copy()
+        off_dc[0, 0] = 0.0
+        assert np.abs(off_dc).max() < 1e-9
+
+    def test_energy_preserved(self, rng):
+        """Orthonormal transform: Parseval's theorem."""
+        b = rng.uniform(-100, 100, size=(BLOCK, BLOCK))
+        assert np.sum(b * b) == pytest.approx(np.sum(forward_dct(b) ** 2))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            forward_dct(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            inverse_dct(np.zeros((4, 4)))
+
+    def test_linearity(self, rng):
+        a = rng.uniform(-50, 50, size=(BLOCK, BLOCK))
+        b = rng.uniform(-50, 50, size=(BLOCK, BLOCK))
+        assert np.allclose(
+            forward_dct(a + b), forward_dct(a) + forward_dct(b), atol=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(b=blocks)
+    def test_roundtrip_property(self, b):
+        assert np.allclose(inverse_dct(forward_dct(b)), b, atol=1e-6)
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded(self, rng):
+        coeffs = rng.uniform(-500, 500, size=(BLOCK, BLOCK))
+        q = quantize_coefficients(coeffs, qstep=16.0)
+        restored = dequantize_coefficients(q, qstep=16.0)
+        assert np.abs(restored - coeffs).max() <= 8.0 + 1e-9
+
+    def test_larger_qstep_zeroes_more(self, rng):
+        coeffs = rng.uniform(-50, 50, size=(BLOCK, BLOCK))
+        fine = quantize_coefficients(coeffs, 4.0)
+        coarse = quantize_coefficients(coeffs, 64.0)
+        assert (coarse == 0).sum() >= (fine == 0).sum()
+
+    def test_invalid_qstep(self):
+        with pytest.raises(ValueError):
+            quantize_coefficients(np.zeros((8, 8)), 0.0)
+        with pytest.raises(ValueError):
+            dequantize_coefficients(np.zeros((8, 8)), -1.0)
+
+    def test_quantized_dtype(self):
+        q = quantize_coefficients(np.ones((8, 8)) * 33.3, 16.0)
+        assert q.dtype == np.int32
+
+
+class TestZigzag:
+    def test_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+
+    def test_starts_at_dc(self):
+        assert ZIGZAG[0] == 0
+
+    def test_second_element_is_low_frequency(self):
+        assert ZIGZAG[1] in (1, 8)
+
+    def test_roundtrip(self, rng):
+        levels = rng.integers(-100, 100, size=(BLOCK, BLOCK)).astype(np.int32)
+        assert np.array_equal(zigzag_unscan(zigzag_scan(levels)), levels)
+
+    def test_orders_by_frequency(self):
+        """Zigzag must visit low frequencies (small y+x) before high."""
+        positions = [(idx // 8, idx % 8) for idx in ZIGZAG.tolist()]
+        sums = [y + x for y, x in positions]
+        # Diagonal sums must be non-decreasing.
+        assert sums == sorted(sums)
