@@ -9,7 +9,7 @@ import pytest
 
 from repro.config import PimAcceleratorConfig, SystemConfig
 from repro.core.runner import ExperimentRunner
-from repro.workloads.chrome.targets import browser_pim_targets, compression_target
+from repro.workloads.chrome.targets import browser_pim_targets
 
 
 def sweep_units(units: int):

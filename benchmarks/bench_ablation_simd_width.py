@@ -6,7 +6,6 @@ sit at the knee: width 1 loses most of the benefit, width 8 adds little
 (the kernels become memory-bound before compute stops mattering).
 """
 
-import dataclasses
 
 import pytest
 

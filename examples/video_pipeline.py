@@ -13,7 +13,6 @@ from repro.core.workload import characterize
 from repro.workloads.vp9 import (
     HardwareDecoderModel,
     HardwareEncoderModel,
-    PimPlacement,
     synthetic_video,
 )
 from repro.workloads.vp9.decoder import decode_video

@@ -44,6 +44,26 @@ class FigureResult:
             lines.append("  note: %s" % self.notes)
         return "\n".join(lines)
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON form for the on-disk memo cache."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "rows": self.rows,
+            "anchors": {k: list(v) for k, v in self.anchors.items()},
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FigureResult":
+        return cls(
+            figure_id=data["figure_id"],
+            title=data["title"],
+            rows=data.get("rows", []),
+            anchors={k: tuple(v) for k, v in data.get("anchors", {}).items()},
+            notes=data.get("notes", ""),
+        )
+
     def anchor_within(self, name: str, tolerance: float) -> bool:
         """Whether a measured anchor is within +-tolerance (absolute for
         fractions, relative for other magnitudes) of the paper value."""

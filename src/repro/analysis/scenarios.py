@@ -9,7 +9,7 @@ share of the session the offloaded kernels cover.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.offload import OffloadEngine
 from repro.core.workload import WorkloadFunction, offloaded_totals

@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.analysis.base import FigureResult
 from repro.core.runner import ExperimentRunner
 from repro.core.workload import characterize
-from repro.energy.breakdown import Component
 from repro.workloads.vp9.frame import RESOLUTIONS
 from repro.workloads.vp9.hardware import (
     HardwareDecoderModel,

@@ -1,8 +1,9 @@
 """Command-line interface.
 
     python -m repro figures [--figure "Figure 18"] [--write PATH]
+                            [--jobs N] [--no-cache]
     python -m repro export [--dir figures_data]
-    python -m repro evaluate [--workload chrome|tensorflow|vp9|all]
+    python -m repro evaluate [--workload chrome|tensorflow|vp9|all] [--jobs N]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -16,13 +17,19 @@ import sys
 
 
 def _cmd_figures(args) -> int:
-    from repro.analysis.report import EXPERIMENTS, write_experiments_md
+    from repro.analysis.report import all_results, write_experiments_md
 
+    cache = None
+    if not args.no_cache:
+        from repro.core.memo import MemoCache
+
+        cache = MemoCache()
     if args.write:
-        print("wrote %s" % write_experiments_md(args.write))
+        print(
+            "wrote %s" % write_experiments_md(args.write, jobs=args.jobs, cache=cache)
+        )
         return 0
-    for fn in EXPERIMENTS:
-        result = fn()
+    for result in all_results(jobs=args.jobs, cache=cache):
         if args.figure and args.figure.lower() not in result.figure_id.lower():
             continue
         if args.chart:
@@ -62,7 +69,7 @@ def _cmd_evaluate(args) -> int:
     if not targets:
         print("unknown workload %r" % args.workload, file=sys.stderr)
         return 2
-    result = ExperimentRunner().evaluate(targets)
+    result = ExperimentRunner().evaluate(targets, jobs=args.jobs)
     print("%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc"))
     for row in result.rows():
         print(
@@ -165,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--chart", action="store_true", help="render rows as ASCII bars"
     )
+    figures.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="regenerate figures with N worker processes",
+    )
+    figures.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk figure memo cache",
+    )
     figures.set_defaults(fn=_cmd_figures)
 
     export = sub.add_parser("export", help="export figure data as JSON")
@@ -174,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate", help="evaluate PIM targets")
     evaluate.add_argument(
         "--workload", default="all", choices=["chrome", "tensorflow", "vp9", "all"]
+    )
+    evaluate.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate targets with N worker processes",
     )
     evaluate.set_defaults(fn=_cmd_evaluate)
 

@@ -1,0 +1,123 @@
+"""Content-keyed on-disk memoization for regenerated experiments.
+
+Regenerating a paper figure is deterministic: the rows depend only on the
+model code and the (default) configuration.  ``MemoCache`` therefore keys
+each entry on a SHA-256 of (entry name, JSON-encoded config, code-version
+hash), where the code-version hash digests every ``*.py`` file of the
+installed ``repro`` package.  Any source edit — anywhere in the package —
+invalidates the whole cache, so a hit is always safe to reuse; a repeated
+``python -m repro figures`` run with an unchanged tree skips all model
+work and loads rows from disk.
+
+The cache directory defaults to ``.repro_cache/`` next to
+``pyproject.toml`` when running from a source checkout (override with the
+``REPRO_CACHE_DIR`` environment variable; falls back to
+``~/.cache/repro`` for installed packages).  Entries are small JSON
+documents, written atomically so concurrent runs never observe partial
+files.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+from pathlib import Path
+
+
+def _to_builtin(value):
+    """JSON fallback: unwrap numpy scalars to builtin int/float/bool."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError("%r is not JSON serializable" % (value,))
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@functools.lru_cache(maxsize=1)
+def code_version_hash() -> str:
+    """Digest of every source file in the ``repro`` package."""
+    digest = hashlib.sha256()
+    root = package_root()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # src/repro -> src -> repo root, when running from a checkout.
+    checkout = package_root().parent.parent
+    if (checkout / "pyproject.toml").exists():
+        return checkout / ".repro_cache"
+    return Path.home() / ".cache" / "repro"
+
+
+class MemoCache:
+    """A content-addressed store of JSON-serializable results.
+
+    Args:
+        directory: where entries live; created on first :meth:`put`.
+        version: cache namespace; defaults to :func:`code_version_hash`
+            so edits to the model code invalidate prior entries.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        version: str | None = None,
+    ):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.version = version if version is not None else code_version_hash()
+
+    def key(self, name: str, config=None) -> str:
+        payload = json.dumps(
+            [name, config, self.version], sort_keys=True, default=repr
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def _path(self, name: str, config) -> Path:
+        return self.directory / ("%s.json" % self.key(name, config))
+
+    def get(self, name: str, config=None, default=None):
+        """The cached value for (name, config) at this code version."""
+        try:
+            with open(self._path(name, config)) as f:
+                return json.load(f)["value"]
+        except (OSError, ValueError, KeyError):
+            return default
+
+    def put(self, name: str, value, config=None) -> Path:
+        """Store a JSON-serializable value; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(name, config)
+        document = {"name": name, "version": self.version, "value": value}
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with open(tmp, "w") as f:
+            json.dump(document, f, default=_to_builtin)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -21,12 +21,20 @@ class SweepResult:
     """Results for a set of PIM targets evaluated on all machines."""
 
     comparisons: list[TargetComparison] = field(default_factory=list)
+    _index: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def by_name(self, name: str) -> TargetComparison:
-        for c in self.comparisons:
-            if c.target.name == name:
-                return c
-        raise KeyError("no target named %r" % name)
+        if self._index is None or len(self._index) != len(self.comparisons):
+            self._index = {c.target.name: c for c in self.comparisons}
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                "no target named %r; available: %s"
+                % (name, ", ".join(sorted(self._index)) or "(none)")
+            ) from None
 
     @property
     def names(self) -> list[str]:
@@ -91,6 +99,19 @@ class SweepResult:
         return out
 
 
+#: Per-process engine for parallel sweeps (set by the pool initializer).
+_WORKER_ENGINE: OffloadEngine | None = None
+
+
+def _init_worker(system, energy_params) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = OffloadEngine(system, energy_params)
+
+
+def _compare_in_worker(target: PimTarget) -> "TargetComparison":
+    return _WORKER_ENGINE.compare(target)
+
+
 class ExperimentRunner:
     """Evaluates lists of PIM targets against all three machine models."""
 
@@ -99,10 +120,32 @@ class ExperimentRunner:
         system: SystemConfig | None = None,
         energy_params: EnergyParameters | None = None,
     ):
+        self.system = system
+        self.energy_params = energy_params
         self.engine = OffloadEngine(system, energy_params)
 
-    def evaluate(self, targets: list[PimTarget]) -> SweepResult:
-        return SweepResult(comparisons=[self.engine.compare(t) for t in targets])
+    def evaluate(self, targets: list[PimTarget], jobs: int = 1) -> SweepResult:
+        """Compare every target on all machines.
+
+        Args:
+            targets: the PIM targets to evaluate.
+            jobs: worker processes; ``1`` evaluates in-process.  Each
+                worker builds one engine (via the pool initializer) and
+                streams targets through it, so results are identical to
+                the serial path, in input order.
+        """
+        if jobs > 1 and len(targets) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(targets)),
+                initializer=_init_worker,
+                initargs=(self.system, self.energy_params),
+            ) as pool:
+                comparisons = list(pool.map(_compare_in_worker, targets))
+        else:
+            comparisons = [self.engine.compare(t) for t in targets]
+        return SweepResult(comparisons=comparisons)
 
 
 def _mean(values: list[float]) -> float:

@@ -13,12 +13,11 @@ documented model inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.core.offload import OffloadEngine
-    from repro.core.workload import WorkloadFunction
 
 WH = 3600.0  # joules per watt-hour
 

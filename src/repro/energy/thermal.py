@@ -22,8 +22,6 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.core.offload import OffloadEngine
-    from repro.core.target import PimTarget
-    from repro.core.workload import WorkloadFunction
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,13 @@ reproduction:
 
 from repro.sim.profile import KernelProfile
 from repro.sim.trace import MemoryTrace, TraceRecorder
-from repro.sim.cache import Cache, CacheHierarchy, CacheStats
+from repro.sim.cache import (
+    Cache,
+    CacheHierarchy,
+    CacheStats,
+    HierarchyStats,
+    replay_trace,
+)
 from repro.sim.dram import DramTimings, OffChipDram, StackedDramInternal
 from repro.sim.cpu import CpuModel, Execution
 from repro.sim.pim import PimCoreModel, PimAcceleratorModel
@@ -36,6 +42,8 @@ __all__ = [
     "Cache",
     "CacheHierarchy",
     "CacheStats",
+    "HierarchyStats",
+    "replay_trace",
     "DramTimings",
     "OffChipDram",
     "StackedDramInternal",

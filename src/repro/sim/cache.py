@@ -166,6 +166,7 @@ class CacheHierarchy:
                 for tag, dirty in list(lines.items()):
                     if not dirty:
                         continue
+                    cache.stats.writebacks += 1
                     line = tag * cache.config.num_sets + set_idx
                     if sink is not None:
                         sink(line)
@@ -179,12 +180,123 @@ class CacheHierarchy:
         flush: bool = True,
         instructions_hint: float = 0.0,
     ) -> HierarchyStats:
-        """Replay a full trace and return aggregate statistics."""
+        """Replay a full trace, one access at a time.
+
+        This is the slow, obviously-correct path; :meth:`replay_fast`
+        produces bit-identical statistics and should be preferred for
+        large traces.
+        """
         addresses = trace.addresses
         writes = trace.is_write
         access = self.access
         for i in range(len(trace)):
             access(int(addresses[i]), bool(writes[i]))
+        return self._finish(len(trace), flush, instructions_hint)
+
+    def replay_fast(
+        self,
+        trace: MemoryTrace,
+        flush: bool = True,
+        instructions_hint: float = 0.0,
+    ) -> HierarchyStats:
+        """Replay a trace via line-run compression; bit-identical to
+        :meth:`replay`.
+
+        :meth:`MemoryTrace.line_runs` folds each run of consecutive
+        accesses to the same cache line into one (line, count, any_write)
+        record.  Within a run, accesses after the first are guaranteed L1
+        hits on an already-MRU line, so they cannot change LRU state,
+        victims, or lower-level traffic; their entire effect is
+        ``count - 1`` extra L1 accesses/hits plus OR-ing their write flags
+        into the line's dirty bit.  Dirtiness itself is flag-order
+        independent (it is a monotone OR), so performing the run's first
+        access with the folded flag and bulk-adding the remaining hits
+        reproduces the per-access statistics exactly.  The equivalence is
+        enforced by property tests (``tests/sim/test_replay_equivalence``).
+        """
+        run_lines, run_counts, run_writes = trace.line_runs()
+        l1, llc = self.l1, self.llc
+        l1_num_sets, l1_assoc = l1.config.num_sets, l1.config.associativity
+        llc_num_sets, llc_assoc = llc.config.num_sets, llc.config.associativity
+        l1_sets, llc_sets = l1._sets, llc._sets
+        # Stats are accumulated in locals and folded back once at the end;
+        # pure integer additions, so the totals are bit-identical.
+        l1_acc = l1_hits = l1_miss = l1_wb = 0
+        llc_acc = llc_hits = llc_miss = llc_wb = 0
+        dram_reads = dram_writes = 0
+        for line, count, is_write in zip(
+            run_lines.tolist(), run_counts.tolist(), run_writes.tolist()
+        ):
+            # Inlined Cache.access for L1 with the run's hits folded in.
+            set_idx = line % l1_num_sets
+            tag = line // l1_num_sets
+            lines = l1_sets[set_idx]
+            l1_acc += count
+            if tag in lines:
+                l1_hits += count
+                lines.move_to_end(tag)
+                if is_write:
+                    lines[tag] = True
+                continue
+            l1_miss += 1
+            l1_hits += count - 1
+            if len(lines) >= l1_assoc:
+                victim_tag, victim_dirty = lines.popitem(last=False)
+                if victim_dirty:
+                    l1_wb += 1
+                    # Inlined _llc_install_writeback (LLC write-allocate).
+                    victim_line = victim_tag * l1_num_sets + set_idx
+                    wb_set = victim_line % llc_num_sets
+                    wb_tag = victim_line // llc_num_sets
+                    wb_lines = llc_sets[wb_set]
+                    llc_acc += 1
+                    if wb_tag in wb_lines:
+                        llc_hits += 1
+                        wb_lines.move_to_end(wb_tag)
+                        wb_lines[wb_tag] = True
+                    else:
+                        llc_miss += 1
+                        if len(wb_lines) >= llc_assoc:
+                            _, wb_victim_dirty = wb_lines.popitem(last=False)
+                            if wb_victim_dirty:
+                                llc_wb += 1
+                                dram_writes += 1
+                        wb_lines[wb_tag] = True
+                        dram_reads += 1
+            lines[tag] = is_write
+            # L1 miss: fetch line through the LLC (the fill itself is a
+            # read) — inlined Cache.access on the LLC.
+            llc_set = line % llc_num_sets
+            llc_tag = line // llc_num_sets
+            llc_lines = llc_sets[llc_set]
+            llc_acc += 1
+            if llc_tag in llc_lines:
+                llc_hits += 1
+                llc_lines.move_to_end(llc_tag)
+            else:
+                llc_miss += 1
+                if len(llc_lines) >= llc_assoc:
+                    _, llc_victim_dirty = llc_lines.popitem(last=False)
+                    if llc_victim_dirty:
+                        llc_wb += 1
+                        dram_writes += 1
+                llc_lines[llc_tag] = False
+                dram_reads += 1
+        l1.stats.accesses += l1_acc
+        l1.stats.hits += l1_hits
+        l1.stats.misses += l1_miss
+        l1.stats.writebacks += l1_wb
+        llc.stats.accesses += llc_acc
+        llc.stats.hits += llc_hits
+        llc.stats.misses += llc_miss
+        llc.stats.writebacks += llc_wb
+        self.dram_line_reads += dram_reads
+        self.dram_line_writes += dram_writes
+        return self._finish(len(trace), flush, instructions_hint)
+
+    def _finish(
+        self, num_accesses: int, flush: bool, instructions_hint: float
+    ) -> HierarchyStats:
         if flush:
             self.flush()
         return HierarchyStats(
@@ -192,10 +304,15 @@ class CacheHierarchy:
             llc=self.llc.stats,
             dram_line_reads=self.dram_line_reads,
             dram_line_writes=self.dram_line_writes,
-            instructions_hint=instructions_hint or float(len(trace)),
+            instructions_hint=instructions_hint or float(num_accesses),
         )
 
 
-def replay_trace(trace: MemoryTrace, soc: SocConfig | None = None) -> HierarchyStats:
+def replay_trace(
+    trace: MemoryTrace, soc: SocConfig | None = None, fast: bool = True
+) -> HierarchyStats:
     """Convenience wrapper: replay ``trace`` through a fresh hierarchy."""
-    return CacheHierarchy(soc).replay(trace)
+    hierarchy = CacheHierarchy(soc)
+    if fast:
+        return hierarchy.replay_fast(trace)
+    return hierarchy.replay(trace)

@@ -14,7 +14,7 @@ This plays the role of the paper's hardware performance counters
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.config import CACHE_LINE_BYTES
 

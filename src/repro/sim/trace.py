@@ -7,6 +7,13 @@ cache simulator (:mod:`repro.sim.cache`) then replays the trace to measure
 hit rates, MPKI, and off-chip traffic.  This is how the test suite checks
 that the analytic locality classes in :mod:`repro.sim.profile` (streaming,
 cache-resident, scattered) match what the kernels really do.
+
+The recorder stores compact (base, count, is_write) range records and only
+materializes per-access addresses when :meth:`TraceRecorder.trace` is
+called, so instrumenting a kernel costs O(ranges), not O(accesses).  For
+fast replay, :meth:`MemoryTrace.line_runs` run-length-compresses
+consecutive same-line accesses; see :meth:`repro.sim.cache.CacheHierarchy.
+replay_fast` for the equivalence argument.
 """
 
 from __future__ import annotations
@@ -63,22 +70,65 @@ class MemoryTrace:
             is_write=np.concatenate([self.is_write, other.is_write]),
         )
 
+    def line_runs(
+        self, line_bytes: int = CACHE_LINE_BYTES
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run-length-compress consecutive accesses to the same cache line.
+
+        Returns ``(lines, counts, writes)`` where ``lines[i]`` is the cache
+        line of run *i* (in first-access order), ``counts[i]`` how many
+        consecutive accesses hit that line, and ``writes[i]`` the OR-fold
+        of their write flags.
+
+        A run is *exactly* replayable as one access: after the first access
+        of a run the line is resident and most-recently-used, and no other
+        line is touched before the run ends, so accesses 2..n of a run are
+        guaranteed cache hits that cannot change LRU order, hit/miss
+        outcomes, or evictions.  The only state they carry is the dirty
+        bit, which is the OR of the run's write flags.
+        """
+        lines = self.addresses // np.uint64(line_bytes)
+        n = int(lines.shape[0])
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+            )
+        boundaries = np.empty(n, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        run_lines = lines[starts]
+        counts = np.diff(np.append(starts, n))
+        writes = np.logical_or.reduceat(self.is_write, starts)
+        return run_lines, counts, writes
+
+
+#: Internal op kinds for TraceRecorder's compact record list.
+_RANGE = 0
+_ARRAY = 1
+
 
 class TraceRecorder:
     """Records memory accesses made by an instrumented kernel.
 
     Kernels call :meth:`read` / :meth:`write` with (base address, size)
-    ranges; the recorder expands each range into one access per
-    ``granularity`` bytes.  Ranges are cheap to record, so kernels can be
-    instrumented at their natural operation granularity (a pixel row, a
-    matrix tile) without distorting the implementation.
+    ranges; the recorder stores one compact record per range and expands
+    it into one access per ``granularity`` bytes only when :meth:`trace`
+    is called.  Ranges are cheap to record, so kernels can be instrumented
+    at their natural operation granularity (a pixel row, a matrix tile)
+    without distorting the implementation, and recording a multi-megabyte
+    stream costs a constant amount of work per range.
     """
 
     def __init__(self, granularity: int = 8):
         if granularity <= 0:
             raise ValueError("granularity must be positive")
         self.granularity = granularity
-        self._chunks: list[tuple[np.ndarray, bool]] = []
+        # (kind, payload, is_write): payload is (base, count) for _RANGE
+        # records and a uint64 address array for _ARRAY records.
+        self._ops: list[tuple[int, object, bool]] = []
 
     def read(self, base: int, size: int) -> None:
         self._record(base, size, is_write=False)
@@ -91,13 +141,13 @@ class TraceRecorder:
         addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
             element_size
         )
-        self._chunks.append((addrs, False))
+        self._ops.append((_ARRAY, addrs, False))
 
     def write_indices(self, base: int, indices: np.ndarray, element_size: int) -> None:
         addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
             element_size
         )
-        self._chunks.append((addrs, True))
+        self._ops.append((_ARRAY, addrs, True))
 
     def _record(self, base: int, size: int, is_write: bool) -> None:
         if size < 0:
@@ -105,23 +155,38 @@ class TraceRecorder:
         if size == 0:
             return
         count = (size + self.granularity - 1) // self.granularity
-        addrs = np.uint64(base) + np.arange(count, dtype=np.uint64) * np.uint64(
-            self.granularity
-        )
-        self._chunks.append((addrs, is_write))
+        self._ops.append((_RANGE, (base, count), is_write))
 
     @property
     def num_accesses(self) -> int:
-        return sum(chunk.shape[0] for chunk, _ in self._chunks)
+        total = 0
+        for kind, payload, _ in self._ops:
+            if kind == _RANGE:
+                total += payload[1]
+            else:
+                total += int(payload.shape[0])
+        return total
+
+    def _materialize(self, kind: int, payload) -> np.ndarray:
+        if kind == _RANGE:
+            base, count = payload
+            return np.uint64(base) + np.arange(count, dtype=np.uint64) * np.uint64(
+                self.granularity
+            )
+        return payload
 
     def trace(self) -> MemoryTrace:
-        if not self._chunks:
+        if not self._ops:
             return MemoryTrace(
                 addresses=np.empty(0, dtype=np.uint64), is_write=np.empty(0, dtype=bool)
             )
-        addresses = np.concatenate([chunk for chunk, _ in self._chunks])
+        chunks = [self._materialize(kind, payload) for kind, payload, _ in self._ops]
+        addresses = np.concatenate(chunks)
         flags = np.concatenate(
-            [np.full(chunk.shape[0], w, dtype=bool) for chunk, w in self._chunks]
+            [
+                np.full(chunk.shape[0], w, dtype=bool)
+                for chunk, (_, _, w) in zip(chunks, self._ops)
+            ]
         )
         return MemoryTrace(addresses=addresses, is_write=flags)
 

@@ -18,7 +18,7 @@ Token format (byte-aligned):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 MIN_MATCH = 4
 MAX_DISTANCE = 0xFFFF

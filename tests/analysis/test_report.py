@@ -1,6 +1,5 @@
 """Unit tests for the EXPERIMENTS.md report generator."""
 
-import pytest
 
 from repro.analysis.base import FigureResult
 from repro.analysis.report import EXPERIMENTS, render_markdown, write_experiments_md
@@ -53,3 +52,43 @@ class TestReport:
         assert written == str(path)
         for fig in ("Table 1", "Figure 1", "Figure 21", "Headline"):
             assert "## %s" % fig in content
+
+
+class TestCachedParallelResults:
+    def test_cached_results_match_fresh(self, tmp_path):
+        import time
+
+        from repro.analysis.report import all_results
+        from repro.core.memo import MemoCache
+
+        cache = MemoCache(tmp_path)
+        t0 = time.perf_counter()
+        cold = all_results(cache=cache)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = all_results(cache=cache)
+        warm_s = time.perf_counter() - t0
+        assert [r.to_jsonable() for r in warm] == [r.to_jsonable() for r in cold]
+        # Acceptance bar is <25% of the cold wall clock; a warm run does
+        # no model work at all, so in practice it is ~1%.
+        assert warm_s < 0.25 * cold_s
+
+    def test_parallel_results_match_serial(self, tmp_path):
+        from repro.analysis.report import EXPERIMENTS, all_results
+
+        serial = all_results()
+        parallel = all_results(jobs=2)
+        assert len(serial) == len(EXPERIMENTS)
+        assert [r.to_jsonable() for r in parallel] == [
+            r.to_jsonable() for r in serial
+        ]
+
+
+class TestFigureResultJson:
+    def test_roundtrip(self):
+        r = FigureResult(
+            "Figure X", "t", rows=[{"a": 1}], anchors={"x": (1.0, 1.1)}, notes="n"
+        )
+        back = FigureResult.from_jsonable(r.to_jsonable())
+        assert back == r
+        assert isinstance(back.anchors["x"], tuple)

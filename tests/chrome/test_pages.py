@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.workload import characterize
-from repro.workloads.chrome.pages import PAGES, PAGE_ORDER, WebPage
+from repro.workloads.chrome.pages import PAGES, PAGE_ORDER
 
 
 class TestPageSet:

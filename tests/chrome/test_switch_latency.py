@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workloads.chrome.zram import SwitchLatency, switch_latency
+from repro.workloads.chrome.zram import switch_latency
 
 MB = 1024 * 1024
 

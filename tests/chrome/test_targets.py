@@ -7,7 +7,6 @@ from repro.workloads.chrome.targets import (
     browser_pim_targets,
     color_blitting_target,
     compression_target,
-    decompression_target,
     texture_tiling_target,
 )
 

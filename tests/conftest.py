@@ -9,6 +9,12 @@ from repro.sim.cpu import CpuModel
 from repro.sim.pim import PimAcceleratorModel, PimCoreModel
 
 
+@pytest.fixture(autouse=True)
+def _isolated_memo_cache(tmp_path, monkeypatch):
+    """Keep CLI/report memo-cache writes out of the working tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+
 @pytest.fixture(scope="session")
 def system():
     return default_system()

@@ -1,0 +1,55 @@
+"""Unit tests for the content-keyed memo cache."""
+
+from repro.core.memo import MemoCache, code_version_hash
+
+
+class TestMemoCache:
+    def test_miss_returns_default(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=42) == 42
+
+    def test_roundtrip(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        value = {"rows": [{"a": 1, "b": 0.5}], "anchors": {"x": [1.0, 1.1]}}
+        cache.put("fig", value)
+        assert cache.get("fig") == value
+
+    def test_config_partitions_entries(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("fig", 1, config={"qstep": 8})
+        cache.put("fig", 2, config={"qstep": 16})
+        assert cache.get("fig", config={"qstep": 8}) == 1
+        assert cache.get("fig", config={"qstep": 16}) == 2
+        assert cache.get("fig") is None
+
+    def test_version_change_invalidates(self, tmp_path):
+        old = MemoCache(tmp_path, version="v1")
+        old.put("fig", "stale")
+        new = MemoCache(tmp_path, version="v2")
+        assert new.get("fig") is None
+        assert old.get("fig") == "stale"
+
+    def test_default_version_is_code_hash(self, tmp_path):
+        assert MemoCache(tmp_path).version == code_version_hash()
+        assert len(code_version_hash()) == 16
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        path = cache.put("fig", {"ok": True})
+        path.write_text("{not json")
+        assert cache.get("fig") is None
+
+    def test_clear(self, tmp_path):
+        cache = MemoCache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.get("a") is None
+
+    def test_numpy_scalars_serialize(self, tmp_path):
+        import numpy as np
+
+        cache = MemoCache(tmp_path)
+        cache.put("np", {"x": np.float64(1.5), "n": np.int64(3)})
+        assert cache.get("np") == {"x": 1.5, "n": 3}

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.offload import OffloadEngine
 from repro.core.target import PimTarget
 from repro.sim.profile import KernelProfile
 

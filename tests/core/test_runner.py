@@ -33,6 +33,27 @@ class TestRunner:
         with pytest.raises(KeyError):
             result.by_name("zzz")
 
+    def test_by_name_error_lists_available_targets(self):
+        result = ExperimentRunner().evaluate(targets())
+        with pytest.raises(KeyError, match="a, b, c"):
+            result.by_name("zzz")
+
+    def test_by_name_index_follows_mutation(self):
+        result = ExperimentRunner().evaluate(targets())
+        assert result.by_name("a").target.name == "a"
+        extra = ExperimentRunner().evaluate(targets()[:1]).comparisons[0]
+        renamed = ExperimentRunner().evaluate(
+            [PimTarget("d", extra.target.profile, "texture_tiling")]
+        ).comparisons[0]
+        result.comparisons.append(renamed)
+        assert result.by_name("d").target.name == "d"
+
+    def test_parallel_evaluate_matches_serial(self):
+        serial = ExperimentRunner().evaluate(targets())
+        parallel = ExperimentRunner().evaluate(targets(), jobs=2)
+        assert parallel.names == serial.names
+        assert parallel.rows() == serial.rows()
+
     def test_rows_schema(self):
         rows = ExperimentRunner().evaluate(targets()).rows()
         assert len(rows) == 3

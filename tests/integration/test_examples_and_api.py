@@ -3,7 +3,6 @@
 import importlib
 import pathlib
 import runpy
-import sys
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Integration: the analytic page models' blit mixes are backed by the
 functional display-list rasterizer."""
 
-import pytest
 
 from repro.workloads.chrome.blitter import profile_color_blitting
 from repro.workloads.chrome.pages import PAGES

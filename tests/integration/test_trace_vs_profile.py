@@ -2,7 +2,6 @@
 locality classes used by the profiles (stand-in for the paper's
 performance-counter cross-checks)."""
 
-import numpy as np
 import pytest
 
 from repro.config import CACHE_LINE_BYTES

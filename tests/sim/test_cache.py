@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import CacheConfig, SocConfig, CACHE_LINE_BYTES
+from repro.config import CacheConfig, CACHE_LINE_BYTES
 from repro.sim.cache import Cache, CacheHierarchy, replay_trace
 from repro.sim.trace import MemoryTrace, TraceRecorder
 
@@ -130,6 +130,27 @@ class TestHierarchy:
         rec.write(0, size)
         stats = CacheHierarchy().replay(rec.trace(), flush=True)
         assert stats.dram_line_writes == size // CACHE_LINE_BYTES
+
+    def test_flush_counts_per_level_writebacks(self):
+        """Regression: draining dirty lines at flush must increment each
+        level's ``writebacks`` so per-level stats match DRAM writes."""
+        size = 4096  # L1-resident: no writebacks until the flush
+        lines = size // CACHE_LINE_BYTES
+        rec = TraceRecorder(granularity=64)
+        rec.write(0, size)
+        hierarchy = CacheHierarchy()
+        stats = hierarchy.replay(rec.trace(), flush=True)
+        assert stats.l1.writebacks == lines
+        assert stats.llc.writebacks == lines
+        assert stats.dram_line_writes == lines
+
+    def test_flush_skips_clean_lines(self):
+        rec = TraceRecorder(granularity=64)
+        rec.read(0, 4096)
+        stats = CacheHierarchy().replay(rec.trace(), flush=True)
+        assert stats.l1.writebacks == 0
+        assert stats.llc.writebacks == 0
+        assert stats.dram_line_writes == 0
 
     def test_no_flush_keeps_dirty_lines_in_cache(self):
         rec = TraceRecorder(granularity=64)

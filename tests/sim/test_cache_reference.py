@@ -5,9 +5,7 @@ set-associative LRU cache; hypothesis drives both with random access
 sequences and requires identical hit/miss/writeback behaviour.
 """
 
-from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CacheConfig

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.cpu import CpuModel
 from repro.sim.profile import KernelProfile
 
 MB = 1024 * 1024

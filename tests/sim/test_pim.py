@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import PimCoreConfig, SystemConfig
-from repro.sim.pim import PimAcceleratorModel, PimCoreModel
+from repro.sim.pim import PimCoreModel
 from repro.sim.profile import KernelProfile
 
 MB = 1024 * 1024

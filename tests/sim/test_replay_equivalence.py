@@ -1,0 +1,231 @@
+"""Property tests: ``replay_fast`` is bit-identical to per-access replay.
+
+The fast path consumes run-length-compressed line runs
+(:meth:`MemoryTrace.line_runs`) instead of individual accesses; these
+tests drive both paths with random, streaming, strided, and write-heavy
+traces and require identical :class:`HierarchyStats` — every counter at
+every level, not just the headline traffic numbers.  A second group pins
+the lazy range-record ``TraceRecorder`` to the old eager expansion,
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CACHE_LINE_BYTES, CacheConfig, SocConfig
+from repro.sim.cache import CacheHierarchy, replay_trace
+from repro.sim.trace import MemoryTrace, TraceRecorder
+
+
+def tiny_soc() -> SocConfig:
+    """A deliberately small hierarchy so random traces cause evictions."""
+    return SocConfig(
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+    )
+
+
+def assert_equivalent(trace: MemoryTrace, soc: SocConfig | None = None):
+    oracle = CacheHierarchy(soc).replay(trace)
+    fast = CacheHierarchy(soc).replay_fast(trace)
+    assert fast == oracle
+    # Also without the end-of-trace flush.
+    oracle_nf = CacheHierarchy(soc).replay(trace, flush=False)
+    fast_nf = CacheHierarchy(soc).replay_fast(trace, flush=False)
+    assert fast_nf == oracle_nf
+
+
+address_lists = st.lists(
+    st.integers(min_value=0, max_value=1 << 14), min_size=0, max_size=300
+)
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(addresses=address_lists, data=st.data())
+    def test_random_traces(self, addresses, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        trace = MemoryTrace(
+            addresses=np.array(addresses, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+        )
+        assert_equivalent(trace, tiny_soc())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        start=st.integers(min_value=0, max_value=1 << 12),
+        size=st.integers(min_value=1, max_value=1 << 14),
+        gran=st.sampled_from([1, 4, 8, 64]),
+        write=st.booleans(),
+    )
+    def test_streaming_traces(self, start, size, gran, write):
+        rec = TraceRecorder(granularity=gran)
+        (rec.write if write else rec.read)(start, size)
+        assert_equivalent(rec.trace(), tiny_soc())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stride=st.integers(min_value=1, max_value=4096),
+        count=st.integers(min_value=1, max_value=200),
+        span=st.integers(min_value=8, max_value=256),
+    )
+    def test_strided_traces(self, stride, count, span):
+        rec = TraceRecorder(granularity=8)
+        for i in range(count):
+            rec.read(i * stride, span)
+        assert_equivalent(rec.trace(), tiny_soc())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        passes=st.integers(min_value=1, max_value=6),
+        size=st.integers(min_value=64, max_value=8192),
+        write_fraction=st.floats(min_value=0.5, max_value=1.0),
+    )
+    def test_write_heavy_traces(self, passes, size, write_fraction, ):
+        rec = TraceRecorder(granularity=8)
+        rng = np.random.default_rng(size)
+        for _ in range(passes):
+            if rng.random() < write_fraction:
+                rec.write(0, size)
+            else:
+                rec.read(0, size)
+        assert_equivalent(rec.trace(), tiny_soc())
+
+    def test_full_size_soc_mixed_trace(self):
+        """One large deterministic trace on the paper's real geometry."""
+        rng = np.random.default_rng(7)
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, 256 * 1024)
+        rec.write(1 << 24, 128 * 1024)
+        for i in range(500):
+            rec.read((1 << 26) + i * 4096, 64)
+        scattered = rng.integers(0, 1 << 22, 20_000, dtype=np.uint64)
+        rec.read_indices(1 << 28, scattered, element_size=4)
+        assert_equivalent(rec.trace())
+
+    def test_empty_trace(self):
+        assert_equivalent(TraceRecorder().trace())
+
+    def test_replay_trace_defaults_to_fast_path(self):
+        rec = TraceRecorder(granularity=8)
+        rec.write(0, 64 * 1024)
+        assert replay_trace(rec.trace()) == replay_trace(rec.trace(), fast=False)
+
+
+class TestLineRuns:
+    def test_runs_fold_consecutive_same_line(self):
+        trace = MemoryTrace(
+            addresses=np.array([0, 8, 63, 64, 0], dtype=np.uint64),
+            is_write=np.array([False, True, False, False, False]),
+        )
+        lines, counts, writes = trace.line_runs()
+        assert lines.tolist() == [0, 1, 0]
+        assert counts.tolist() == [3, 1, 1]
+        assert writes.tolist() == [True, False, False]
+
+    def test_empty(self):
+        lines, counts, writes = TraceRecorder().trace().line_runs()
+        assert len(lines) == len(counts) == len(writes) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(addresses=address_lists, data=st.data())
+    def test_runs_reconstruct_line_sequence(self, addresses, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        trace = MemoryTrace(
+            addresses=np.array(addresses, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+        )
+        lines, counts, run_writes = trace.line_runs()
+        assert int(counts.sum()) == len(trace)
+        reconstructed = np.repeat(lines, counts)
+        np.testing.assert_array_equal(reconstructed, trace.line_addresses())
+        # No two adjacent runs share a line, and write flags OR-fold.
+        assert not np.any(lines[1:] == lines[:-1])
+        expected = np.logical_or.reduceat(trace.is_write, np.cumsum(np.append(0, counts[:-1]))) if len(lines) else run_writes
+        np.testing.assert_array_equal(run_writes, expected)
+
+
+class EagerRecorder:
+    """The pre-optimization recorder: expands ranges at record time."""
+
+    def __init__(self, granularity: int = 8):
+        self.granularity = granularity
+        self._chunks: list[tuple[np.ndarray, bool]] = []
+
+    def read(self, base, size):
+        self._record(base, size, False)
+
+    def write(self, base, size):
+        self._record(base, size, True)
+
+    def read_indices(self, base, indices, element_size):
+        addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
+            element_size
+        )
+        self._chunks.append((addrs, False))
+
+    def _record(self, base, size, is_write):
+        if size == 0:
+            return
+        count = (size + self.granularity - 1) // self.granularity
+        addrs = np.uint64(base) + np.arange(count, dtype=np.uint64) * np.uint64(
+            self.granularity
+        )
+        self._chunks.append((addrs, is_write))
+
+    def trace(self) -> MemoryTrace:
+        if not self._chunks:
+            return MemoryTrace(np.empty(0, np.uint64), np.empty(0, bool))
+        return MemoryTrace(
+            addresses=np.concatenate([c for c, _ in self._chunks]),
+            is_write=np.concatenate(
+                [np.full(c.shape[0], w, dtype=bool) for c, w in self._chunks]
+            ),
+        )
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "read_indices"]),
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=0, max_value=2048),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestLazyRecorderMatchesEager:
+    @settings(max_examples=60, deadline=None)
+    @given(sequence=ops, gran=st.sampled_from([1, 7, 8, 64]))
+    def test_byte_for_byte(self, sequence, gran):
+        lazy = TraceRecorder(granularity=gran)
+        eager = EagerRecorder(granularity=gran)
+        for op, base, size in sequence:
+            if op == "read_indices":
+                indices = np.arange(size % 17, dtype=np.uint64)
+                lazy.read_indices(base, indices, 4)
+                eager.read_indices(base, indices, 4)
+            else:
+                getattr(lazy, op)(base, size)
+                getattr(eager, op)(base, size)
+        got, want = lazy.trace(), eager.trace()
+        np.testing.assert_array_equal(got.addresses, want.addresses)
+        np.testing.assert_array_equal(got.is_write, want.is_write)
+        assert lazy.num_accesses == len(want)
+
+    def test_num_accesses_without_materializing(self):
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, 1 << 30)  # a billion-byte range is O(1) to record
+        assert rec.num_accesses == (1 << 30) // 8
+        assert rec._ops[0][0] == 0  # still a compact range record
+
+    def test_write_flag_in_line_runs_partial_line(self):
+        """A write run covering part of a line still marks it dirty."""
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, CACHE_LINE_BYTES)
+        rec.write(CACHE_LINE_BYTES // 2, 8)
+        stats = CacheHierarchy().replay_fast(rec.trace(), flush=True)
+        assert stats.dram_line_writes == 1

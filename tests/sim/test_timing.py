@@ -1,6 +1,5 @@
 """Unit + validation tests for the event-driven timing simulator."""
 
-import numpy as np
 import pytest
 
 from repro.sim.cpu import CpuModel

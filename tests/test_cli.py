@@ -72,3 +72,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "legend" in out
         assert "#" in out
+
+    def test_figures_no_cache(self, capsys):
+        assert main(["figures", "--figure", "Table 1", "--no-cache"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_figures_warm_cache_round(self, capsys):
+        assert main(["figures", "--figure", "Table 1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["figures", "--figure", "Table 1"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_figures_parallel(self, capsys):
+        assert main(["figures", "--figure", "Table 1", "--jobs", "2", "--no-cache"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_evaluate_parallel(self, capsys):
+        assert main(["evaluate", "--workload", "chrome", "--jobs", "2"]) == 0
+        assert "texture_tiling" in capsys.readouterr().out

@@ -7,7 +7,6 @@ from repro.workloads.vp9.decoder import decode_video
 from repro.workloads.vp9.encoder import encode_video
 from repro.workloads.vp9.ratecontrol import (
     RateControlConfig,
-    RateControlledEncoder,
     encode_at_bitrate,
 )
 from repro.workloads.vp9.video import synthetic_video

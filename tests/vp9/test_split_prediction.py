@@ -1,7 +1,6 @@
 """Unit tests for variable block-size (16x16 -> 8x8) inter prediction."""
 
 import numpy as np
-import pytest
 
 from repro.workloads.vp9.decoder import decode_video
 from repro.workloads.vp9.encoder import Vp9Encoder, encode_video
