@@ -2,8 +2,10 @@
 
     python -m repro figures [--figure "Figure 18"] [--write PATH]
                             [--jobs N] [--no-cache]
+                            [--manifest DIR] [--trace-out PATH]
     python -m repro export [--dir figures_data]
     python -m repro evaluate [--workload chrome|tensorflow|vp9|all] [--jobs N]
+                             [--manifest DIR] [--trace-out PATH]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -13,32 +15,93 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 
+@contextlib.contextmanager
+def _obs_session(args):
+    """An active recorder while ``--manifest``/``--trace-out`` ask for one.
+
+    Yields the recorder (or None when observability stays off); the
+    previous recorder is restored on exit, so in-process callers (tests,
+    notebooks) are unaffected by a CLI run.
+    """
+    if not (getattr(args, "manifest", None) or getattr(args, "trace_out", None)):
+        yield None
+        return
+    from repro.obs.recorder import recording
+
+    with recording() as recorder:
+        yield recorder
+
+
+def _write_obs_outputs(args, recorder, command: str, config=None, results=None):
+    """Write the manifest and/or Chrome trace a run asked for."""
+    if recorder is None:
+        return
+    if args.trace_out:
+        from repro.obs.spans import write_chrome_trace
+
+        print("wrote trace %s" % write_chrome_trace(args.trace_out, recorder.spans))
+    if args.manifest:
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command=command, config=config, results=results, recorder=recorder
+        )
+        print("wrote manifest %s" % write_manifest(args.manifest, manifest))
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument(
+        "--manifest", metavar="DIR",
+        help="write a run manifest (manifest.json) into DIR",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run's spans as Chrome chrome://tracing JSON",
+    )
+
+
 def _cmd_figures(args) -> int:
-    from repro.analysis.report import all_results, write_experiments_md
+    from repro.analysis.report import all_results, render_markdown
 
     cache = None
     if not args.no_cache:
         from repro.core.memo import MemoCache
 
         cache = MemoCache()
-    if args.write:
-        print(
-            "wrote %s" % write_experiments_md(args.write, jobs=args.jobs, cache=cache)
-        )
-        return 0
-    for result in all_results(jobs=args.jobs, cache=cache):
-        if args.figure and args.figure.lower() not in result.figure_id.lower():
-            continue
-        if args.chart:
-            from repro.analysis.ascii import render_chart
-
-            print(render_chart(result))
+    with _obs_session(args) as recorder:
+        results = all_results(jobs=args.jobs, cache=cache)
+        if args.write:
+            with open(args.write, "w") as f:
+                f.write(render_markdown(results))
+            print("wrote %s" % args.write)
         else:
-            print(result.render_text())
-        print()
+            for result in results:
+                if (
+                    args.figure
+                    and args.figure.lower() not in result.figure_id.lower()
+                ):
+                    continue
+                if args.chart:
+                    from repro.analysis.ascii import render_chart
+
+                    print(render_chart(result))
+                else:
+                    print(result.render_text())
+                print()
+        if recorder is not None:
+            from repro.config import default_system
+
+            _write_obs_outputs(
+                args,
+                recorder,
+                command="figures",
+                config=default_system(),
+                results={"figures": [r.figure_id for r in results]},
+            )
     return 0
 
 
@@ -69,26 +132,47 @@ def _cmd_evaluate(args) -> int:
     if not targets:
         print("unknown workload %r" % args.workload, file=sys.stderr)
         return 2
-    result = ExperimentRunner().evaluate(targets, jobs=args.jobs)
-    print("%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc"))
-    for row in result.rows():
+    with _obs_session(args) as recorder:
+        result = ExperimentRunner().evaluate(targets, jobs=args.jobs)
         print(
-            "%-26s %8.2f %8.2f %8.2fx %8.2fx"
+            "%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc")
+        )
+        for row in result.rows():
+            print(
+                "%-26s %8.2f %8.2f %8.2fx %8.2fx"
+                % (
+                    row["target"],
+                    row["energy_pim_core"],
+                    row["energy_pim_acc"],
+                    row["speedup_pim_core"],
+                    row["speedup_pim_acc"],
+                )
+            )
+        print(
+            "mean energy reduction: core %.1f%%, acc %.1f%%"
             % (
-                row["target"],
-                row["energy_pim_core"],
-                row["energy_pim_acc"],
-                row["speedup_pim_core"],
-                row["speedup_pim_acc"],
+                100 * result.mean_pim_core_energy_reduction,
+                100 * result.mean_pim_acc_energy_reduction,
             )
         )
-    print(
-        "mean energy reduction: core %.1f%%, acc %.1f%%"
-        % (
-            100 * result.mean_pim_core_energy_reduction,
-            100 * result.mean_pim_acc_energy_reduction,
-        )
-    )
+        if recorder is not None:
+            from repro.config import default_system
+
+            _write_obs_outputs(
+                args,
+                recorder,
+                command="evaluate --workload %s" % args.workload,
+                config=default_system(),
+                results={
+                    "mean_pim_core_energy_reduction":
+                        result.mean_pim_core_energy_reduction,
+                    "mean_pim_acc_energy_reduction":
+                        result.mean_pim_acc_energy_reduction,
+                    "mean_pim_core_speedup": result.mean_pim_core_speedup,
+                    "mean_pim_acc_speedup": result.mean_pim_acc_speedup,
+                    "targets": result.names,
+                },
+            )
     return 0
 
 
@@ -180,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the on-disk figure memo cache",
     )
+    _add_obs_flags(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     export = sub.add_parser("export", help="export figure data as JSON")
@@ -194,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="evaluate targets with N worker processes",
     )
+    _add_obs_flags(evaluate)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
     characterize = sub.add_parser(

@@ -25,6 +25,8 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs.recorder import get_recorder
+
 
 def _to_builtin(value):
     """JSON fallback: unwrap numpy scalars to builtin int/float/bool."""
@@ -95,12 +97,16 @@ class MemoCache:
         """The cached value for (name, config) at this code version."""
         try:
             with open(self._path(name, config)) as f:
-                return json.load(f)["value"]
+                value = json.load(f)["value"]
         except (OSError, ValueError, KeyError):
+            get_recorder().counters.add("core.memo.misses", 1)
             return default
+        get_recorder().counters.add("core.memo.hits", 1)
+        return value
 
     def put(self, name: str, value, config=None) -> Path:
         """Store a JSON-serializable value; returns the entry path."""
+        get_recorder().counters.add("core.memo.puts", 1)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(name, config)
         document = {"name": name, "version": self.version, "value": value}

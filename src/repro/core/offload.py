@@ -11,6 +11,7 @@ from dataclasses import dataclass, replace
 
 from repro.config import SystemConfig, default_system, CACHE_LINE_BYTES
 from repro.core.target import PimTarget
+from repro.obs.recorder import get_recorder
 from repro.energy.components import EnergyParameters
 from repro.sim.coherence import CoherenceModel
 from repro.sim.cpu import CpuModel, Execution
@@ -91,11 +92,17 @@ class OffloadEngine:
         return self._with_offload_overhead(execution, target)
 
     def compare(self, target: PimTarget) -> TargetComparison:
+        recorder = get_recorder()
+        with recorder.span("core.offload.compare"):
+            with recorder.span("core.offload.cpu_only"):
+                cpu = self.run_cpu(target)
+            with recorder.span("core.offload.pim_core"):
+                pim_core = self.run_pim_core(target)
+            with recorder.span("core.offload.pim_acc"):
+                pim_acc = self.run_pim_acc(target)
+        recorder.counters.add("core.offload.comparisons", 1)
         return TargetComparison(
-            target=target,
-            cpu=self.run_cpu(target),
-            pim_core=self.run_pim_core(target),
-            pim_acc=self.run_pim_acc(target),
+            target=target, cpu=cpu, pim_core=pim_core, pim_acc=pim_acc
         )
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.config import SystemConfig
 from repro.core.offload import OffloadEngine, TargetComparison
 from repro.core.target import PimTarget
 from repro.energy.components import EnergyParameters
+from repro.obs.recorder import get_recorder
 
 
 @dataclass
@@ -103,13 +104,48 @@ class SweepResult:
 _WORKER_ENGINE: OffloadEngine | None = None
 
 
-def _init_worker(system, energy_params) -> None:
+def _init_worker(system, energy_params, observe: bool = False) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = OffloadEngine(system, energy_params)
+    if observe:
+        # A recorder cannot cross the process boundary (it holds locks),
+        # so each worker records into its own and ships snapshots back.
+        from repro.obs.recorder import Recorder, set_recorder
+
+        set_recorder(Recorder())
 
 
 def _compare_in_worker(target: PimTarget) -> "TargetComparison":
     return _WORKER_ENGINE.compare(target)
+
+
+def _compare_in_worker_observed(target: PimTarget):
+    """Worker task when observability is on: (comparison, obs snapshot)."""
+    recorder = get_recorder()
+    recorder.reset()
+    with recorder.span("core.runner.target.%s" % target.name):
+        comparison = _WORKER_ENGINE.compare(target)
+    _publish_comparison(recorder, comparison)
+    return comparison, recorder.snapshot()
+
+
+def _publish_comparison(recorder, comparison: TargetComparison) -> None:
+    """Export one target's results as per-target gauges.
+
+    These six gauges per target are the substrate from which
+    :func:`repro.obs.manifest.headline_from_counters` re-derives the
+    paper's headline averages out of a manifest alone.
+    """
+    counters = recorder.counters
+    base = "core.runner.target.%s." % comparison.target.name
+    for machine, execution in (
+        ("cpu", comparison.cpu),
+        ("pim_core", comparison.pim_core),
+        ("pim_acc", comparison.pim_acc),
+    ):
+        counters.set(base + "energy_j." + machine, execution.energy_j)
+        counters.set(base + "time_s." + machine, execution.time_s)
+    counters.add("core.runner.targets", 1)
 
 
 class ExperimentRunner:
@@ -134,17 +170,31 @@ class ExperimentRunner:
                 streams targets through it, so results are identical to
                 the serial path, in input order.
         """
-        if jobs > 1 and len(targets) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        recorder = get_recorder()
+        with recorder.span("core.runner.evaluate"):
+            if jobs > 1 and len(targets) > 1:
+                from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(targets)),
-                initializer=_init_worker,
-                initargs=(self.system, self.energy_params),
-            ) as pool:
-                comparisons = list(pool.map(_compare_in_worker, targets))
-        else:
-            comparisons = [self.engine.compare(t) for t in targets]
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(targets)),
+                    initializer=_init_worker,
+                    initargs=(self.system, self.energy_params, recorder.enabled),
+                ) as pool:
+                    if recorder.enabled:
+                        pairs = list(pool.map(_compare_in_worker_observed, targets))
+                        comparisons = [comparison for comparison, _ in pairs]
+                        for _, snapshot in pairs:
+                            recorder.merge_snapshot(snapshot)
+                    else:
+                        comparisons = list(pool.map(_compare_in_worker, targets))
+            else:
+                comparisons = []
+                for target in targets:
+                    with recorder.span("core.runner.target.%s" % target.name):
+                        comparison = self.engine.compare(target)
+                    if recorder.enabled:
+                        _publish_comparison(recorder, comparison)
+                    comparisons.append(comparison)
         return SweepResult(comparisons=comparisons)
 
 

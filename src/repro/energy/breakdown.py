@@ -118,5 +118,18 @@ class EnergyBreakdown:
     def zero() -> "EnergyBreakdown":
         return EnergyBreakdown()
 
+    def publish(self, counters, prefix: str) -> None:
+        """Accumulate every component into a counter registry.
+
+        Publishes ``<prefix>.<component>`` for each non-zero component
+        (plus the informational ``cpu_stall`` split), so per-component
+        joules are exported through the observability layer rather than
+        staying buried in result objects.
+        """
+        for name in self._COMPONENT_FIELDS + ("cpu_stall",):
+            value = getattr(self, name)
+            if value:
+                counters.add("%s.%s" % (prefix, name), value)
+
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self._COMPONENT_FIELDS}

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.energy.breakdown import EnergyBreakdown
 from repro.energy.components import EnergyParameters, default_energy_parameters
+from repro.obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # avoid a circular import; KernelProfile is annotation-only
     from repro.sim.profile import KernelProfile
@@ -42,7 +43,7 @@ class EnergyModel:
         cpu_active = profile.instructions * p.cpu_energy_per_instruction
         cpu_stall = max(stall_cycles, 0.0) * p.cpu_stall_energy_per_cycle
         bits = profile.dram_bytes * 8
-        return EnergyBreakdown(
+        breakdown = EnergyBreakdown(
             cpu=cpu_active + cpu_stall,
             cpu_stall=cpu_stall,
             l1=profile.mem_instructions * p.l1_energy_per_access,
@@ -51,6 +52,7 @@ class EnergyModel:
             memctrl=bits * p.memctrl_energy_per_bit,
             dram=bits * p.dram_energy_per_bit,
         )
+        return self._published(breakdown, "energy.cpu_only")
 
     # ------------------------------------------------------------------
     # PIM-core execution
@@ -79,7 +81,10 @@ class EnergyModel:
             profile.pim_bytes * p.internal_energy_per_byte
             + profile.mem_instructions * p.pim_l1_energy_per_access
         )
-        return EnergyBreakdown(pim_compute=compute, pim_memory=memory)
+        return self._published(
+            EnergyBreakdown(pim_compute=compute, pim_memory=memory),
+            "energy.pim_core",
+        )
 
     # ------------------------------------------------------------------
     # PIM-accelerator execution
@@ -98,4 +103,17 @@ class EnergyModel:
             profile.pim_bytes * p.internal_energy_per_byte
             + buffer_accesses * 0.5 * p.pim_l1_energy_per_access
         )
-        return EnergyBreakdown(pim_compute=compute, pim_memory=memory)
+        return self._published(
+            EnergyBreakdown(pim_compute=compute, pim_memory=memory),
+            "energy.pim_acc",
+        )
+
+    @staticmethod
+    def _published(breakdown: EnergyBreakdown, prefix: str) -> EnergyBreakdown:
+        """Export the breakdown through the counter registry when one is
+        listening (per-component joules plus a kernel count)."""
+        recorder = get_recorder()
+        if recorder.enabled:
+            breakdown.publish(recorder.counters, prefix)
+            recorder.counters.add(prefix + ".kernels", 1)
+        return breakdown

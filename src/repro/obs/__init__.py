@@ -1,0 +1,72 @@
+"""Observability: spans, counter registry, and run manifests.
+
+The measurement substrate for the reproduction.  Three pieces:
+
+* **spans** — hierarchical wall-time measurements of run stages,
+  exportable as Chrome ``chrome://tracing`` JSON or a flat text table
+  (:mod:`repro.obs.spans`);
+* **counter registry** — the export path for every statistic the sim
+  (:mod:`repro.sim.cache`, :mod:`repro.sim.dram`,
+  :mod:`repro.sim.coherence`), energy (:mod:`repro.energy.model`), and
+  core (:mod:`repro.core.runner`, :mod:`repro.core.memo`) layers produce
+  (:mod:`repro.obs.counters`);
+* **run manifests** — a JSON reproducibility record (source/config
+  hashes, versions, counters, spans, headline results) written next to
+  every ``figures``/``evaluate`` output (:mod:`repro.obs.manifest`).
+
+Observation is off by default and costs nothing when off: the global
+recorder slot holds a :class:`NullRecorder` whose operations are no-ops.
+Turn it on around any block of work::
+
+    from repro.obs import recording
+
+    with recording() as rec:
+        ExperimentRunner().evaluate(targets)
+    print(rec.counters.as_dict()["core.runner.targets"])
+
+or from the CLI with ``--manifest out/ --trace-out trace.json``.
+"""
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.manifest import (
+    build_manifest,
+    config_hash,
+    headline_from_counters,
+    load_manifest,
+    manifest_json,
+    masked,
+    write_manifest,
+)
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    chrome_trace_events,
+    spans_table,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "NullRecorder",
+    "Recorder",
+    "SpanRecord",
+    "build_manifest",
+    "chrome_trace_events",
+    "config_hash",
+    "get_recorder",
+    "headline_from_counters",
+    "load_manifest",
+    "manifest_json",
+    "masked",
+    "recording",
+    "set_recorder",
+    "spans_table",
+    "write_chrome_trace",
+    "write_manifest",
+]

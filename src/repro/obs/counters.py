@@ -1,0 +1,97 @@
+"""Thread-safe counter/gauge registry.
+
+The registry is the single export path for every quantitative statistic
+the model layers produce: the cache simulator's hit/miss/writeback
+totals, the DRAM models' request streams, the coherence model's flush
+accounting, the energy model's per-component joules, and the runner's
+per-target results.  Layers publish into the registry instead of leaving
+numbers buried in ad-hoc instance attributes, so a run manifest (and any
+regression test) can read them all from one place.
+
+Two kinds of entries exist:
+
+* **counters** (:meth:`CounterRegistry.add`) accumulate — publishing the
+  same name twice sums the values (cache replays, kernel energies);
+* **gauges** (:meth:`CounterRegistry.set`) record point-in-time values —
+  publishing twice keeps the last value (a target's final energy).
+
+Names are dotted paths (``"sim.cache.l1.hits"``) so exports sort into a
+readable hierarchy.  All operations take an internal lock, making the
+registry safe to publish into from multiple threads; cross-process
+aggregation goes through :meth:`snapshot`/:meth:`merge` (the experiment
+runner ships worker snapshots back to the parent and merges them).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CounterRegistry:
+    """A named collection of additive counters and last-write gauges."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sums: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float = 1) -> None:
+        """Accumulate ``value`` into the counter ``name``."""
+        with self._lock:
+            self._sums[name] = self._sums.get(name, 0) + value
+
+    def set(self, name: str, value: float) -> None:
+        """Record ``value`` as the gauge ``name`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: float = 0):
+        with self._lock:
+            if name in self._sums:
+                return self._sums[name]
+            return self._gauges.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sums or name in self._gauges
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sums) + len(self._gauges)
+
+    def as_dict(self) -> dict:
+        """All entries (counters and gauges) in name-sorted order."""
+        with self._lock:
+            merged = dict(self._sums)
+            merged.update(self._gauges)
+        return {name: merged[name] for name in sorted(merged)}
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable copy, suitable for shipping between processes."""
+        with self._lock:
+            return {"sums": dict(self._sums), "gauges": dict(self._gauges)}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters sum, gauges union (the snapshot wins on clashes).
+        """
+        sums = snapshot.get("sums", {})
+        gauges = snapshot.get("gauges", {})
+        with self._lock:
+            for name, value in sums.items():
+                self._sums[name] = self._sums.get(name, 0) + value
+            self._gauges.update(gauges)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._sums.clear()
+            self._gauges.clear()

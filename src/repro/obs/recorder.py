@@ -1,0 +1,271 @@
+"""Recording backends and the process-global recorder slot.
+
+Observability is off by default: the global slot holds a
+:class:`NullRecorder` whose every operation is a constant no-op (shared
+singleton span handle, empty counter facade), so instrumented model code
+costs one attribute lookup per *stage* — never per access — when nothing
+is listening.  Installing a :class:`Recorder` (directly, or via the
+:func:`recording` context manager, or the CLI's ``--manifest`` /
+``--trace-out`` flags) turns the same call sites into real span and
+counter publications.
+
+Publishing layers import :func:`get_recorder` from *this module* (not
+the package) so that low-level modules like :mod:`repro.core.memo` can
+be instrumented without import cycles.
+
+Cross-process: an active recorder cannot be pickled (it holds locks), so
+ProcessPool workers build their own ``Recorder`` and ship
+:meth:`Recorder.snapshot` dicts back; the parent folds them in with
+:meth:`Recorder.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.spans import SpanRecord
+
+
+class _NullSpan:
+    """A reusable, do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullCounters:
+    """Counter facade whose publications vanish."""
+
+    __slots__ = ()
+
+    def add(self, name, value=1):
+        pass
+
+    def set(self, name, value):
+        pass
+
+    def get(self, name, default=0):
+        return default
+
+    def as_dict(self):
+        return {}
+
+    def snapshot(self):
+        return {"sums": {}, "gauges": {}}
+
+    def merge(self, snapshot):
+        pass
+
+    def clear(self):
+        pass
+
+    def __contains__(self, name):
+        return False
+
+    def __len__(self):
+        return 0
+
+
+class NullRecorder:
+    """The disabled recorder: zero state, every operation a no-op."""
+
+    enabled = False
+    counters = _NullCounters()
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"counters": {"sums": {}, "gauges": {}}, "spans": []}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _SpanHandle:
+    """A live (open) span; closing it appends a :class:`SpanRecord`."""
+
+    __slots__ = ("_recorder", "name", "span_id", "parent", "depth", "start_s")
+
+    def __init__(self, recorder: "Recorder", name: str):
+        self._recorder = recorder
+        self.name = name
+        self.span_id = -1
+        self.parent = -1
+        self.depth = 0
+        self.start_s = 0.0
+
+    def __enter__(self):
+        self._recorder._open(self)
+        return self
+
+    def __exit__(self, *exc):
+        self._recorder._close(self)
+        return False
+
+
+class Recorder:
+    """The active recorder: spans + a counter registry.
+
+    Span bookkeeping uses a per-thread open-span stack (so threads nest
+    independently) and a lock around the shared record list and id
+    allocator; counters are thread-safe internally.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.counters = CounterRegistry()
+        self.epoch_s = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _SpanHandle:
+        """An unopened span handle; use as ``with recorder.span("x"):``."""
+        return _SpanHandle(self, name)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, handle: _SpanHandle) -> None:
+        stack = self._stack()
+        with self._lock:
+            handle.span_id = self._next_id
+            self._next_id += 1
+        handle.parent = stack[-1].span_id if stack else -1
+        handle.depth = len(stack)
+        stack.append(handle)
+        handle.start_s = time.perf_counter() - self.epoch_s
+
+    def _close(self, handle: _SpanHandle) -> None:
+        end_s = time.perf_counter() - self.epoch_s
+        stack = self._stack()
+        if stack and stack[-1] is handle:
+            stack.pop()
+        elif handle in stack:  # tolerate out-of-order exits
+            stack.remove(handle)
+        record = SpanRecord(
+            name=handle.name,
+            span_id=handle.span_id,
+            parent=handle.parent,
+            depth=handle.depth,
+            start_s=handle.start_s,
+            duration_s=max(end_s - handle.start_s, 0.0),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """All closed spans, in (process, open-time) order."""
+        with self._lock:
+            records = list(self._records)
+        return sorted(records, key=lambda s: (s.pid, s.start_s, s.span_id))
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable state: counters + spans (e.g. to return from a worker)."""
+        with self._lock:
+            spans = [record.to_dict() for record in self._records]
+        return {"counters": self.counters.snapshot(), "spans": spans}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a child :meth:`snapshot` into this recorder.
+
+        Child span ids are re-based past this recorder's id space so
+        merged records never collide with local ones; parent links within
+        the child are re-based consistently.
+        """
+        self.counters.merge(snapshot.get("counters", {}))
+        spans = snapshot.get("spans", [])
+        if not spans:
+            return
+        with self._lock:
+            base = self._next_id
+            self._next_id += max(s["span_id"] for s in spans) + 1
+            for s in spans:
+                self._records.append(
+                    SpanRecord(
+                        name=s["name"],
+                        span_id=s["span_id"] + base,
+                        parent=s["parent"] + base if s["parent"] >= 0 else -1,
+                        depth=s["depth"],
+                        start_s=s["start_s"],
+                        duration_s=s["duration_s"],
+                        pid=s["pid"],
+                        tid=s["tid"],
+                    )
+                )
+
+    def reset(self) -> None:
+        """Drop all spans and counters (open spans stay open)."""
+        self.counters.clear()
+        with self._lock:
+            self._records.clear()
+
+
+#: The process-global recorder; NullRecorder unless observation is on.
+_RECORDER: NullRecorder | Recorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder | Recorder:
+    """The currently installed recorder (never None)."""
+    return _RECORDER
+
+
+def set_recorder(recorder: NullRecorder | Recorder | None):
+    """Install ``recorder`` globally (None restores the NullRecorder).
+
+    Returns the previously installed recorder so callers can restore it.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder if recorder is not None else NullRecorder()
+    return previous
+
+
+@contextmanager
+def recording(recorder: Recorder | None = None):
+    """Install an active recorder for the duration of a ``with`` block::
+
+        with recording() as rec:
+            ExperimentRunner().evaluate(targets)
+        print(rec.counters.as_dict())
+    """
+    rec = recorder if recorder is not None else Recorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,103 @@
+"""Hierarchical wall-time spans and their export formats.
+
+A span measures one stage of a run (``with recorder.span("sim.cache.replay")``).
+Spans nest: the span open at the time a new span starts becomes its
+parent, giving each record a parent id and a depth.  The recorder stores
+closed spans as immutable :class:`SpanRecord` rows; this module turns
+those rows into the two export formats:
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  ``chrome://tracing`` / Perfetto JSON format ("X" complete events with
+  microsecond timestamps, one row per process/thread);
+* :func:`spans_table` — a flat, indented text table for terminals and
+  manifests.
+
+Timestamps are seconds relative to the owning recorder's epoch, so spans
+merged from worker processes (whose epochs differ) stay internally
+consistent per process and render as separate process rows in the trace
+viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.
+
+    Attributes:
+        name: dotted stage name, e.g. ``"core.runner.evaluate"``.
+        span_id: allocation-ordered id, unique within one recorder.
+        parent: ``span_id`` of the enclosing span, or ``-1`` for roots.
+        depth: nesting depth at open time (0 = top level).
+        start_s: open time, seconds since the recorder's epoch.
+        duration_s: wall time between open and close (never negative).
+        pid: OS process that recorded the span.
+        tid: thread identifier within that process.
+    """
+
+    name: str
+    span_id: int
+    parent: int
+    depth: int
+    start_s: float
+    duration_s: float
+    pid: int
+    tid: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        return cls(**data)
+
+
+def chrome_trace_events(spans: Iterable[SpanRecord]) -> list[dict]:
+    """Spans as Chrome-tracing "X" (complete) events, microsecond units."""
+    return [
+        {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": {"depth": span.depth, "id": span.span_id},
+        }
+        for span in sorted(spans, key=lambda s: (s.pid, s.start_s, s.span_id))
+    ]
+
+
+def write_chrome_trace(path: str | Path, spans: Iterable[SpanRecord]) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON document to ``path``."""
+    path = Path(path)
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2)
+        f.write("\n")
+    return path
+
+
+def spans_table(spans: Iterable[SpanRecord]) -> str:
+    """A flat text table: one indented row per span, durations in ms."""
+    rows = sorted(spans, key=lambda s: (s.pid, s.start_s, s.span_id))
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len("  " * s.depth + s.name) for s in rows)
+    lines = ["%-*s  %12s  %10s" % (width, "span", "start (ms)", "dur (ms)")]
+    for s in rows:
+        lines.append(
+            "%-*s  %12.3f  %10.3f"
+            % (width, "  " * s.depth + s.name, s.start_s * 1e3, s.duration_s * 1e3)
+        )
+    return "\n".join(lines)

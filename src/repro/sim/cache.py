@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.config import CacheConfig, SocConfig, CACHE_LINE_BYTES
+from repro.obs.recorder import get_recorder
 from repro.sim.trace import MemoryTrace
 
 
@@ -186,12 +187,17 @@ class CacheHierarchy:
         produces bit-identical statistics and should be preferred for
         large traces.
         """
-        addresses = trace.addresses
-        writes = trace.is_write
-        access = self.access
-        for i in range(len(trace)):
-            access(int(addresses[i]), bool(writes[i]))
-        return self._finish(len(trace), flush, instructions_hint)
+        recorder = get_recorder()
+        before = self._counter_state() if recorder.enabled else None
+        with recorder.span("sim.cache.replay"):
+            addresses = trace.addresses
+            writes = trace.is_write
+            access = self.access
+            for i in range(len(trace)):
+                access(int(addresses[i]), bool(writes[i]))
+            return self._finish(
+                len(trace), flush, instructions_hint, recorder, before
+            )
 
     def replay_fast(
         self,
@@ -214,6 +220,15 @@ class CacheHierarchy:
         reproduces the per-access statistics exactly.  The equivalence is
         enforced by property tests (``tests/sim/test_replay_equivalence``).
         """
+        recorder = get_recorder()
+        before = self._counter_state() if recorder.enabled else None
+        with recorder.span("sim.cache.replay_fast"):
+            self._replay_line_runs(trace)
+            return self._finish(
+                len(trace), flush, instructions_hint, recorder, before
+            )
+
+    def _replay_line_runs(self, trace: MemoryTrace) -> None:
         run_lines, run_counts, run_writes = trace.line_runs()
         l1, llc = self.l1, self.llc
         l1_num_sets, l1_assoc = l1.config.num_sets, l1.config.associativity
@@ -292,13 +307,52 @@ class CacheHierarchy:
         llc.stats.writebacks += llc_wb
         self.dram_line_reads += dram_reads
         self.dram_line_writes += dram_writes
-        return self._finish(len(trace), flush, instructions_hint)
+
+    #: Registry names for the hierarchy's counters, in the order produced
+    #: by :meth:`_counter_state`.
+    _COUNTER_NAMES = (
+        "sim.cache.l1.accesses",
+        "sim.cache.l1.hits",
+        "sim.cache.l1.misses",
+        "sim.cache.l1.writebacks",
+        "sim.cache.llc.accesses",
+        "sim.cache.llc.hits",
+        "sim.cache.llc.misses",
+        "sim.cache.llc.writebacks",
+        "sim.cache.dram.line_reads",
+        "sim.cache.dram.line_writes",
+    )
+
+    def _counter_state(self) -> tuple:
+        """Every published statistic, as one cumulative tuple."""
+        l1, llc = self.l1.stats, self.llc.stats
+        return (
+            l1.accesses, l1.hits, l1.misses, l1.writebacks,
+            llc.accesses, llc.hits, llc.misses, llc.writebacks,
+            self.dram_line_reads, self.dram_line_writes,
+        )
 
     def _finish(
-        self, num_accesses: int, flush: bool, instructions_hint: float
+        self,
+        num_accesses: int,
+        flush: bool,
+        instructions_hint: float,
+        recorder=None,
+        before: tuple | None = None,
     ) -> HierarchyStats:
         if flush:
             self.flush()
+        if recorder is not None and recorder.enabled:
+            # Publish this replay's *delta* (the stats objects accumulate
+            # across replays on the same hierarchy; the registry must not
+            # double-count earlier replays).
+            counters = recorder.counters
+            after = self._counter_state()
+            base = before if before is not None else (0,) * len(after)
+            for name, prior, current in zip(self._COUNTER_NAMES, base, after):
+                counters.add(name, current - prior)
+            counters.add("sim.cache.replays", 1)
+            counters.add("sim.cache.trace_accesses", num_accesses)
         return HierarchyStats(
             l1=self.l1.stats,
             llc=self.llc.stats,

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.config import SystemConfig, default_system, CACHE_LINE_BYTES
 from repro.energy.components import EnergyParameters, default_energy_parameters
+from repro.obs.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -95,9 +96,18 @@ class CoherenceModel:
         directory_energy = directory_lookups * self.DIRECTORY_LOOKUP_ENERGY_J
         time_s = invocations * (self.LAUNCH_LATENCY_S + flush_time)
         energy_j = invocations * flush_energy + directory_energy
-        return OffloadOverhead(
+        overhead = OffloadOverhead(
             time_s=time_s,
             energy_j=energy_j,
             flushed_lines=flushed_per_invocation * invocations,
             directory_lookups=directory_lookups,
         )
+        recorder = get_recorder()
+        if recorder.enabled:
+            counters = recorder.counters
+            counters.add("sim.coherence.offloads", invocations)
+            counters.add("sim.coherence.flushed_lines", overhead.flushed_lines)
+            counters.add("sim.coherence.directory_lookups", directory_lookups)
+            counters.add("sim.coherence.overhead_time_s", time_s)
+            counters.add("sim.coherence.overhead_energy_j", energy_j)
+        return overhead

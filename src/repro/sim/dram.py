@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import StackedMemoryConfig, CACHE_LINE_BYTES
+from repro.obs.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,14 @@ class OffChipDram:
 
     def service_time(self, total_bytes: float, mlp: float = 8.0) -> float:
         requests = total_bytes / CACHE_LINE_BYTES
-        return self.timings.service_time(total_bytes, requests, mlp)
+        time_s = self.timings.service_time(total_bytes, requests, mlp)
+        recorder = get_recorder()
+        if recorder.enabled:
+            counters = recorder.counters
+            counters.add("sim.dram.offchip.streams", 1)
+            counters.add("sim.dram.offchip.bytes", total_bytes)
+            counters.add("sim.dram.offchip.service_time_s", time_s)
+        return time_s
 
 
 class StackedDramInternal:
@@ -96,4 +104,11 @@ class StackedDramInternal:
             return 0.0
         bw_time = total_bytes / bandwidth
         lat_time = requests * self.timings.access_latency_s / max(mlp * vaults, 1.0)
-        return max(bw_time, lat_time)
+        time_s = max(bw_time, lat_time)
+        recorder = get_recorder()
+        if recorder.enabled:
+            counters = recorder.counters
+            counters.add("sim.dram.internal.streams", 1)
+            counters.add("sim.dram.internal.bytes", total_bytes)
+            counters.add("sim.dram.internal.service_time_s", time_s)
+        return time_s

@@ -49,14 +49,14 @@ class TestRoundtrip:
         _, cstats, _ = roundtrip(data)
         assert 2.0 <= cstats.ratio <= 4.5
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(data=st.binary(min_size=0, max_size=4096))
     def test_arbitrary_bytes_roundtrip(self, data):
         compressed, _ = compress(data)
         restored, _ = decompress(compressed)
         assert restored == data
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     @given(
         chunk=st.binary(min_size=1, max_size=64),
         repeats=st.integers(min_value=2, max_value=200),

@@ -59,7 +59,7 @@ class TestTiling:
         with pytest.raises(ValueError):
             linear_to_tiled(np.zeros((10, 10, 4), dtype=np.float32))
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(
         h=st.integers(min_value=1, max_value=96),
         w=st.integers(min_value=1, max_value=96),

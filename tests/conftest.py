@@ -1,12 +1,37 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis policy for the test suite."""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config import default_system
 from repro.core.offload import OffloadEngine
 from repro.sim.cpu import CpuModel
 from repro.sim.pim import PimAcceleratorModel, PimCoreModel
+
+# One central hypothesis policy: no deadlines (model-code speed varies
+# wildly across CI runners) and pinned example generation (derandomize),
+# so every run — local or CI — executes the identical example set.
+# Individual suites may still override max_examples; unspecified fields
+# inherit from this profile.  Select another profile (e.g. for a fuzzing
+# soak) with REPRO_HYPOTHESIS_PROFILE.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "soak",
+    deadline=None,
+    derandomize=False,
+    max_examples=500,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,119 @@
+"""Unit tests for the counter/gauge registry."""
+
+import threading
+
+from repro.obs import CounterRegistry
+from repro.obs.recorder import NullRecorder, Recorder, get_recorder, recording
+
+
+class TestCounterRegistry:
+    def test_add_accumulates(self):
+        reg = CounterRegistry()
+        reg.add("a.b", 2)
+        reg.add("a.b", 3)
+        reg.add("a.c")
+        assert reg.get("a.b") == 5
+        assert reg.get("a.c") == 1
+        assert reg.get("missing", -1) == -1
+
+    def test_set_is_last_write_wins(self):
+        reg = CounterRegistry()
+        reg.set("g", 1.5)
+        reg.set("g", 2.5)
+        assert reg.get("g") == 2.5
+
+    def test_as_dict_sorted(self):
+        reg = CounterRegistry()
+        reg.add("z.last", 1)
+        reg.add("a.first", 1)
+        reg.set("m.middle", 7)
+        assert list(reg.as_dict()) == ["a.first", "m.middle", "z.last"]
+
+    def test_contains_and_len(self):
+        reg = CounterRegistry()
+        assert "x" not in reg and len(reg) == 0
+        reg.add("x")
+        reg.set("y", 0)
+        assert "x" in reg and "y" in reg and len(reg) == 2
+
+    def test_clear(self):
+        reg = CounterRegistry()
+        reg.add("x")
+        reg.set("y", 1)
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_int_counters_stay_int(self):
+        reg = CounterRegistry()
+        reg.add("n", 1)
+        reg.add("n", 2)
+        assert isinstance(reg.get("n"), int)
+
+    def test_merge_sums_counters_and_unions_gauges(self):
+        parent = CounterRegistry()
+        parent.add("hits", 10)
+        parent.set("parent_only", 1.0)
+        child = CounterRegistry()
+        child.add("hits", 5)
+        child.add("child_only", 2)
+        child.set("gauge", 9.0)
+        parent.merge(child.snapshot())
+        assert parent.get("hits") == 15
+        assert parent.get("child_only") == 2
+        assert parent.get("gauge") == 9.0
+        assert parent.get("parent_only") == 1.0
+
+    def test_thread_safety_of_add(self):
+        reg = CounterRegistry()
+        per_thread, threads = 2000, 8
+
+        def work():
+            for _ in range(per_thread):
+                reg.add("shared")
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert reg.get("shared") == per_thread * threads
+
+
+class TestRecorderGlobals:
+    def test_default_recorder_is_null(self):
+        rec = get_recorder()
+        assert isinstance(rec, NullRecorder)
+        assert not rec.enabled
+
+    def test_null_recorder_is_inert(self):
+        rec = NullRecorder()
+        with rec.span("anything"):
+            rec.counters.add("x", 1)
+            rec.counters.set("y", 2)
+        assert rec.counters.as_dict() == {}
+        assert rec.spans == []
+        assert rec.counters.get("x", 5) == 5
+
+    def test_recording_installs_and_restores(self):
+        before = get_recorder()
+        with recording() as rec:
+            assert get_recorder() is rec
+            assert isinstance(rec, Recorder)
+            rec.counters.add("k")
+        assert get_recorder() is before
+
+    def test_recording_restores_on_error(self):
+        before = get_recorder()
+        try:
+            with recording():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_recorder() is before
+
+    def test_recorder_reset(self):
+        rec = Recorder()
+        with rec.span("s"):
+            rec.counters.add("c")
+        rec.reset()
+        assert rec.spans == [] and len(rec.counters) == 0

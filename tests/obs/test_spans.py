@@ -1,0 +1,147 @@
+"""Property tests for span nesting and the Chrome-trace export.
+
+Hypothesis drives random open/close sequences (with-statement discipline:
+a close always closes the most recently opened span) and asserts the
+structural invariants the export formats rely on: durations are never
+negative, every child's parent exists (no orphans), children are fully
+contained within their parents, and same-parent siblings never overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.recorder import Recorder
+from repro.obs.spans import chrome_trace_events, spans_table, write_chrome_trace
+
+
+def run_sequence(ops: list[bool]) -> Recorder:
+    """Interpret True as span-open, False as close-most-recent."""
+    rec = Recorder()
+    stack = []
+    for i, is_open in enumerate(ops):
+        if is_open:
+            handle = rec.span("s%d" % i)
+            handle.__enter__()
+            stack.append(handle)
+        elif stack:
+            stack.pop().__exit__(None, None, None)
+    while stack:
+        stack.pop().__exit__(None, None, None)
+    return rec
+
+
+class TestSpanProperties:
+    @settings(max_examples=100)
+    @given(ops=st.lists(st.booleans(), max_size=120))
+    def test_nesting_invariants(self, ops):
+        rec = run_sequence(ops)
+        spans = rec.spans
+        assert len(spans) == sum(ops)
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)  # unique ids
+        for s in spans:
+            assert s.duration_s >= 0.0
+            assert s.start_s >= 0.0
+            if s.parent == -1:
+                assert s.depth == 0
+            else:
+                parent = by_id.get(s.parent)
+                assert parent is not None, "orphaned child %r" % (s,)
+                assert parent.depth == s.depth - 1
+                # Containment: the child opened after and closed before.
+                assert parent.start_s <= s.start_s
+                assert (
+                    s.start_s + s.duration_s
+                    <= parent.start_s + parent.duration_s
+                )
+
+    @settings(max_examples=100)
+    @given(ops=st.lists(st.booleans(), max_size=120))
+    def test_siblings_never_overlap(self, ops):
+        spans = run_sequence(ops).spans
+        by_parent: dict[int, list] = {}
+        for s in spans:
+            by_parent.setdefault(s.parent, []).append(s)
+        for siblings in by_parent.values():
+            siblings.sort(key=lambda s: s.start_s)
+            for first, second in zip(siblings, siblings[1:]):
+                assert first.start_s + first.duration_s <= second.start_s
+
+    @settings(max_examples=100)
+    @given(ops=st.lists(st.booleans(), max_size=120))
+    def test_chrome_export_is_valid(self, ops):
+        spans = run_sequence(ops).spans
+        events = chrome_trace_events(spans)
+        assert len(events) == len(spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["name"], str)
+            assert event["args"]["depth"] >= 0
+        # Chronological within the (single) process.
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+
+    @settings(max_examples=50)
+    @given(ops=st.lists(st.booleans(), max_size=60))
+    def test_snapshot_merge_preserves_structure(self, ops):
+        child = run_sequence(ops)
+        parent = Recorder()
+        with parent.span("parent.work"):
+            pass
+        parent.merge_snapshot(child.snapshot())
+        spans = parent.spans
+        assert len(spans) == sum(ops) + 1
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)  # rebasing avoided id collisions
+        for s in spans:
+            if s.parent != -1:
+                assert s.parent in by_id
+
+
+class TestSpanExports:
+    def test_empty_table(self):
+        assert spans_table([]) == "(no spans recorded)"
+
+    def test_table_contains_names_and_indentation(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        table = spans_table(rec.spans)
+        assert "outer" in table and "  inner" in table
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        rec = Recorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        path = write_chrome_trace(tmp_path / "trace.json", rec.spans)
+        with open(path) as f:
+            document = json.load(f)
+        assert document["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in document["traceEvents"]] == ["a", "b"]
+
+    def test_threaded_spans_record_distinct_tids(self):
+        rec = Recorder()
+        barrier = threading.Barrier(4)  # all threads alive at once, so
+        # thread identifiers cannot be reused across them
+
+        def work():
+            with rec.span("threaded"):
+                barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = rec.spans
+        assert len(spans) == 4
+        assert all(s.depth == 0 for s in spans)  # stacks are per-thread
+        assert len({s.tid for s in spans}) == 4

@@ -52,7 +52,7 @@ accesses = st.lists(
 
 
 class TestAgainstReference:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(seq=accesses)
     def test_matches_reference_small_cache(self, seq):
         config = CacheConfig(size_bytes=1024, associativity=2)  # 8 sets
@@ -66,7 +66,7 @@ class TestAgainstReference:
         assert cache.stats.misses == ref.misses
         assert cache.stats.writebacks == ref.writebacks
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(seq=accesses)
     def test_matches_reference_direct_mapped(self, seq):
         config = CacheConfig(size_bytes=256, associativity=1)  # 4 lines
@@ -75,7 +75,7 @@ class TestAgainstReference:
         for line, is_write in seq:
             assert cache.access(line, is_write) == ref.access(line, is_write)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(seq=accesses)
     def test_matches_reference_fully_associative(self, seq):
         config = CacheConfig(size_bytes=512, associativity=8)  # 1 set
@@ -85,7 +85,7 @@ class TestAgainstReference:
         for line, is_write in seq:
             assert cache.access(line, is_write) == ref.access(line, is_write)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(seq=accesses)
     def test_invariant_hits_plus_misses(self, seq):
         cache = Cache(CacheConfig(size_bytes=1024, associativity=4))

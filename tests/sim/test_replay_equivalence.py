@@ -15,6 +15,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CACHE_LINE_BYTES, CacheConfig, SocConfig
+from repro.obs import recording
 from repro.sim.cache import CacheHierarchy, replay_trace
 from repro.sim.trace import MemoryTrace, TraceRecorder
 
@@ -43,7 +44,7 @@ address_lists = st.lists(
 
 
 class TestReplayEquivalence:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(addresses=address_lists, data=st.data())
     def test_random_traces(self, addresses, data):
         writes = [data.draw(st.booleans()) for _ in addresses]
@@ -53,7 +54,7 @@ class TestReplayEquivalence:
         )
         assert_equivalent(trace, tiny_soc())
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(
         start=st.integers(min_value=0, max_value=1 << 12),
         size=st.integers(min_value=1, max_value=1 << 14),
@@ -65,7 +66,7 @@ class TestReplayEquivalence:
         (rec.write if write else rec.read)(start, size)
         assert_equivalent(rec.trace(), tiny_soc())
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(
         stride=st.integers(min_value=1, max_value=4096),
         count=st.integers(min_value=1, max_value=200),
@@ -77,7 +78,7 @@ class TestReplayEquivalence:
             rec.read(i * stride, span)
         assert_equivalent(rec.trace(), tiny_soc())
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(
         passes=st.integers(min_value=1, max_value=6),
         size=st.integers(min_value=64, max_value=8192),
@@ -129,7 +130,7 @@ class TestLineRuns:
         lines, counts, writes = TraceRecorder().trace().line_runs()
         assert len(lines) == len(counts) == len(writes) == 0
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(addresses=address_lists, data=st.data())
     def test_runs_reconstruct_line_sequence(self, addresses, data):
         writes = [data.draw(st.booleans()) for _ in addresses]
@@ -145,6 +146,82 @@ class TestLineRuns:
         assert not np.any(lines[1:] == lines[:-1])
         expected = np.logical_or.reduceat(trace.is_write, np.cumsum(np.append(0, counts[:-1]))) if len(lines) else run_writes
         np.testing.assert_array_equal(run_writes, expected)
+
+
+def registry_output(trace: MemoryTrace, soc: SocConfig, fast: bool) -> dict:
+    """The full counter-registry export of one replay on a fresh hierarchy."""
+    with recording() as rec:
+        hierarchy = CacheHierarchy(soc)
+        (hierarchy.replay_fast if fast else hierarchy.replay)(trace)
+    return rec.counters.as_dict()
+
+
+class TestCounterRegistryEquivalence:
+    """Differential: both replay paths publish *identical registries*.
+
+    Stricter than comparing ``HierarchyStats``: the assertion covers the
+    exported counter names and every value — L1/LLC hits, misses,
+    writebacks, DRAM line traffic, replay/access bookkeeping — i.e. the
+    exact payload a run manifest would contain.
+    """
+
+    @settings(max_examples=40)
+    @given(addresses=address_lists, data=st.data())
+    def test_registry_identical_on_random_traces(self, addresses, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        trace = MemoryTrace(
+            addresses=np.array(addresses, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+        )
+        oracle = registry_output(trace, tiny_soc(), fast=False)
+        fast = registry_output(trace, tiny_soc(), fast=True)
+        assert fast == oracle
+        if len(trace):
+            assert oracle["sim.cache.l1.accesses"] == len(trace)
+        assert oracle["sim.cache.replays"] == 1
+        assert oracle["sim.cache.trace_accesses"] == len(trace)
+
+    @settings(max_examples=20)
+    @given(
+        stride=st.integers(min_value=1, max_value=4096),
+        count=st.integers(min_value=1, max_value=120),
+        span=st.integers(min_value=8, max_value=256),
+    )
+    def test_registry_identical_on_strided_traces(self, stride, count, span):
+        rec = TraceRecorder(granularity=8)
+        for i in range(count):
+            rec.read(i * stride, span)
+        trace = rec.trace()
+        assert registry_output(trace, tiny_soc(), fast=True) == registry_output(
+            trace, tiny_soc(), fast=False
+        )
+
+    def test_second_replay_publishes_delta_not_cumulative(self):
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, 8 * 1024)
+        trace = rec.trace()
+        with recording() as obs:
+            hierarchy = CacheHierarchy(tiny_soc())
+            hierarchy.replay_fast(trace)
+            first = dict(obs.counters.as_dict())
+            hierarchy.replay_fast(trace)
+        second = obs.counters.as_dict()
+        # The registry accumulates per-replay deltas, so two replays of
+        # the same trace publish exactly twice the accesses of one --
+        # even though the hierarchy's own stats objects are cumulative.
+        assert second["sim.cache.replays"] == 2
+        assert (
+            second["sim.cache.l1.accesses"] == 2 * first["sim.cache.l1.accesses"]
+        )
+
+    def test_disabled_recorder_publishes_nothing(self):
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, 4 * 1024)
+        trace = rec.trace()
+        with recording() as obs:
+            pass  # recorder active only inside the block
+        CacheHierarchy(tiny_soc()).replay_fast(trace)
+        assert obs.counters.as_dict() == {}
 
 
 class EagerRecorder:
@@ -198,7 +275,7 @@ ops = st.lists(
 
 
 class TestLazyRecorderMatchesEager:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(sequence=ops, gran=st.sampled_from([1, 7, 8, 64]))
     def test_byte_for_byte(self, sequence, gran):
         lazy = TraceRecorder(granularity=gran)

@@ -46,7 +46,7 @@ class TestCorrectness:
         with pytest.raises(ValueError):
             quantized_gemm(bad, qtensor(4, 4))
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(
         m=st.integers(min_value=1, max_value=12),
         k=st.integers(min_value=1, max_value=12),

@@ -59,7 +59,7 @@ class TestPacking:
         with pytest.raises(ValueError):
             pack_matrix(matrix(4, 4), panel_rows=0)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(
         rows=st.integers(min_value=1, max_value=40),
         cols=st.integers(min_value=1, max_value=40),

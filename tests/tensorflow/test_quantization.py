@@ -49,7 +49,7 @@ class TestQuantize:
         err = np.abs(dequantize_tensor(q) - x).max()
         assert err <= q.scale * 0.51
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(x=float_arrays)
     def test_roundtrip_property(self, x):
         q = quantize_tensor(x)
@@ -58,7 +58,7 @@ class TestQuantize:
         span = max(max(float(x.max()), 0.0) - min(float(x.min()), 0.0), 1e-9)
         assert np.abs(restored - x).max() <= span / 255.0 + 1e-4
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(x=float_arrays)
     def test_values_fit_uint8(self, x):
         q = quantize_tensor(x)

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import headline_from_counters, load_manifest
 
 
 class TestParser:
@@ -90,3 +93,108 @@ class TestCommands:
     def test_evaluate_parallel(self, capsys):
         assert main(["evaluate", "--workload", "chrome", "--jobs", "2"]) == 0
         assert "texture_tiling" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_evaluate_writes_manifest_and_trace(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--workload",
+                    "chrome",
+                    "--manifest",
+                    str(out_dir),
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote manifest" in out and "wrote trace" in out
+
+        manifest = load_manifest(out_dir)
+        assert manifest["schema"] == "repro-run-manifest/v1"
+        assert manifest["counters"]["core.runner.targets"] == 4
+        assert manifest["counters"]["core.offload.comparisons"] == 4
+        assert manifest["counters"]["sim.dram.offchip.bytes"] > 0
+        assert manifest["counters"]["energy.pim_acc.pim_memory"] > 0
+        span_names = [s["name"] for s in manifest["spans"]]
+        assert "core.runner.evaluate" in span_names
+        assert "core.runner.target.texture_tiling" in span_names
+
+        with open(trace_path) as f:
+            document = json.load(f)
+        assert document["traceEvents"]
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_evaluate_manifest_rederives_results(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["evaluate", "--manifest", str(out_dir)]) == 0
+        manifest = load_manifest(out_dir)
+        derived = headline_from_counters(manifest["counters"])
+        results = manifest["results"]
+        assert (
+            abs(
+                derived["mean_pim_acc_energy_reduction"]
+                - results["mean_pim_acc_energy_reduction"]
+            )
+            < 1e-12
+        )
+        assert (
+            abs(derived["mean_pim_acc_speedup"] - results["mean_pim_acc_speedup"])
+            < 1e-12
+        )
+        assert sorted(derived["targets"]) == sorted(results["targets"])
+
+    def test_evaluate_parallel_manifest_merges_workers(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--workload",
+                    "chrome",
+                    "--jobs",
+                    "2",
+                    "--manifest",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        manifest = load_manifest(out_dir)
+        assert manifest["counters"]["core.runner.targets"] == 4
+        # Per-target spans recorded in worker processes came home.
+        names = [s["name"] for s in manifest["spans"]]
+        assert "core.runner.target.color_blitting" in names
+
+    def test_figures_manifest(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "figures",
+                    "--figure",
+                    "Table 1",
+                    "--manifest",
+                    str(out_dir),
+                    "--trace-out",
+                    str(tmp_path / "trace.json"),
+                ]
+            )
+            == 0
+        )
+        manifest = load_manifest(out_dir)
+        assert manifest["command"].startswith("figures")
+        assert manifest["results"]["figures"]
+        assert "analysis.all_results" in [s["name"] for s in manifest["spans"]]
+        assert (tmp_path / "trace.json").exists()
+
+    def test_no_flags_no_files(self, tmp_path, capsys):
+        assert main(["evaluate", "--workload", "vp9"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote manifest" not in out and "wrote trace" not in out

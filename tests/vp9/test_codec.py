@@ -141,7 +141,7 @@ class TestCodecProperty:
     def test_roundtrip_over_random_parameters(self):
         from hypothesis import given, settings, strategies as st
 
-        @settings(max_examples=8, deadline=None)
+        @settings(max_examples=8)
         @given(
             qstep=st.sampled_from([4, 16, 48, 120]),
             motion=st.floats(min_value=0.0, max_value=5.0),

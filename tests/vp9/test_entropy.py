@@ -64,7 +64,7 @@ class TestRangeCoder:
         assert dec.decode_literal(12) == 0xABC
         assert dec.decode_literal(3) == 5
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(
         bits=st.lists(st.integers(min_value=0, max_value=1), max_size=300),
         prob=st.integers(min_value=1, max_value=255),
@@ -73,7 +73,7 @@ class TestRangeCoder:
         decoded, _ = roundtrip(bits, [prob] * len(bits))
         assert decoded == bits
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(
         pairs=st.lists(
             st.tuples(st.integers(min_value=0, max_value=1),

@@ -45,7 +45,7 @@ class TestRoundtrip:
         f = Frame(pixels=pixels)
         assert np.array_equal(decompress_frame(compress_frame(f)).pixels, pixels)
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     @given(seed=st.integers(min_value=0, max_value=10_000),
            noise=st.floats(min_value=0.0, max_value=20.0))
     def test_roundtrip_property(self, seed, noise):

@@ -21,7 +21,7 @@ garbage = st.binary(min_size=0, max_size=512)
 
 
 class TestLzoFuzz:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     @given(data=garbage)
     def test_decompress_never_crashes(self, data):
         try:
@@ -32,7 +32,7 @@ class TestLzoFuzz:
 
 
 class TestFrameCompressFuzz:
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(data=st.binary(min_size=0, max_size=2048))
     def test_decompress_frame_never_crashes(self, data):
         # Structure is deterministic: random bits decode to *some* frame
@@ -42,7 +42,7 @@ class TestFrameCompressFuzz:
 
 
 class TestRangeDecoderFuzz:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(data=garbage, probs=st.lists(st.integers(1, 255), min_size=1,
                                         max_size=64))
     def test_decode_any_bytes(self, data, probs):
@@ -58,7 +58,7 @@ class TestVp9DecoderFuzz:
         encoded, _ = encode_video(clip)
         return encoded
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(noise=st.binary(min_size=8, max_size=256),
            seed=st.integers(0, 1000))
     def test_corrupted_inter_frame(self, key_frame, noise, seed):
@@ -76,7 +76,7 @@ class TestVp9DecoderFuzz:
         except ValueError:
             pass
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     @given(data=st.binary(min_size=6, max_size=128))
     def test_pure_garbage_key_frame(self, data):
         """Fully random bytes presented as a key frame."""

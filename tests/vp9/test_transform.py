@@ -53,7 +53,7 @@ class TestDct:
             forward_dct(a + b), forward_dct(a) + forward_dct(b), atol=1e-9
         )
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(b=blocks)
     def test_roundtrip_property(self, b):
         assert np.allclose(inverse_dct(forward_dct(b)), b, atol=1e-6)
