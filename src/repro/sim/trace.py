@@ -108,6 +108,26 @@ class MemoryTrace:
 #: Internal op kinds for TraceRecorder's compact record list.
 _RANGE = 0
 _ARRAY = 1
+_BATCH = 2
+
+
+def _expand_ranges(
+    bases: np.ndarray, counts: np.ndarray, granularity: int
+) -> np.ndarray:
+    """Per-access addresses for many (base, count) ranges, in order.
+
+    Equivalent to concatenating ``base + arange(count) * granularity``
+    for every range, without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint64)
+    starts = np.repeat(bases, counts)
+    range_origin = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.uint64) - np.repeat(
+        range_origin, counts
+    ).astype(np.uint64)
+    return starts + offsets * np.uint64(granularity)
 
 
 class TraceRecorder:
@@ -149,6 +169,34 @@ class TraceRecorder:
         )
         self._ops.append((_ARRAY, addrs, True))
 
+    def record_ranges(self, bases, sizes, writes) -> None:
+        """Record many (base, size, is_write) ranges in one call.
+
+        Equivalent to issuing :meth:`read`/:meth:`write` once per range
+        in array order, but with constant Python work per *batch*: the
+        arrays are stored as one compact record and expanded together at
+        :meth:`trace` time.  Vectorized kernels (e.g. the fast texture
+        tiling path) use this to emit a whole frame's worth of range
+        records at once; the materialized trace is byte-identical to the
+        per-call recording, including read/write interleaving.
+        """
+        bases = np.ascontiguousarray(bases, dtype=np.uint64)
+        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        writes = np.ascontiguousarray(writes, dtype=bool)
+        if not (bases.shape == sizes.shape == writes.shape) or bases.ndim != 1:
+            raise ValueError("bases, sizes, writes must be equal-length 1-D arrays")
+        if sizes.size == 0:
+            return
+        if int(sizes.min()) < 0:
+            raise ValueError("size must be non-negative")
+        nonzero = sizes > 0
+        if not nonzero.all():
+            bases, sizes, writes = bases[nonzero], sizes[nonzero], writes[nonzero]
+            if sizes.size == 0:
+                return
+        counts = (sizes + self.granularity - 1) // self.granularity
+        self._ops.append((_BATCH, (bases, counts, writes), None))
+
     def _record(self, base: int, size: int, is_write: bool) -> None:
         if size < 0:
             raise ValueError("size must be non-negative")
@@ -163,32 +211,60 @@ class TraceRecorder:
         for kind, payload, _ in self._ops:
             if kind == _RANGE:
                 total += payload[1]
-            else:
+            elif kind == _ARRAY:
                 total += int(payload.shape[0])
+            else:
+                total += int(payload[1].sum())
         return total
 
-    def _materialize(self, kind: int, payload) -> np.ndarray:
-        if kind == _RANGE:
-            base, count = payload
-            return np.uint64(base) + np.arange(count, dtype=np.uint64) * np.uint64(
-                self.granularity
-            )
-        return payload
+    def range_records(self) -> list:
+        """All recorded accesses as normalized (base, count, is_write)
+        tuples in recording order.
+
+        Batch records unfold into their per-range tuples and index
+        records into one tuple per element, so two recorders that
+        recorded the same access stream through different APIs compare
+        equal.  Used by the scalar-vs-fast differential tests.
+        """
+        records: list = []
+        for kind, payload, w in self._ops:
+            if kind == _RANGE:
+                records.append((int(payload[0]), int(payload[1]), w))
+            elif kind == _ARRAY:
+                records.extend((int(a), 1, w) for a in payload.tolist())
+            else:
+                bases, counts, writes = payload
+                records.extend(
+                    zip(bases.tolist(), counts.tolist(), writes.tolist())
+                )
+        return records
 
     def trace(self) -> MemoryTrace:
         if not self._ops:
             return MemoryTrace(
                 addresses=np.empty(0, dtype=np.uint64), is_write=np.empty(0, dtype=bool)
             )
-        chunks = [self._materialize(kind, payload) for kind, payload, _ in self._ops]
-        addresses = np.concatenate(chunks)
-        flags = np.concatenate(
-            [
-                np.full(chunk.shape[0], w, dtype=bool)
-                for chunk, (_, _, w) in zip(chunks, self._ops)
-            ]
+        addr_chunks = []
+        flag_chunks = []
+        for kind, payload, w in self._ops:
+            if kind == _RANGE:
+                base, count = payload
+                addr_chunks.append(
+                    np.uint64(base)
+                    + np.arange(count, dtype=np.uint64) * np.uint64(self.granularity)
+                )
+                flag_chunks.append(np.full(count, w, dtype=bool))
+            elif kind == _ARRAY:
+                addr_chunks.append(payload)
+                flag_chunks.append(np.full(payload.shape[0], w, dtype=bool))
+            else:
+                bases, counts, writes = payload
+                addr_chunks.append(_expand_ranges(bases, counts, self.granularity))
+                flag_chunks.append(np.repeat(writes, counts))
+        return MemoryTrace(
+            addresses=np.concatenate(addr_chunks),
+            is_write=np.concatenate(flag_chunks),
         )
-        return MemoryTrace(addresses=addresses, is_write=flags)
 
 
 class AddressSpace:

@@ -20,11 +20,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.obs.recorder import get_recorder
+
 MIN_MATCH = 4
 MAX_DISTANCE = 0xFFFF
 _HASH_MULT = 2654435761  # Knuth multiplicative hash
 _LITERAL_MAX = 128
 _LEN_FIELD_MAX = 126
+_TABLE_SIZE = 1 << 14
+#: Match extension compares this many bytes per slice comparison in the
+#: fast path before falling back to a byte scan inside the failing chunk.
+_EXTEND_CHUNK = 64
 
 
 @dataclass
@@ -58,9 +66,92 @@ def _hash4(data: bytes, pos: int) -> int:
     return ((word * _HASH_MULT) & 0xFFFFFFFF) >> 18  # 14-bit table
 
 
-def compress(data: bytes) -> tuple[bytes, LzoStats]:
-    """Greedy LZ77 compression.  Returns (compressed bytes, stats)."""
+def _hash_all(data: bytes) -> list:
+    """Hashes of every 4-byte prefix of ``data``, computed vectorized.
+
+    ``hashes[i] == _hash4(data, i)`` for every valid position; uint32
+    multiplication wraps exactly like the scalar ``& 0xFFFFFFFF``.
+    """
+    arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    words = (
+        arr[:-3] | (arr[1:-2] << 8) | (arr[2:-1] << 16) | (arr[3:] << 24)
+    )
+    return ((words * np.uint32(_HASH_MULT)) >> np.uint32(18)).tolist()
+
+
+def _extend_match(data: bytes, candidate: int, pos: int, n: int) -> int:
+    """Longest match length from (candidate, pos), chunked slice compares.
+
+    Equivalent to the scalar byte-at-a-time extension: whole
+    ``_EXTEND_CHUNK``-byte slices are compared at C speed, and the first
+    unequal chunk is scanned bytewise for the exact mismatch offset.
+    """
+    length = MIN_MATCH
+    limit = n - pos
+    while length < limit:
+        step = min(_EXTEND_CHUNK, limit - length)
+        if (
+            data[candidate + length : candidate + length + step]
+            == data[pos + length : pos + length + step]
+        ):
+            length += step
+            continue
+        for _ in range(step):
+            if data[candidate + length] != data[pos + length]:
+                break
+            length += 1
+        break
+    return length
+
+
+def _compress_fast(data: bytes, stats: LzoStats) -> bytes:
+    """Vectorized-scan compressor core: precomputed hash stream, flat
+    probe table, and chunked match extension.  Emits byte-identical
+    output and stats to the scalar core."""
+    out = bytearray()
+    hashes = _hash_all(data) if len(data) >= MIN_MATCH else []
+    table = [-1] * _TABLE_SIZE
+    literal_start = 0
+    pos = 0
+    n = len(data)
+    while pos + MIN_MATCH <= n:
+        h = hashes[pos]
+        stats.hash_lookups += 1
+        candidate = table[h]
+        table[h] = pos
+        if (
+            candidate >= 0
+            and pos - candidate <= MAX_DISTANCE
+            and data[candidate : candidate + MIN_MATCH] == data[pos : pos + MIN_MATCH]
+        ):
+            length = _extend_match(data, candidate, pos, n)
+            stats.compare_bytes += length
+            _flush_literals(data, literal_start, pos, out, stats)
+            _emit_match(length, pos - candidate, out, stats)
+            pos += length
+            literal_start = pos
+        else:
+            pos += 1
+    _flush_literals(data, literal_start, n, out, stats)
+    return bytes(out)
+
+
+def compress(data: bytes, fast: bool = True) -> tuple[bytes, LzoStats]:
+    """Greedy LZ77 compression.  Returns (compressed bytes, stats).
+
+    ``fast`` (default) selects the vectorized-scan core (hash table built
+    from a batched 4-byte hash of the whole input, chunked match
+    extension); the scalar core hashes and compares byte by byte.  Both
+    produce identical output bytes and statistics.
+    """
     stats = LzoStats(input_bytes=len(data))
+    get_recorder().counters.add(
+        "kernel.lzo.fast_path" if fast else "kernel.lzo.scalar_path"
+    )
+    if fast:
+        compressed = _compress_fast(data, stats)
+        stats.output_bytes = len(compressed)
+        return compressed, stats
     out = bytearray()
     table: dict[int, int] = {}
     literal_start = 0
@@ -126,9 +217,18 @@ def _emit_varint(value: int, out: bytearray) -> None:
     out.append(value)
 
 
-def decompress(compressed: bytes) -> tuple[bytes, LzoStats]:
-    """Inverse of :func:`compress`.  Returns (original bytes, stats)."""
+def decompress(compressed: bytes, fast: bool = True) -> tuple[bytes, LzoStats]:
+    """Inverse of :func:`compress`.  Returns (original bytes, stats).
+
+    ``fast`` (default) copies non-overlapping matches as whole slices and
+    expands self-overlapping matches by periodic replication (an LZ77
+    overlap copy repeats the last ``distance`` bytes cyclically); the
+    scalar path copies byte by byte.  Outputs and stats are identical.
+    """
     stats = LzoStats(input_bytes=len(compressed))
+    get_recorder().counters.add(
+        "kernel.lzo.fast_path" if fast else "kernel.lzo.scalar_path"
+    )
     out = bytearray()
     pos = 0
     n = len(compressed)
@@ -156,9 +256,17 @@ def decompress(compressed: bytes) -> tuple[bytes, LzoStats]:
             if distance == 0 or distance > len(out):
                 raise ValueError("invalid match distance %d at offset %d" % (distance, pos))
             start = len(out) - distance
-            # Byte-by-byte copy: LZ77 matches may overlap themselves.
-            for i in range(length):
-                out.append(out[start + i])
+            if not fast:
+                # Byte-by-byte copy: LZ77 matches may overlap themselves.
+                for i in range(length):
+                    out.append(out[start + i])
+            elif distance >= length:
+                out += out[start : start + length]
+            else:
+                # Self-overlapping match: the copy repeats the trailing
+                # ``distance`` bytes cyclically.
+                pattern = bytes(out[start:])
+                out += (pattern * (length // distance + 1))[:length]
             stats.matches += 1
             stats.match_bytes += length
     stats.output_bytes = len(out)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.recorder import get_recorder
 from repro.sim.profile import KernelProfile
 from repro.sim.trace import TraceRecorder
 
@@ -92,7 +93,11 @@ def tiled_to_linear(texture: TiledTexture) -> np.ndarray:
 
 
 def linear_to_tiled_traced(
-    bitmap: np.ndarray, recorder: TraceRecorder, src_base: int = 0, dst_base: int = 1 << 28
+    bitmap: np.ndarray,
+    recorder: TraceRecorder,
+    src_base: int = 0,
+    dst_base: int = 1 << 28,
+    fast: bool = True,
 ) -> TiledTexture:
     """Tiling with its memory accesses recorded tile-row by tile-row.
 
@@ -100,12 +105,48 @@ def linear_to_tiled_traced(
     ``TILE_W * 4``-byte chunks strided by the full bitmap pitch, while the
     destination tile is written contiguously -- exactly the pattern that
     produces one LLC miss per source chunk on large bitmaps.
+
+    With ``fast`` (the default) the whole frame's range records are
+    computed with array arithmetic and emitted as one
+    :meth:`TraceRecorder.record_ranges` batch; the scalar path issues one
+    read + one write call per tile row.  Both produce identical
+    (base, count, is_write) range records, hence identical traces.
     """
     _check_bitmap(bitmap)
     height, width = bitmap.shape[:2]
     pitch = width * BYTES_PER_PIXEL
     rows = (height + TILE_H - 1) // TILE_H
     cols = (width + TILE_W - 1) // TILE_W
+    get_recorder().counters.add(
+        "kernel.texture_tiling.fast_path" if fast else "kernel.texture_tiling.scalar_path"
+    )
+    if fast:
+        # (rows, cols, TILE_H) offset grids in (tr, tc, y) iteration order.
+        tr, tc, y = np.meshgrid(
+            np.arange(rows), np.arange(cols), np.arange(TILE_H), indexing="ij"
+        )
+        src_y = tr * TILE_H + y
+        valid = (src_y < height).ravel()
+        src_off = (
+            src_base + src_y * pitch + tc * TILE_W * BYTES_PER_PIXEL
+        ).ravel()[valid]
+        dst_off = (
+            dst_base
+            + (tr * cols + tc) * TILE_BYTES
+            + y * TILE_W * BYTES_PER_PIXEL
+        ).ravel()[valid]
+        chunk = (
+            np.minimum(TILE_W, width - tc * TILE_W) * BYTES_PER_PIXEL
+        ).ravel()[valid]
+        n = src_off.shape[0]
+        # Interleave read/write exactly as the scalar loop issues them.
+        bases = np.empty(2 * n, dtype=np.int64)
+        bases[0::2], bases[1::2] = src_off, dst_off
+        sizes = np.repeat(chunk, 2)
+        writes = np.zeros(2 * n, dtype=bool)
+        writes[1::2] = True
+        recorder.record_ranges(bases, sizes, writes)
+        return linear_to_tiled(bitmap)
     for tr in range(rows):
         for tc in range(cols):
             tile_base = dst_base + (tr * cols + tc) * TILE_BYTES
@@ -121,7 +162,7 @@ def linear_to_tiled_traced(
 
 
 def compositing_trace(
-    width: int, height: int, tiled: bool, base: int = 0
+    width: int, height: int, tiled: bool, base: int = 0, fast: bool = True
 ) -> "MemoryTrace":
     """The GPU compositor's access stream over one texture, sampled in
     *vertical* order (a rotated/scaled composite -- the access direction
@@ -145,6 +186,35 @@ def compositing_trace(
     rec = TraceRecorder(granularity=quad)
     pitch = width * BYTES_PER_PIXEL
     cols = (width + TILE_W - 1) // TILE_W
+    get_recorder().counters.add(
+        "kernel.compositing.fast_path" if fast else "kernel.compositing.scalar_path"
+    )
+    if fast:
+        if tiled:
+            tr, tc, xq, y = np.meshgrid(
+                np.arange((height + TILE_H - 1) // TILE_H),
+                np.arange(cols),
+                np.arange(0, TILE_W, 4),
+                np.arange(TILE_H),
+                indexing="ij",
+            )
+            offsets = (
+                base
+                + (tr * cols + tc) * TILE_BYTES
+                + y * TILE_W * BYTES_PER_PIXEL
+                + xq * BYTES_PER_PIXEL
+            ).ravel()
+        else:
+            xq, y = np.meshgrid(
+                np.arange(0, width, 4), np.arange(height), indexing="ij"
+            )
+            offsets = (base + y * pitch + xq * BYTES_PER_PIXEL).ravel()
+        rec.record_ranges(
+            offsets,
+            np.full(offsets.shape[0], quad, dtype=np.int64),
+            np.zeros(offsets.shape[0], dtype=bool),
+        )
+        return rec.trace()
     if tiled:
         for tr in range((height + TILE_H - 1) // TILE_H):
             for tc in range(cols):

@@ -7,6 +7,13 @@ filter across them.  It runs over every 8x8 block edge of the frame
 (vertical edges first, then horizontal, as in VP9), reading up to four
 pixels on each side and modifying up to two -- a streaming, branchy,
 low-compute kernel that touches the whole frame.
+
+Two engines are provided: a mask-based whole-frame fast path (the
+default) that filters every edge of a pass at once, and a per-pixel
+scalar oracle.  Edges are 8 columns apart while the filter reads columns
+x-2..x+1 and writes x-1..x, so no two edges of a pass share pixels; the
+edges of one pass are therefore independent and the two engines are
+bit-identical (enforced by ``tests/perf/test_vectorized_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.recorder import get_recorder
 from repro.workloads.vp9.frame import Frame
 
 #: Deblocking runs on the transform-block grid.
@@ -30,52 +38,90 @@ class DeblockStats:
     pixels_modified: int = 0
 
 
-def _filter_edges(pixels: np.ndarray, threshold: int, stats: DeblockStats) -> np.ndarray:
-    """Filter all vertical edges of ``pixels`` in place (columns at
+def _filter_edges_fast(
+    pixels: np.ndarray, threshold: int, stats: DeblockStats
+) -> np.ndarray:
+    """Filter all vertical edges of ``pixels`` at once (columns at
     multiples of EDGE_SPACING).  Horizontal edges are handled by calling
     this on the transpose."""
     h, w = pixels.shape
     work = pixels.astype(np.int32)
-    for x in range(EDGE_SPACING, w, EDGE_SPACING):
-        p1 = work[:, x - 2]
-        p0 = work[:, x - 1]
-        q0 = work[:, x]
-        q1 = work[:, x + 1] if x + 1 < w else work[:, x]
-        stats.edges_checked += h
-        # Filter condition: a step across the edge that is larger than
-        # the local gradient on either side (i.e. a blocking artifact,
-        # not a natural image edge).
-        step = np.abs(p0 - q0)
-        flat_p = np.abs(p1 - p0)
-        flat_q = np.abs(q0 - q1)
-        mask = (step > 0) & (step <= threshold) & (flat_p <= threshold) & (
-            flat_q <= threshold
-        )
-        count = int(mask.sum())
-        if count == 0:
-            continue
+    xs = np.arange(EDGE_SPACING, w, EDGE_SPACING)
+    if xs.size == 0:
+        return np.clip(work, 0, 255).astype(np.uint8)
+    # Gather the four pixels around every edge as (h, n_edges) panels.
+    p1 = work[:, xs - 2]
+    p0 = work[:, xs - 1]
+    q0 = work[:, xs]
+    q1 = work[:, np.minimum(xs + 1, w - 1)]
+    stats.edges_checked += h * int(xs.size)
+    # Filter condition: a step across the edge that is larger than the
+    # local gradient on either side (i.e. a blocking artifact, not a
+    # natural image edge).
+    step = np.abs(p0 - q0)
+    mask = (
+        (step > 0)
+        & (step <= threshold)
+        & (np.abs(p1 - p0) <= threshold)
+        & (np.abs(q0 - q1) <= threshold)
+    )
+    count = int(mask.sum())
+    if count:
         stats.edges_filtered += count
         stats.pixels_modified += 2 * count
         # 4-tap low-pass across the edge (VP9's normal filter shape).
         avg = (p1 + p0 + q0 + q1 + 2) >> 2
-        new_p0 = np.where(mask, (p0 + avg + 1) >> 1, p0)
-        new_q0 = np.where(mask, (q0 + avg + 1) >> 1, q0)
-        work[:, x - 1] = new_p0
-        work[:, x] = new_q0
+        work[:, xs - 1] = np.where(mask, (p0 + avg + 1) >> 1, p0)
+        work[:, xs] = np.where(mask, (q0 + avg + 1) >> 1, q0)
     return np.clip(work, 0, 255).astype(np.uint8)
 
 
+def _filter_edges_scalar(
+    pixels: np.ndarray, threshold: int, stats: DeblockStats
+) -> np.ndarray:
+    """Per-pixel scalar oracle for :func:`_filter_edges_fast`."""
+    h, w = pixels.shape
+    work = [[int(v) for v in row] for row in pixels.tolist()]
+    for x in range(EDGE_SPACING, w, EDGE_SPACING):
+        xq1 = x + 1 if x + 1 < w else x
+        for row in work:
+            p1, p0, q0, q1 = row[x - 2], row[x - 1], row[x], row[xq1]
+            stats.edges_checked += 1
+            step = abs(p0 - q0)
+            if not (
+                0 < step <= threshold
+                and abs(p1 - p0) <= threshold
+                and abs(q0 - q1) <= threshold
+            ):
+                continue
+            stats.edges_filtered += 1
+            stats.pixels_modified += 2
+            avg = (p1 + p0 + q0 + q1 + 2) >> 2
+            row[x - 1] = (p0 + avg + 1) >> 1
+            row[x] = (q0 + avg + 1) >> 1
+    return np.clip(np.array(work, dtype=np.int32), 0, 255).astype(np.uint8)
+
+
 def deblock_frame(
-    frame: Frame, threshold: int = 12, stats: DeblockStats | None = None
+    frame: Frame,
+    threshold: int = 12,
+    stats: DeblockStats | None = None,
+    fast: bool = True,
 ) -> Frame:
     """Apply the in-loop deblocking filter to a reconstructed frame.
 
     Vertical block edges are filtered first, then horizontal edges (on
     the result), matching VP9's ordering.  Returns a new frame.
+    ``fast`` selects the whole-frame mask engine (default) or the scalar
+    oracle; outputs and stats are bit-identical.
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
     stats = stats if stats is not None else DeblockStats()
-    vertical = _filter_edges(frame.pixels, threshold, stats)
-    horizontal = _filter_edges(vertical.T, threshold, stats).T
+    get_recorder().counters.add(
+        "kernel.deblock.fast_path" if fast else "kernel.deblock.scalar_path"
+    )
+    filter_edges = _filter_edges_fast if fast else _filter_edges_scalar
+    vertical = filter_edges(frame.pixels, threshold, stats)
+    horizontal = filter_edges(vertical.T, threshold, stats).T
     return Frame(pixels=np.ascontiguousarray(horizontal))

@@ -50,13 +50,38 @@ class TestBasics:
 
     def test_bandwidth_floor(self):
         """Even with unlimited MSHRs, DRAM issue spacing enforces the
-        channel bandwidth."""
+        channel bandwidth.
+
+        Uses replay_fast: with every access missing to DRAM and 10k
+        MSHRs, the scalar oracle's O(mshrs) in-flight filtering makes it
+        ~100x slower on this trace; the deque-based fast path is
+        bit-identical (see test_replay_fast_matches_scalar_oracle).
+        """
         trace = streaming_trace(2 * MB)
         result = TimingSimulator(
             params=TimingParameters(mshrs=10_000)
-        ).replay(trace, instructions_per_access=0.1)
+        ).replay_fast(trace, instructions_per_access=0.1)
         lines = 2 * MB // 64
         assert result.cycles >= lines * 5.0 * 0.99
+
+    def test_replay_fast_matches_scalar_oracle(self, rng):
+        """replay and replay_fast return bit-identical TimingResults on a
+        small trace mixing hits, LLC hits, and MSHR-limited misses."""
+        rec = TraceRecorder(granularity=8)
+        rec.read(0, 64 * 1024)
+        rec.read(0, 64 * 1024)  # L1/LLC reuse
+        for a in rng.integers(0, 1 << 26, size=2000):
+            rec.read(int(a) * 64, 8)
+        rec.write(0, 16 * 1024)
+        trace = rec.trace()
+        for params in (
+            TimingParameters(),
+            TimingParameters(mshrs=1),
+            TimingParameters(mshrs=10_000),
+        ):
+            scalar = TimingSimulator(params=params).replay(trace)
+            fast = TimingSimulator(params=params).replay_fast(trace)
+            assert scalar == fast
 
 
 class TestRooflineValidation:
