@@ -1,0 +1,113 @@
+"""Fault-injection campaign driver (validation-layer benchmark).
+
+Times a deterministic, seeded fuzz campaign against the validation
+layer: random and mutated LZO streams through both decompressor paths,
+and poisoned values through the config constructors.  The assertions
+are the point — nothing may escape with anything but a clean
+``ValueError``/``ConfigError`` — and the timing catches rejection-cost
+regressions (a varint bomb must be refused in microseconds, not after
+a multi-gigabyte allocation attempt).
+
+Run with ``pytest benchmarks/bench_validation_fuzz.py -s``.
+"""
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.validate import ConfigError
+from repro.workloads.chrome import lzo
+
+SEED = 20180324  # deterministic campaign; same inputs every run
+STREAMS = 60
+CONFIGS = 120
+
+
+def _make_inputs(rng):
+    """Half pure garbage, half single-byte corruptions of a valid stream."""
+    valid, _ = lzo.compress(
+        bytes(rng.integers(0, 4, 512, dtype=np.uint8).tobytes()) * 4
+    )
+    inputs = []
+    for i in range(STREAMS):
+        if i % 2:
+            size = int(rng.integers(1, 256))
+            inputs.append(rng.integers(0, 256, size, dtype=np.uint8).tobytes())
+        else:
+            mutated = bytearray(valid)
+            for _ in range(3):
+                mutated[int(rng.integers(0, len(mutated)))] = int(
+                    rng.integers(0, 256)
+                )
+            inputs.append(bytes(mutated))
+    return inputs
+
+
+def _decoder_campaign(inputs):
+    outcomes = {"ok": 0, "rejected": 0}
+    # Shrink the expansion cap: a mutated stream may legally demand a
+    # near-cap expansion, and the campaign times rejection, not copying.
+    previous = lzo.MAX_OUTPUT_BYTES
+    lzo.MAX_OUTPUT_BYTES = 1 << 16
+    try:
+        for data in inputs:
+            for fast in (True, False):
+                try:
+                    lzo.decompress(data, fast=fast)
+                    outcomes["ok"] += 1
+                except ValueError:
+                    outcomes["rejected"] += 1
+    finally:
+        lzo.MAX_OUTPUT_BYTES = previous
+    return outcomes
+
+
+def _config_campaign(rng):
+    poison = [0, -1, 3, 48, 1 << 20, None]
+    outcomes = {"ok": 0, "rejected": 0}
+    for _ in range(CONFIGS):
+        kwargs = dict(
+            size_bytes=int(rng.integers(-64, 1 << 16)),
+            associativity=int(rng.integers(-2, 16)),
+            line_bytes=poison[int(rng.integers(0, len(poison)))],
+        )
+        try:
+            CacheConfig(**kwargs)
+            outcomes["ok"] += 1
+        except ConfigError:
+            outcomes["rejected"] += 1
+    return outcomes
+
+
+def test_decoder_fuzz_campaign(benchmark):
+    inputs = _make_inputs(np.random.default_rng(SEED))
+    outcomes = benchmark(_decoder_campaign, inputs)
+    assert outcomes["ok"] + outcomes["rejected"] == 2 * STREAMS
+    assert outcomes["rejected"] > 0  # the campaign does exercise rejection
+    print("\ndecoder campaign: %(ok)d accepted, %(rejected)d rejected" % outcomes)
+
+
+def test_config_fuzz_campaign(benchmark):
+    outcomes = benchmark(_config_campaign, np.random.default_rng(SEED))
+    assert outcomes["ok"] + outcomes["rejected"] == CONFIGS
+    assert outcomes["rejected"] > outcomes["ok"]  # poison dominates
+    print("\nconfig campaign: %(ok)d accepted, %(rejected)d rejected" % outcomes)
+
+
+def test_varint_bomb_rejection_is_cheap(benchmark):
+    extra = bytearray()
+    lzo._emit_varint(1 << 42, extra)  # ~4 TB match length
+    bomb = (
+        bytes([0x00, 0x41])
+        + bytes([0x80 | 127]) + bytes(extra)
+        + bytes([0x01, 0x00])
+    )
+
+    def reject():
+        try:
+            lzo.decompress(bomb)
+        except ValueError as exc:
+            return str(exc)
+        raise AssertionError("bomb was not rejected")
+
+    message = benchmark(reject)
+    assert "expands output beyond" in message

@@ -62,6 +62,11 @@ def _add_obs_flags(parser) -> None:
         "--trace-out", metavar="PATH",
         help="write the run's spans as Chrome chrome://tracing JSON",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="check runtime conservation invariants during the run "
+        "(equivalent to REPRO_STRICT=1)",
+    )
 
 
 def _cmd_figures(args) -> int:
@@ -306,7 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from repro.validate import InvariantError, strict_mode
+
+    scope = (
+        strict_mode()
+        if getattr(args, "strict", False)
+        else contextlib.nullcontext()
+    )
+    try:
+        with scope:
+            return args.fn(args)
+    except (ValueError, InvariantError) as exc:
+        # ConfigError is a ValueError: bad configs, malformed bitstreams,
+        # and strict-mode violations all surface as one actionable line.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

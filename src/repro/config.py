@@ -20,6 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.validate.errors import ConfigError
+from repro.validate.fields import (
+    require_at_least,
+    require_positive,
+    require_positive_int,
+    require_power_of_two,
+)
+
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
@@ -45,10 +53,17 @@ class CacheConfig:
         return self.num_lines // self.associativity
 
     def __post_init__(self) -> None:
+        require_positive_int(self, "size_bytes", self.size_bytes)
+        require_positive_int(self, "associativity", self.associativity)
+        require_power_of_two(self, "line_bytes", self.line_bytes)
+        require_positive_int(self, "hit_latency_cycles", self.hit_latency_cycles)
         if self.size_bytes % (self.line_bytes * self.associativity):
-            raise ValueError(
-                "cache size %d is not divisible by line*assoc (%d*%d)"
-                % (self.size_bytes, self.line_bytes, self.associativity)
+            raise ConfigError(
+                type(self).__name__,
+                "size_bytes",
+                self.size_bytes,
+                "must be divisible by line_bytes*associativity (%d*%d)"
+                % (self.line_bytes, self.associativity),
             )
 
 
@@ -75,6 +90,12 @@ class SocConfig:
         )
     )
 
+    def __post_init__(self) -> None:
+        require_positive_int(self, "num_cores", self.num_cores)
+        require_positive_int(self, "issue_width", self.issue_width)
+        require_positive(self, "frequency_hz", self.frequency_hz)
+        require_positive(self, "sustained_ipc", self.sustained_ipc)
+
 
 @dataclass(frozen=True)
 class PimCoreConfig:
@@ -95,6 +116,14 @@ class PimCoreConfig:
     )
     area_mm2: float = 0.33  # Cortex-R8 footprint bound (Section 3.3)
 
+    def __post_init__(self) -> None:
+        require_positive_int(self, "cores_per_vault", self.cores_per_vault)
+        require_positive_int(self, "issue_width", self.issue_width)
+        require_positive_int(self, "simd_width", self.simd_width)
+        require_positive(self, "frequency_hz", self.frequency_hz)
+        require_positive(self, "sustained_ipc", self.sustained_ipc)
+        require_positive(self, "area_mm2", self.area_mm2)
+
 
 @dataclass(frozen=True)
 class PimAcceleratorConfig:
@@ -112,6 +141,13 @@ class PimAcceleratorConfig:
     energy_efficiency_vs_cpu: float = 20.0
     buffer_bytes: int = 32 * KB
 
+    def __post_init__(self) -> None:
+        require_positive_int(self, "logic_units", self.logic_units)
+        require_positive(self, "ops_per_unit_per_cycle", self.ops_per_unit_per_cycle)
+        require_positive(self, "frequency_hz", self.frequency_hz)
+        require_positive(self, "energy_efficiency_vs_cpu", self.energy_efficiency_vs_cpu)
+        require_positive_int(self, "buffer_bytes", self.buffer_bytes)
+
 
 @dataclass(frozen=True)
 class StackedMemoryConfig:
@@ -128,6 +164,22 @@ class StackedMemoryConfig:
     offchip_bandwidth: float = 32 * GB
     logic_layer_area_mm2: float = 55.0  # 50-60 mm^2 available (Section 3.3)
 
+    def __post_init__(self) -> None:
+        require_positive_int(self, "capacity_bytes", self.capacity_bytes)
+        require_positive_int(self, "num_vaults", self.num_vaults)
+        require_positive(self, "internal_bandwidth", self.internal_bandwidth)
+        require_positive(self, "offchip_bandwidth", self.offchip_bandwidth)
+        require_positive(self, "logic_layer_area_mm2", self.logic_layer_area_mm2)
+        # The logic layer sits *inside* the stack: it cannot see less
+        # bandwidth than the off-chip channel it feeds.
+        require_at_least(
+            self,
+            "internal_bandwidth",
+            self.internal_bandwidth,
+            self.offchip_bandwidth,
+            "offchip_bandwidth",
+        )
+
     @property
     def area_per_vault_mm2(self) -> float:
         """Area available for PIM logic in each vault (~3.5-4.4 mm^2)."""
@@ -142,6 +194,17 @@ class BaselineMemoryConfig:
     bandwidth: float = 32 * GB
     scheduler: str = "FR-FCFS"
 
+    def __post_init__(self) -> None:
+        require_positive_int(self, "capacity_bytes", self.capacity_bytes)
+        require_positive(self, "bandwidth", self.bandwidth)
+        if not isinstance(self.scheduler, str) or not self.scheduler:
+            raise ConfigError(
+                type(self).__name__,
+                "scheduler",
+                self.scheduler,
+                "must be a non-empty scheduler name",
+            )
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -152,6 +215,25 @@ class SystemConfig:
     pim_accelerator: PimAcceleratorConfig = field(default_factory=PimAcceleratorConfig)
     stacked_memory: StackedMemoryConfig = field(default_factory=StackedMemoryConfig)
     baseline_memory: BaselineMemoryConfig = field(default_factory=BaselineMemoryConfig)
+
+    _FIELD_TYPES = (
+        ("soc", SocConfig),
+        ("pim_core", PimCoreConfig),
+        ("pim_accelerator", PimAcceleratorConfig),
+        ("stacked_memory", StackedMemoryConfig),
+        ("baseline_memory", BaselineMemoryConfig),
+    )
+
+    def __post_init__(self) -> None:
+        for name, expected in self._FIELD_TYPES:
+            value = getattr(self, name)
+            if not isinstance(value, expected):
+                raise ConfigError(
+                    type(self).__name__,
+                    name,
+                    value,
+                    "must be a %s instance" % expected.__name__,
+                )
 
     @property
     def bandwidth_ratio(self) -> float:

@@ -11,7 +11,10 @@ the figure harnesses.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, fields
+
+from repro.validate.strict import invariant
 
 
 class Component(str, enum.Enum):
@@ -133,3 +136,36 @@ class EnergyBreakdown:
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self._COMPONENT_FIELDS}
+
+    def check_invariants(self, name: str = "energy.breakdown") -> None:
+        """Strict-mode conservation checks on this breakdown.
+
+        Raises :class:`repro.validate.InvariantError` (and publishes
+        ``validate.<name>.*`` counters) if any component is negative or
+        non-finite, the stall split exceeds the CPU total, or the
+        compute/data-movement split fails to reconstruct ``total``.
+        """
+        bad = [
+            (field_name, value)
+            for field_name in self._COMPONENT_FIELDS + ("cpu_stall",)
+            for value in (getattr(self, field_name),)
+            if not math.isfinite(value) or value < 0.0
+        ]
+        invariant(
+            not bad,
+            name + ".components",
+            "negative or non-finite components: %r" % bad,
+        )
+        invariant(
+            self.cpu_stall <= self.cpu * (1.0 + 1e-12),
+            name + ".stall_share",
+            "cpu_stall %.17g exceeds cpu %.17g" % (self.cpu_stall, self.cpu),
+        )
+        total = self.total
+        reconstructed = self.compute + self.data_movement
+        invariant(
+            abs(reconstructed - total) <= 1e-9 * max(abs(total), 1e-30),
+            name + ".conservation",
+            "compute + data_movement = %.17g but total = %.17g"
+            % (reconstructed, total),
+        )

@@ -20,7 +20,9 @@ factors), which depend only on the relative magnitudes below:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+from repro.validate.fields import require_positive
 
 PJ = 1e-12  # picojoule, in joules
 NJ = 1e-9  # nanojoule, in joules
@@ -80,6 +82,13 @@ class EnergyParameters:
     stacked_internal_energy_per_bit: float = 17 * PJ
     #: Vault-controller energy per bit for internal accesses.
     vault_ctrl_energy_per_bit: float = 3 * PJ
+
+    def __post_init__(self) -> None:
+        # Every parameter is an energy cost per event: zero or negative
+        # joules (or NaN) silently zeroes whole components downstream, so
+        # all fields must be strictly positive and finite.
+        for f in fields(self):
+            require_positive(self, f.name, getattr(self, f.name))
 
     # --- Derived conveniences --------------------------------------------
     @property

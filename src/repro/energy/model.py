@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 from repro.energy.breakdown import EnergyBreakdown
 from repro.energy.components import EnergyParameters, default_energy_parameters
 from repro.obs.recorder import get_recorder
+from repro.validate.strict import resolve_strict
 
 if TYPE_CHECKING:  # avoid a circular import; KernelProfile is annotation-only
     from repro.sim.profile import KernelProfile
@@ -111,7 +112,10 @@ class EnergyModel:
     @staticmethod
     def _published(breakdown: EnergyBreakdown, prefix: str) -> EnergyBreakdown:
         """Export the breakdown through the counter registry when one is
-        listening (per-component joules plus a kernel count)."""
+        listening (per-component joules plus a kernel count); under
+        strict mode every produced breakdown is invariant-checked."""
+        if resolve_strict():
+            breakdown.check_invariants(prefix)
         recorder = get_recorder()
         if recorder.enabled:
             breakdown.publish(recorder.counters, prefix)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.config import CacheConfig, SocConfig, CACHE_LINE_BYTES
 from repro.obs.recorder import get_recorder
 from repro.sim.trace import MemoryTrace
+from repro.validate.strict import invariant, resolve_strict
 
 
 @dataclass
@@ -180,15 +181,18 @@ class CacheHierarchy:
         trace: MemoryTrace,
         flush: bool = True,
         instructions_hint: float = 0.0,
+        strict: bool | None = None,
     ) -> HierarchyStats:
         """Replay a full trace, one access at a time.
 
         This is the slow, obviously-correct path; :meth:`replay_fast`
         produces bit-identical statistics and should be preferred for
-        large traces.
+        large traces.  ``strict`` arms the conservation invariants
+        (``None`` defers to the global strict mode).
         """
+        strict = resolve_strict(strict)
         recorder = get_recorder()
-        before = self._counter_state() if recorder.enabled else None
+        before = self._counter_state() if (recorder.enabled or strict) else None
         with recorder.span("sim.cache.replay"):
             addresses = trace.addresses
             writes = trace.is_write
@@ -196,7 +200,7 @@ class CacheHierarchy:
             for i in range(len(trace)):
                 access(int(addresses[i]), bool(writes[i]))
             return self._finish(
-                len(trace), flush, instructions_hint, recorder, before
+                len(trace), flush, instructions_hint, recorder, before, strict
             )
 
     def replay_fast(
@@ -204,6 +208,7 @@ class CacheHierarchy:
         trace: MemoryTrace,
         flush: bool = True,
         instructions_hint: float = 0.0,
+        strict: bool | None = None,
     ) -> HierarchyStats:
         """Replay a trace via line-run compression; bit-identical to
         :meth:`replay`.
@@ -220,16 +225,19 @@ class CacheHierarchy:
         reproduces the per-access statistics exactly.  The equivalence is
         enforced by property tests (``tests/sim/test_replay_equivalence``).
         """
+        strict = resolve_strict(strict)
         recorder = get_recorder()
-        before = self._counter_state() if recorder.enabled else None
+        before = self._counter_state() if (recorder.enabled or strict) else None
         with recorder.span("sim.cache.replay_fast"):
-            self._replay_line_runs(trace)
+            self._replay_line_runs(trace, strict)
             return self._finish(
-                len(trace), flush, instructions_hint, recorder, before
+                len(trace), flush, instructions_hint, recorder, before, strict
             )
 
-    def _replay_line_runs(self, trace: MemoryTrace) -> None:
+    def _replay_line_runs(self, trace: MemoryTrace, strict: bool = False) -> None:
         run_lines, run_counts, run_writes = trace.line_runs()
+        if strict:
+            self._check_line_runs(len(trace), run_lines, run_counts)
         l1, llc = self.l1, self.llc
         l1_num_sets, l1_assoc = l1.config.num_sets, l1.config.associativity
         llc_num_sets, llc_assoc = llc.config.num_sets, llc.config.associativity
@@ -332,6 +340,74 @@ class CacheHierarchy:
             self.dram_line_reads, self.dram_line_writes,
         )
 
+    @staticmethod
+    def _check_line_runs(num_accesses, run_lines, run_counts) -> None:
+        """Strict-mode structural checks on a trace's line-run compression.
+
+        The replay_fast equivalence argument assumes the run encoding is
+        well-formed: counts cover the trace exactly, every run is
+        non-empty, and consecutive runs change line (otherwise a fold
+        could hide an eviction between same-line runs).
+        """
+        invariant(
+            int(run_counts.sum()) == num_accesses,
+            "trace.line_runs.total",
+            "run counts sum to %d for a %d-access trace"
+            % (int(run_counts.sum()), num_accesses),
+        )
+        invariant(
+            run_counts.size == 0 or int(run_counts.min()) >= 1,
+            "trace.line_runs.counts",
+            "found an empty line run",
+        )
+        invariant(
+            bool((run_lines[1:] != run_lines[:-1]).all()),
+            "trace.line_runs.boundaries",
+            "consecutive runs share a cache line",
+        )
+
+    def _check_accounting(self, num_accesses: int, before: tuple) -> None:
+        """Strict-mode conservation laws over this replay's stat deltas.
+
+        Computed as deltas so replays accumulating on a shared hierarchy
+        are each checked in isolation.
+        """
+        after = self._counter_state()
+        (
+            l1_acc, l1_hit, l1_miss, l1_wb,
+            llc_acc, llc_hit, llc_miss, llc_wb,
+            dram_reads, dram_writes,
+        ) = tuple(now - prior for prior, now in zip(before, after))
+        invariant(
+            l1_hit + l1_miss == l1_acc,
+            "cache.l1.accounting",
+            "hits %d + misses %d != accesses %d" % (l1_hit, l1_miss, l1_acc),
+        )
+        invariant(
+            llc_hit + llc_miss == llc_acc,
+            "cache.llc.accounting",
+            "hits %d + misses %d != accesses %d" % (llc_hit, llc_miss, llc_acc),
+        )
+        invariant(
+            l1_acc == num_accesses,
+            "cache.l1.coverage",
+            "L1 saw %d accesses for a %d-access trace" % (l1_acc, num_accesses),
+        )
+        invariant(
+            llc_acc == l1_miss + l1_wb,
+            "cache.llc.traffic",
+            "LLC accesses %d != L1 misses %d + L1 writebacks %d"
+            % (llc_acc, l1_miss, l1_wb),
+        )
+        # Every LLC miss fetches exactly one line from DRAM, and every
+        # dirty LLC eviction (or flush) writes exactly one line back.
+        invariant(
+            dram_reads == llc_miss and dram_writes == llc_wb,
+            "cache.dram.traffic",
+            "DRAM deltas reads=%d writes=%d vs LLC misses=%d writebacks=%d"
+            % (dram_reads, dram_writes, llc_miss, llc_wb),
+        )
+
     def _finish(
         self,
         num_accesses: int,
@@ -339,9 +415,12 @@ class CacheHierarchy:
         instructions_hint: float,
         recorder=None,
         before: tuple | None = None,
+        strict: bool = False,
     ) -> HierarchyStats:
         if flush:
             self.flush()
+        if strict and before is not None:
+            self._check_accounting(num_accesses, before)
         if recorder is not None and recorder.enabled:
             # Publish this replay's *delta* (the stats objects accumulate
             # across replays on the same hierarchy; the registry must not
@@ -363,10 +442,13 @@ class CacheHierarchy:
 
 
 def replay_trace(
-    trace: MemoryTrace, soc: SocConfig | None = None, fast: bool = True
+    trace: MemoryTrace,
+    soc: SocConfig | None = None,
+    fast: bool = True,
+    strict: bool | None = None,
 ) -> HierarchyStats:
     """Convenience wrapper: replay ``trace`` through a fresh hierarchy."""
     hierarchy = CacheHierarchy(soc)
     if fast:
-        return hierarchy.replay_fast(trace)
-    return hierarchy.replay(trace)
+        return hierarchy.replay_fast(trace, strict=strict)
+    return hierarchy.replay(trace, strict=strict)

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import CACHE_LINE_BYTES
+from repro.validate.errors import ConfigError
+from repro.validate.fields import require_fraction, require_non_negative
 
 
 @dataclass(frozen=True)
@@ -55,15 +57,40 @@ class KernelProfile:
     pim_bytes: float = -1.0
     notes: str = ""
 
+    #: Numeric fields that must be finite and >= 0 (``pim_bytes`` is
+    #: excluded: any negative value is the "default to dram_bytes" flag).
+    _NON_NEGATIVE_FIELDS = (
+        "instructions",
+        "mem_instructions",
+        "alu_ops",
+        "l1_misses",
+        "llc_misses",
+        "dram_bytes",
+        "working_set_bytes",
+    )
+
     def __post_init__(self):
-        if self.instructions < 0 or self.mem_instructions < 0 or self.alu_ops < 0:
-            raise ValueError("operation counts must be non-negative")
-        if not 0.0 <= self.simd_fraction <= 1.0:
-            raise ValueError("simd_fraction must be in [0, 1]")
+        for name in self._NON_NEGATIVE_FIELDS:
+            require_non_negative(self, name, getattr(self, name))
+        require_fraction(self, "simd_fraction", self.simd_fraction)
         if self.mem_instructions > self.instructions:
-            raise ValueError("mem_instructions cannot exceed instructions")
-        if self.pim_bytes < 0:
+            raise ConfigError(
+                type(self).__name__,
+                "mem_instructions",
+                self.mem_instructions,
+                "cannot exceed instructions (%r)" % self.instructions,
+            )
+        pim_bytes = self.pim_bytes
+        if (
+            isinstance(pim_bytes, bool)
+            or not isinstance(pim_bytes, (int, float))
+            or pim_bytes != pim_bytes  # NaN is not a valid sentinel
+        ):
+            require_non_negative(self, "pim_bytes", pim_bytes)
+        if pim_bytes < 0:
             object.__setattr__(self, "pim_bytes", float(self.dram_bytes))
+        else:
+            require_non_negative(self, "pim_bytes", pim_bytes)  # rejects +inf
 
     # ------------------------------------------------------------------
     # Derived statistics

@@ -29,6 +29,8 @@ from repro.config import SocConfig, CACHE_LINE_BYTES
 from repro.obs.recorder import get_recorder
 from repro.sim.cache import CacheHierarchy
 from repro.sim.trace import MemoryTrace
+from repro.validate.fields import require_non_negative, require_positive_int
+from repro.validate.strict import invariant, resolve_strict
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,16 @@ class TimingParameters:
     #: Minimum issue interval between DRAM misses, enforcing the off-chip
     #: channel bandwidth (64 B line at 25.6 GB/s sustained, 2 GHz clock).
     dram_issue_interval_cycles: float = 5.0
+
+    def __post_init__(self) -> None:
+        require_positive_int(self, "l1_hit_cycles", self.l1_hit_cycles)
+        require_positive_int(self, "llc_hit_cycles", self.llc_hit_cycles)
+        require_positive_int(self, "dram_cycles", self.dram_cycles)
+        require_positive_int(self, "mshrs", self.mshrs)
+        # 0 is legal (an unthrottled channel, used by bandwidth ablations).
+        require_non_negative(
+            self, "dram_issue_interval_cycles", self.dram_issue_interval_cycles
+        )
 
 
 @dataclass
@@ -75,15 +87,22 @@ class TimingSimulator:
         self.params = params or TimingParameters()
 
     def replay(
-        self, trace: MemoryTrace, instructions_per_access: float = 2.0
+        self,
+        trace: MemoryTrace,
+        instructions_per_access: float = 2.0,
+        strict: bool | None = None,
     ) -> TimingResult:
         """Replay ``trace``; ``instructions_per_access`` non-memory
         instructions are issued (at the sustained IPC) between accesses.
 
         This is the per-access scalar oracle; :meth:`replay_fast` returns
         a bit-identical result and should be preferred for large traces.
+        ``strict`` arms the MSHR-occupancy and clock invariants (``None``
+        defers to the global strict mode).
         """
         p = self.params
+        strict = resolve_strict(strict)
+        mshr_overflows = 0
         recorder = get_recorder()
         with recorder.span("sim.timing.replay"):
             hierarchy = CacheHierarchy(self.soc)
@@ -125,15 +144,21 @@ class TimingSimulator:
                 in_flight.append(start + p.dram_cycles)
                 next_dram_slot = start + p.dram_issue_interval_cycles
                 anchor = clock
+                if strict and len(in_flight) > p.mshrs:
+                    mshr_overflows += 1
             clock = anchor + pending * issue_gap
             if in_flight:
                 clock = max(clock, max(in_flight))
             return self._finish(
-                trace, clock, dram_misses, issue_gap, recorder, fast=False
+                trace, clock, dram_misses, issue_gap, recorder,
+                fast=False, strict=strict, mshr_overflows=mshr_overflows,
             )
 
     def replay_fast(
-        self, trace: MemoryTrace, instructions_per_access: float = 2.0
+        self,
+        trace: MemoryTrace,
+        instructions_per_access: float = 2.0,
+        strict: bool | None = None,
     ) -> TimingResult:
         """Line-run replay; bit-identical to :meth:`replay`.
 
@@ -158,6 +183,9 @@ class TimingSimulator:
           what makes this path fast at large MSHR counts.
         """
         p = self.params
+        strict = resolve_strict(strict)
+        mshr_overflows = 0
+        completion_disorder = 0
         recorder = get_recorder()
         with recorder.span("sim.timing.replay_fast"):
             hierarchy = CacheHierarchy(self.soc)
@@ -197,6 +225,14 @@ class TimingSimulator:
                     while in_flight and in_flight[0] <= clock:
                         in_flight.popleft()
                 start = max(clock, next_dram_slot)
+                if strict:
+                    # The deque shortcut (popping stale heads, reading
+                    # in_flight[-1] as the max) relies on completion
+                    # times being non-decreasing.
+                    if in_flight and start + p.dram_cycles < in_flight[-1]:
+                        completion_disorder += 1
+                    if len(in_flight) >= p.mshrs:
+                        mshr_overflows += 1
                 in_flight.append(start + p.dram_cycles)
                 next_dram_slot = start + p.dram_issue_interval_cycles
                 anchor = clock
@@ -204,8 +240,15 @@ class TimingSimulator:
             clock = anchor + pending * issue_gap
             if in_flight:
                 clock = max(clock, in_flight[-1])
+            if strict:
+                invariant(
+                    completion_disorder == 0,
+                    "timing.mshr_ordering",
+                    "%d DRAM completions issued out of order" % completion_disorder,
+                )
             return self._finish(
-                trace, clock, dram_misses, issue_gap, recorder, fast=True
+                trace, clock, dram_misses, issue_gap, recorder,
+                fast=True, strict=strict, mshr_overflows=mshr_overflows,
             )
 
     def _finish(
@@ -216,6 +259,8 @@ class TimingSimulator:
         issue_gap: float,
         recorder,
         fast: bool,
+        strict: bool = False,
+        mshr_overflows: int = 0,
     ) -> TimingResult:
         counters = recorder.counters
         counters.add(
@@ -223,9 +268,32 @@ class TimingSimulator:
         )
         counters.add("sim.timing.trace_accesses", len(trace))
         counters.add("sim.timing.dram_misses", dram_misses)
+        compute_cycles = len(trace) * issue_gap
+        if strict:
+            invariant(
+                mshr_overflows == 0,
+                "timing.mshr_occupancy",
+                "%d DRAM misses exceeded the %d-MSHR window"
+                % (mshr_overflows, self.params.mshrs),
+            )
+            invariant(
+                0 <= dram_misses <= len(trace),
+                "timing.dram_misses",
+                "%d DRAM misses for a %d-access trace"
+                % (dram_misses, len(trace)),
+            )
+            # The clock can never run ahead of pure compute issue: every
+            # access contributes at least one issue gap (tolerance covers
+            # float-summation order differences between the two engines).
+            invariant(
+                clock >= compute_cycles * (1.0 - 1e-9) - 1e-9,
+                "timing.clock",
+                "final clock %.17g below compute floor %.17g"
+                % (clock, compute_cycles),
+            )
         return TimingResult(
             cycles=clock,
             accesses=len(trace),
             dram_misses=dram_misses,
-            compute_cycles=len(trace) * issue_gap,
+            compute_cycles=compute_cycles,
         )

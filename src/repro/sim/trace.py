@@ -158,16 +158,20 @@ class TraceRecorder:
 
     def read_indices(self, base: int, indices: np.ndarray, element_size: int) -> None:
         """Record scattered element reads at ``base + indices*element_size``."""
-        addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
-            element_size
-        )
-        self._ops.append((_ARRAY, addrs, False))
+        self._ops.append((_ARRAY, self._index_addrs(base, indices, element_size), False))
 
     def write_indices(self, base: int, indices: np.ndarray, element_size: int) -> None:
-        addrs = np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
+        self._ops.append((_ARRAY, self._index_addrs(base, indices, element_size), True))
+
+    @staticmethod
+    def _index_addrs(base: int, indices, element_size: int) -> np.ndarray:
+        if base < 0:
+            raise ValueError("base address must be non-negative, got %d" % base)
+        if element_size <= 0:
+            raise ValueError("element size must be positive, got %d" % element_size)
+        return np.uint64(base) + np.asarray(indices, dtype=np.uint64) * np.uint64(
             element_size
         )
-        self._ops.append((_ARRAY, addrs, True))
 
     def record_ranges(self, bases, sizes, writes) -> None:
         """Record many (base, size, is_write) ranges in one call.
@@ -180,6 +184,9 @@ class TraceRecorder:
         records at once; the materialized trace is byte-identical to the
         per-call recording, including read/write interleaving.
         """
+        bases = np.asarray(bases)
+        if bases.size and bases.dtype.kind != "u" and int(bases.min()) < 0:
+            raise ValueError("base addresses must be non-negative")
         bases = np.ascontiguousarray(bases, dtype=np.uint64)
         sizes = np.ascontiguousarray(sizes, dtype=np.int64)
         writes = np.ascontiguousarray(writes, dtype=bool)
@@ -198,6 +205,10 @@ class TraceRecorder:
         self._ops.append((_BATCH, (bases, counts, writes), None))
 
     def _record(self, base: int, size: int, is_write: bool) -> None:
+        if base < 0:
+            # Caught here so the error points at the recording kernel, not
+            # at an OverflowError during uint64 materialization much later.
+            raise ValueError("base address must be non-negative, got %d" % base)
         if size < 0:
             raise ValueError("size must be non-negative")
         if size == 0:

@@ -1,0 +1,59 @@
+"""Validation and strict-invariant layer.
+
+Two complementary defenses keep garbage inputs from silently corrupting
+reproduction numbers:
+
+* **Boundary validation** — every config dataclass validates its fields
+  in ``__post_init__`` using :mod:`repro.validate.fields` and raises
+  :class:`ConfigError` (a ``ValueError``) naming the type, field, value,
+  and violated constraint.  Degenerate configs like
+  ``CacheConfig(size_bytes=0)`` die at construction, not deep inside
+  set-index arithmetic.
+* **Strict runtime invariants** — opt-in conservation checks
+  (``hits + misses == accesses``, energy components finite and
+  non-negative, MSHR occupancy bounds, trace line-run structure) armed
+  by ``strict=True`` arguments, :func:`strict_mode`, or the
+  ``REPRO_STRICT`` environment variable, publishing
+  ``validate.<name>.checks`` / ``validate.<name>.violations`` counters
+  through the observability registry and raising
+  :class:`InvariantError` on violation.
+
+The fuzz harness in ``tests/validate`` pins the exception contract:
+nothing fed to the byte-level decoders or the config space may escape
+as anything but :class:`ConfigError`/``ValueError``.
+"""
+
+from repro.validate.errors import ConfigError, InvariantError
+from repro.validate.fields import (
+    require_at_least,
+    require_finite,
+    require_fraction,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_power_of_two,
+)
+from repro.validate.strict import (
+    invariant,
+    resolve_strict,
+    set_strict,
+    strict_enabled,
+    strict_mode,
+)
+
+__all__ = [
+    "ConfigError",
+    "InvariantError",
+    "require_at_least",
+    "require_finite",
+    "require_fraction",
+    "require_non_negative",
+    "require_positive",
+    "require_positive_int",
+    "require_power_of_two",
+    "invariant",
+    "resolve_strict",
+    "set_strict",
+    "strict_enabled",
+    "strict_mode",
+]

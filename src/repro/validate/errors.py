@@ -1,0 +1,56 @@
+"""Error types for the validation layer.
+
+Two failure classes exist, with a hard contract the fuzz harness
+(``tests/validate``) enforces:
+
+* :class:`ConfigError` — a *boundary* rejection: a config dataclass (or
+  another validated input) was constructed with a value that violates a
+  physical constraint.  It subclasses :class:`ValueError`, so callers
+  that already catch ``ValueError`` keep working; the message always
+  names the owning type, the field, the offending value, and the
+  constraint, so the error is actionable without a debugger.
+* :class:`InvariantError` — a *runtime* conservation law broke while
+  strict mode was on (``hits + misses != accesses``, an energy component
+  went negative, MSHR occupancy exceeded its bound).  This indicates a
+  model bug, not bad user input, so it deliberately does **not**
+  subclass ``ValueError``: fuzzed decoders must never raise it.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """A configuration value violates a physical constraint.
+
+    Attributes:
+        owner: name of the dataclass (or call site) being validated.
+        field: the offending field.
+        value: the rejected value.
+        constraint: human-readable statement of the violated constraint.
+    """
+
+    def __init__(self, owner: str, field: str, value, constraint: str):
+        self.owner = owner
+        self.field = field
+        self.value = value
+        self.constraint = constraint
+        super().__init__(
+            "%s.%s = %r: %s" % (owner, field, value, constraint)
+        )
+
+
+class InvariantError(RuntimeError):
+    """A strict-mode runtime invariant was violated.
+
+    Raised only when strict mode is active (``strict=True``,
+    :func:`repro.validate.strict_mode`, or ``REPRO_STRICT=1``); the
+    matching ``validate.<name>.violations`` counter is published through
+    the observability registry before the raise.
+    """
+
+    def __init__(self, name: str, detail: str = ""):
+        self.invariant = name
+        message = "invariant %r violated" % name
+        if detail:
+            message += ": " + detail
+        super().__init__(message)

@@ -33,6 +33,15 @@ _TABLE_SIZE = 1 << 14
 #: Match extension compares this many bytes per slice comparison in the
 #: fast path before falling back to a byte scan inside the failing chunk.
 _EXTEND_CHUNK = 64
+#: Decompression refuses to expand output beyond this many bytes (1 GB).
+#: Legitimate streams stay far below it (a zram page is a few kB; even a
+#: fully-zero multi-megabyte page is orders of magnitude smaller), but a
+#: crafted varint can otherwise demand a multi-terabyte match copy and
+#: crash the process with MemoryError instead of a clean rejection.
+MAX_OUTPUT_BYTES = 1 << 30
+#: Varint continuation bytes accepted before the value is declared
+#: hostile (9 * 7 bits already exceeds the output cap above).
+_MAX_VARINT_BYTES = 9
 
 
 @dataclass
@@ -255,6 +264,11 @@ def decompress(compressed: bytes, fast: bool = True) -> tuple[bytes, LzoStats]:
             pos += 2
             if distance == 0 or distance > len(out):
                 raise ValueError("invalid match distance %d at offset %d" % (distance, pos))
+            if len(out) + length > MAX_OUTPUT_BYTES:
+                raise ValueError(
+                    "match of length %d at offset %d expands output beyond %d bytes"
+                    % (length, pos, MAX_OUTPUT_BYTES)
+                )
             start = len(out) - distance
             if not fast:
                 # Byte-by-byte copy: LZ77 matches may overlap themselves.
@@ -278,13 +292,15 @@ def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
     shift = 0
     while True:
         if pos >= len(data):
-            raise ValueError("truncated varint")
+            raise ValueError("truncated varint at offset %d" % pos)
         byte = data[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
         if byte & 0x80 == 0:
             return value, pos
         shift += 7
+        if shift >= _MAX_VARINT_BYTES * 7:
+            raise ValueError("varint too long at offset %d" % pos)
 
 
 def roundtrip(data: bytes) -> tuple[bytes, LzoStats, LzoStats]:

@@ -35,6 +35,13 @@ def synthetic_video(
     """
     if frames < 1:
         raise ValueError("need at least one frame")
+    if width < 16 or height < 16:
+        raise ValueError(
+            "frame geometry %dx%d too small: width and height must be >= 16 "
+            "(one macroblock)" % (width, height)
+        )
+    if not np.isfinite(motion) or not np.isfinite(noise) or noise < 0:
+        raise ValueError("motion must be finite and noise a non-negative float")
     rng = np.random.default_rng(seed)
     # Smooth background: low-frequency 2-D cosine mix, fixed per video.
     yy, xx = np.mgrid[0:height, 0:width]

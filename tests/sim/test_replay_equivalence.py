@@ -149,11 +149,21 @@ class TestLineRuns:
 
 
 def registry_output(trace: MemoryTrace, soc: SocConfig, fast: bool) -> dict:
-    """The full counter-registry export of one replay on a fresh hierarchy."""
+    """The full counter-registry export of one replay on a fresh hierarchy.
+
+    ``validate.*`` counters are excluded: under REPRO_STRICT the two
+    engines run different *structural* self-checks (only replay_fast
+    consumes line runs), so check counts differ by design while every
+    simulation statistic must still match exactly.
+    """
     with recording() as rec:
         hierarchy = CacheHierarchy(soc)
         (hierarchy.replay_fast if fast else hierarchy.replay)(trace)
-    return rec.counters.as_dict()
+    return {
+        name: value
+        for name, value in rec.counters.as_dict().items()
+        if not name.startswith("validate.")
+    }
 
 
 class TestCounterRegistryEquivalence:

@@ -1,0 +1,195 @@
+"""Degenerate-config matrix: every numeric knob rejects 0/negative/NaN.
+
+One parametrized case per (dataclass, field, poison value).  Each case
+asserts the constructor raises :class:`ConfigError` *naming the field*,
+so a user who fat-fingers a sweep gets "CacheConfig.associativity = 0:
+must be a positive integer" instead of a ZeroDivisionError three layers
+down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GB,
+    BaselineMemoryConfig,
+    CacheConfig,
+    PimAcceleratorConfig,
+    PimCoreConfig,
+    SocConfig,
+    StackedMemoryConfig,
+    SystemConfig,
+)
+from repro.energy.components import EnergyParameters, default_energy_parameters
+from repro.sim.profile import KernelProfile
+from repro.sim.timing import TimingParameters
+from repro.validate import ConfigError
+
+NAN = float("nan")
+INF = float("inf")
+
+#: Poison values for strictly-positive integer fields.
+POSITIVE_INT_BAD = (0, -3, 2.5, NAN, True, None)
+#: Poison values for strictly-positive float fields.
+POSITIVE_BAD = (0, -1.0, NAN, INF, "fast")
+#: Poison values for non-negative float fields (0 is legal there).
+NON_NEGATIVE_BAD = (-1.0, NAN, INF)
+
+CACHE_BASE = dict(size_bytes=1024, associativity=2)
+PROFILE_BASE = dict(
+    name="k",
+    instructions=100.0,
+    mem_instructions=40.0,
+    alu_ops=50.0,
+    l1_misses=10.0,
+    llc_misses=5.0,
+    dram_bytes=320.0,
+)
+
+
+def _cases(cls, base, spec):
+    for field, bad_values in spec:
+        for value in bad_values:
+            yield pytest.param(
+                cls, base, field, value,
+                id="%s-%s-%r" % (cls.__name__, field, value),
+            )
+
+
+MATRIX = [
+    *_cases(CacheConfig, CACHE_BASE, [
+        ("size_bytes", POSITIVE_INT_BAD),
+        ("associativity", POSITIVE_INT_BAD),
+        ("line_bytes", POSITIVE_INT_BAD + (48,)),  # 48: not a power of two
+        ("hit_latency_cycles", POSITIVE_INT_BAD),
+    ]),
+    *_cases(SocConfig, {}, [
+        ("num_cores", POSITIVE_INT_BAD),
+        ("issue_width", POSITIVE_INT_BAD),
+        ("frequency_hz", POSITIVE_BAD),
+        ("sustained_ipc", POSITIVE_BAD),
+    ]),
+    *_cases(PimCoreConfig, {}, [
+        ("cores_per_vault", POSITIVE_INT_BAD),
+        ("issue_width", POSITIVE_INT_BAD),
+        ("simd_width", POSITIVE_INT_BAD),
+        ("frequency_hz", POSITIVE_BAD),
+        ("sustained_ipc", POSITIVE_BAD),
+        ("area_mm2", POSITIVE_BAD),
+    ]),
+    *_cases(PimAcceleratorConfig, {}, [
+        ("logic_units", POSITIVE_INT_BAD),
+        ("ops_per_unit_per_cycle", POSITIVE_BAD),
+        ("frequency_hz", POSITIVE_BAD),
+        ("energy_efficiency_vs_cpu", POSITIVE_BAD),
+        ("buffer_bytes", POSITIVE_INT_BAD),
+    ]),
+    *_cases(StackedMemoryConfig, {}, [
+        ("capacity_bytes", POSITIVE_INT_BAD),
+        ("num_vaults", POSITIVE_INT_BAD),
+        ("internal_bandwidth", POSITIVE_BAD),
+        ("offchip_bandwidth", POSITIVE_BAD),
+        ("logic_layer_area_mm2", POSITIVE_BAD),
+    ]),
+    *_cases(BaselineMemoryConfig, {}, [
+        ("capacity_bytes", POSITIVE_INT_BAD),
+        ("bandwidth", POSITIVE_BAD),
+        ("scheduler", ("", 42, None)),
+    ]),
+    *_cases(TimingParameters, {}, [
+        ("l1_hit_cycles", POSITIVE_INT_BAD),
+        ("llc_hit_cycles", POSITIVE_INT_BAD),
+        ("dram_cycles", POSITIVE_INT_BAD),
+        ("mshrs", POSITIVE_INT_BAD),
+        ("dram_issue_interval_cycles", NON_NEGATIVE_BAD),
+    ]),
+    *_cases(KernelProfile, PROFILE_BASE, [
+        *[
+            (name, NON_NEGATIVE_BAD)
+            for name in KernelProfile._NON_NEGATIVE_FIELDS
+        ],
+        ("simd_fraction", (-0.1, 1.5, NAN)),
+        ("pim_bytes", (NAN, INF, "lots")),
+    ]),
+]
+
+
+class TestDegenerateMatrix:
+    @pytest.mark.parametrize("cls,base,field,value", MATRIX)
+    def test_poison_value_rejected_naming_the_field(self, cls, base, field, value):
+        with pytest.raises(ConfigError) as excinfo:
+            cls(**{**base, field: value})
+        err = excinfo.value
+        assert err.field == field
+        assert field in str(err)
+        assert cls.__name__ in str(err)
+
+    @pytest.mark.parametrize("cls,base", [
+        (CacheConfig, CACHE_BASE),
+        (SocConfig, {}),
+        (PimCoreConfig, {}),
+        (PimAcceleratorConfig, {}),
+        (StackedMemoryConfig, {}),
+        (BaselineMemoryConfig, {}),
+        (SystemConfig, {}),
+        (TimingParameters, {}),
+        (KernelProfile, PROFILE_BASE),
+    ])
+    def test_defaults_still_construct(self, cls, base):
+        cls(**base)
+
+
+class TestEnergyParameters:
+    @pytest.mark.parametrize(
+        "field", [f.name for f in dataclasses.fields(EnergyParameters)]
+    )
+    @pytest.mark.parametrize("value", [0, -1.0, NAN])
+    def test_every_constant_must_be_positive(self, field, value):
+        params = dataclasses.asdict(default_energy_parameters())
+        params[field] = value
+        with pytest.raises(ConfigError) as excinfo:
+            EnergyParameters(**params)
+        assert excinfo.value.field == field
+
+
+class TestCrossFieldConstraints:
+    def test_cache_geometry_must_divide(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CacheConfig(size_bytes=1000, associativity=3)
+        assert excinfo.value.field == "size_bytes"
+        assert "divisible" in str(excinfo.value)
+
+    def test_internal_bandwidth_below_offchip_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            StackedMemoryConfig(internal_bandwidth=16 * GB)  # offchip is 32 GB
+        assert excinfo.value.field == "internal_bandwidth"
+        assert "offchip_bandwidth" in str(excinfo.value)
+
+    def test_mem_instructions_cannot_exceed_instructions(self):
+        with pytest.raises(ConfigError) as excinfo:
+            KernelProfile(**{**PROFILE_BASE, "mem_instructions": 101.0})
+        assert excinfo.value.field == "mem_instructions"
+
+    def test_system_config_rejects_wrong_component_type(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(soc="a string, not a SocConfig")
+        assert excinfo.value.field == "soc"
+        assert "SocConfig" in str(excinfo.value)
+
+
+class TestLegalEdgeValues:
+    def test_unthrottled_dram_channel_is_legal(self):
+        assert TimingParameters(dram_issue_interval_cycles=0.0)
+
+    def test_profile_zero_traffic_is_legal(self):
+        profile = KernelProfile(**{**PROFILE_BASE, "dram_bytes": 0.0})
+        assert profile.bytes_per_instruction == 0.0
+
+    def test_negative_pim_bytes_is_the_default_sentinel(self):
+        profile = KernelProfile(**PROFILE_BASE)
+        assert profile.pim_bytes == profile.dram_bytes
+        explicit = KernelProfile(**{**PROFILE_BASE, "pim_bytes": 128.0})
+        assert explicit.pim_bytes == 128.0
