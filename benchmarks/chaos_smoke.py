@@ -1,0 +1,76 @@
+"""Chaos smoke: SIGKILL a real pool worker mid-sweep; the sweep must survive.
+
+CI runs this as a standalone script::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+
+It schedules a ``kill`` fault (via ``REPRO_FAULT_PLAN``) for one target
+of a parallel ``python -m repro evaluate --jobs 4`` run, then asserts:
+
+* the process exits 0 — a murdered worker is a retry, not a failure;
+* the manifest lists every target — the sweep is complete, not degraded;
+* ``core.resilience.retries`` is present and positive — the crash was
+  actually absorbed by the resilience layer, not silently missed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+#: The chrome sweep's targets; the fault hits one, all must survive.
+EXPECTED_TARGETS = [
+    "texture_tiling", "color_blitting", "compression", "decompression"
+]
+VICTIM = "color_blitting"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as scratch:
+        scratch = Path(scratch)
+        plan = scratch / "plan.json"
+        plan.write_text(json.dumps({"faults": {VICTIM: ["kill"]}}))
+        manifest_dir = scratch / "manifest"
+        env = dict(os.environ)
+        env["REPRO_FAULT_PLAN"] = str(plan)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env.pop("REPRO_STRICT", None)  # a retried crash is not a quarantine
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "evaluate",
+                "--workload", "chrome", "--jobs", "4",
+                "--max-retries", "3",
+                "--manifest", str(manifest_dir),
+            ],
+            cwd=REPO, env=env, capture_output=True, text=True, timeout=600,
+        )
+        print(proc.stdout)
+        if proc.returncode != 0:
+            print(proc.stderr, file=sys.stderr)
+            print("FAIL: evaluate exited %d" % proc.returncode)
+            return 1
+        manifest = json.loads((manifest_dir / "manifest.json").read_text())
+        results = manifest["results"]
+        missing = [t for t in EXPECTED_TARGETS if t not in results["targets"]]
+        if missing:
+            print("FAIL: sweep lost targets %s" % missing)
+            return 1
+        if results.get("degraded"):
+            print("FAIL: sweep degraded; failures=%r" % results["failures"])
+            return 1
+        retries = manifest["counters"].get("core.resilience.retries", 0)
+        if retries < 1:
+            print("FAIL: no retry recorded — was the worker even killed?")
+            return 1
+        print(
+            "chaos smoke OK: %d target(s), %d retrie(s), degraded=%s"
+            % (len(results["targets"]), retries, results.get("degraded"))
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,51 +79,110 @@ def _run_experiment_observed(index: int):
     return result, recorder.snapshot()
 
 
-def all_results(jobs: int = 1, cache: MemoCache | None = None) -> list[FigureResult]:
+def all_results(
+    jobs: int = 1,
+    cache: MemoCache | None = None,
+    retry_policy=None,
+    checkpoint=None,
+    resume: bool = False,
+) -> list[FigureResult]:
     """Regenerate every experiment.
 
     Args:
         jobs: worker processes; ``1`` runs everything in-process.
         cache: optional :class:`MemoCache`; hits skip regeneration, and
             fresh results are stored for the next run.
+        retry_policy: optional
+            :class:`~repro.core.resilience.RetryPolicy`; with one, a
+            crashed/hung/failing experiment is retried, and one that
+            exhausts its retries yields a degraded placeholder result
+            (annotated in its ``notes``) instead of aborting the report.
+        checkpoint: optional journal path; completed figures are
+            appended as they finish.
+        resume: reload journal entries (same code version) instead of
+            regenerating them.
     """
+    from repro.core.resilience import ResilientMap, SweepCheckpoint, sweep_key
     from repro.obs.recorder import get_recorder
 
     recorder = get_recorder()
     results: dict[int, FigureResult] = {}
     pending: list[int] = []
+    journal = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint, key=sweep_key("figures"))
+        )
     with recorder.span("analysis.all_results"):
+        resumed = journal.entries() if journal is not None and resume else {}
         for index, fn in enumerate(EXPERIMENTS):
+            if fn.__name__ in resumed:
+                results[index] = FigureResult.from_jsonable(resumed[fn.__name__])
+                recorder.counters.add("core.resilience.resumed", 1)
+                continue
             hit = cache.get(fn.__name__) if cache is not None else None
             if hit is not None:
                 results[index] = FigureResult.from_jsonable(hit)
             else:
                 pending.append(index)
         if pending:
-            if jobs > 1 and len(pending) > 1:
-                from concurrent.futures import ProcessPoolExecutor
+            observed = recorder.enabled
 
-                with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                    if recorder.enabled:
-                        pairs = list(
-                            pool.map(_run_experiment_observed, pending)
-                        )
-                        fresh = [result for result, _ in pairs]
-                        for _, snapshot in pairs:
-                            recorder.merge_snapshot(snapshot)
-                    else:
-                        fresh = list(pool.map(_run_experiment, pending))
-            else:
-                fresh = []
-                for index in pending:
-                    with recorder.span(
-                        "analysis.figure.%s" % EXPERIMENTS[index].__name__
-                    ):
-                        fresh.append(_run_experiment(index))
-            for index, result in zip(pending, fresh):
+            def on_success(position, name, value):
+                if journal is None:
+                    return
+                result = value[0] if observed else value
+                journal.append(name, result.to_jsonable())
+
+            def run_serial(index):
+                with recorder.span(
+                    "analysis.figure.%s" % EXPERIMENTS[index].__name__
+                ):
+                    return _run_experiment(index)
+
+            parallel = jobs > 1 and len(pending) > 1
+            mapper = ResilientMap(
+                (_run_experiment_observed if observed else _run_experiment)
+                if parallel
+                else run_serial,
+                pending,
+                names=[EXPERIMENTS[i].__name__ for i in pending],
+                policy=retry_policy,
+                jobs=min(jobs, len(pending)) if parallel else 1,
+                on_success=on_success,
+                raise_failures=retry_policy is None,
+            )
+            values, failures = mapper.run()
+            if parallel and observed:
+                unwrapped = []
+                for value in values:
+                    if value is None:
+                        unwrapped.append(None)
+                        continue
+                    result, snapshot = value
+                    recorder.merge_snapshot(snapshot)
+                    unwrapped.append(result)
+                values = unwrapped
+            failed = {f.target: f for f in failures}
+            for index, result in zip(pending, values):
+                name = EXPERIMENTS[index].__name__
+                if result is None:
+                    failure = failed.get(name)
+                    results[index] = FigureResult(
+                        figure_id=name,
+                        title="(not regenerated)",
+                        notes="DEGRADED: experiment failed after %d attempt(s): %s"
+                        % (
+                            failure.attempts if failure else 0,
+                            failure.error if failure else "unknown",
+                        ),
+                    )
+                    continue
                 results[index] = result
                 if cache is not None:
-                    cache.put(EXPERIMENTS[index].__name__, result.to_jsonable())
+                    cache.put(name, result.to_jsonable())
     return [results[i] for i in range(len(EXPERIMENTS))]
 
 
@@ -140,6 +199,15 @@ Schematic-only figures (3, 5, 8, 9, 13, 14, 17) have no data series;
 their data-flow structure is implemented by the corresponding modules
 (`repro.core.offload`, `repro.workloads.vp9.hardware`) and exercised by
 the test suite.
+
+Runs that enable fault tolerance (`--max-retries`/`--target-timeout`/
+`--checkpoint`) record their fault history in the run manifest: the
+`core.resilience.retries/timeouts/quarantined/checkpoint.writes/resumed`
+counters appear under `counters` alongside the model statistics, and a
+degraded sweep lists its quarantined targets in `results`.  Fault-free
+runs without a policy publish none of these counters, so a manifest
+with no `core.resilience.*` entries is positive evidence the numbers
+came from a fault-free, non-degraded sweep.
 """
 
 

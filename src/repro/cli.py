@@ -3,9 +3,13 @@
     python -m repro figures [--figure "Figure 18"] [--write PATH]
                             [--jobs N] [--no-cache]
                             [--manifest DIR] [--trace-out PATH]
+                            [--max-retries N] [--target-timeout S]
+                            [--checkpoint PATH] [--resume]
     python -m repro export [--dir figures_data]
     python -m repro evaluate [--workload chrome|tensorflow|vp9|all] [--jobs N]
                              [--manifest DIR] [--trace-out PATH]
+                             [--max-retries N] [--target-timeout S]
+                             [--checkpoint PATH] [--resume]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -69,6 +73,45 @@ def _add_obs_flags(parser) -> None:
     )
 
 
+def _add_resilience_flags(parser) -> None:
+    parser.add_argument(
+        "--max-retries", type=int, metavar="N",
+        help="tolerate per-target faults: retry each failed/crashed/hung "
+        "target up to N times, then quarantine it (degraded result) "
+        "instead of aborting the sweep",
+    )
+    parser.add_argument(
+        "--target-timeout", type=float, metavar="SECONDS",
+        help="declare a target hung after SECONDS, kill its worker, "
+        "respawn the pool and retry (implies fault tolerance; "
+        "needs --jobs > 1)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="journal completed targets to PATH (append-only JSONL, "
+        "keyed by config+code version) as they finish",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reload completed targets from --checkpoint instead of "
+        "recomputing them (bit-identical to an uninterrupted run)",
+    )
+
+
+def _retry_policy(args):
+    """The :class:`RetryPolicy` the resilience flags ask for (or None)."""
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume requires --checkpoint PATH")
+    if args.max_retries is None and args.target_timeout is None:
+        return None
+    from repro.core.resilience import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.max_retries if args.max_retries is not None else 3,
+        timeout_s=args.target_timeout,
+    )
+
+
 def _cmd_figures(args) -> int:
     from repro.analysis.report import all_results, render_markdown
 
@@ -78,7 +121,13 @@ def _cmd_figures(args) -> int:
 
         cache = MemoCache()
     with _obs_session(args) as recorder:
-        results = all_results(jobs=args.jobs, cache=cache)
+        results = all_results(
+            jobs=args.jobs,
+            cache=cache,
+            retry_policy=_retry_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         if args.write:
             with open(args.write, "w") as f:
                 f.write(render_markdown(results))
@@ -137,12 +186,25 @@ def _cmd_evaluate(args) -> int:
     if not targets:
         print("unknown workload %r" % args.workload, file=sys.stderr)
         return 2
+    retry_policy = _retry_policy(args)
     with _obs_session(args) as recorder:
-        result = ExperimentRunner().evaluate(targets, jobs=args.jobs)
+        result = ExperimentRunner().evaluate(
+            targets,
+            jobs=args.jobs,
+            retry_policy=retry_policy,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         print(
             "%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc")
         )
         for row in result.rows():
+            if row.get("failed"):
+                print(
+                    "%-26s FAILED after %d attempt(s): %s"
+                    % (row["target"], row["attempts"], row["error"])
+                )
+                continue
             print(
                 "%-26s %8.2f %8.2f %8.2fx %8.2fx"
                 % (
@@ -160,23 +222,41 @@ def _cmd_evaluate(args) -> int:
                 100 * result.mean_pim_acc_energy_reduction,
             )
         )
+        if result.degraded:
+            print(
+                "DEGRADED: %d of %d targets quarantined; means cover "
+                "survivors only"
+                % (len(result.failures), len(result.failures) + len(result.names)),
+                file=sys.stderr,
+            )
         if recorder is not None:
             from repro.config import default_system
 
+            results = {
+                "mean_pim_core_energy_reduction":
+                    result.mean_pim_core_energy_reduction,
+                "mean_pim_acc_energy_reduction":
+                    result.mean_pim_acc_energy_reduction,
+                "mean_pim_core_speedup": result.mean_pim_core_speedup,
+                "mean_pim_acc_speedup": result.mean_pim_acc_speedup,
+                "targets": result.names,
+            }
+            if retry_policy is not None or args.checkpoint:
+                results["degraded"] = result.degraded
+                results["failures"] = [
+                    {
+                        "target": f.target,
+                        "attempts": f.attempts,
+                        "error": f.error,
+                    }
+                    for f in result.failures
+                ]
             _write_obs_outputs(
                 args,
                 recorder,
                 command="evaluate --workload %s" % args.workload,
                 config=default_system(),
-                results={
-                    "mean_pim_core_energy_reduction":
-                        result.mean_pim_core_energy_reduction,
-                    "mean_pim_acc_energy_reduction":
-                        result.mean_pim_acc_energy_reduction,
-                    "mean_pim_core_speedup": result.mean_pim_core_speedup,
-                    "mean_pim_acc_speedup": result.mean_pim_acc_speedup,
-                    "targets": result.names,
-                },
+                results=results,
             )
     return 0
 
@@ -270,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the on-disk figure memo cache",
     )
     _add_obs_flags(figures)
+    _add_resilience_flags(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     export = sub.add_parser("export", help="export figure data as JSON")
@@ -285,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate targets with N worker processes",
     )
     _add_obs_flags(evaluate)
+    _add_resilience_flags(evaluate)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
     characterize = sub.add_parser(

@@ -14,7 +14,9 @@ The cache directory defaults to ``.repro_cache/`` next to
 ``REPRO_CACHE_DIR`` environment variable; falls back to
 ``~/.cache/repro`` for installed packages).  Entries are small JSON
 documents, written atomically so concurrent runs never observe partial
-files.
+files, and carry a content checksum: a corrupted or truncated entry is
+quarantined to ``*.corrupt`` (and counted as ``core.memo.corrupt``)
+rather than returned or silently treated as a miss.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import functools
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.obs.recorder import get_recorder
@@ -93,23 +96,63 @@ class MemoCache:
     def _path(self, name: str, config) -> Path:
         return self.directory / ("%s.json" % self.key(name, config))
 
+    @staticmethod
+    def _checksum(value_json: str) -> str:
+        return hashlib.sha256(value_json.encode()).hexdigest()[:16]
+
     def get(self, name: str, config=None, default=None):
-        """The cached value for (name, config) at this code version."""
+        """The cached value for (name, config) at this code version.
+
+        A corrupted or truncated entry (unparseable JSON, missing
+        fields, or a checksum mismatch) is never returned as a value:
+        it is quarantined to ``<entry>.corrupt`` and counted as
+        ``core.memo.corrupt`` — distinct from an honest miss — so a
+        torn write from a dead worker cannot poison later runs.
+        """
+        counters = get_recorder().counters
+        path = self._path(name, config)
         try:
-            with open(self._path(name, config)) as f:
-                value = json.load(f)["value"]
-        except (OSError, ValueError, KeyError):
-            get_recorder().counters.add("core.memo.misses", 1)
+            raw = path.read_text()
+        except OSError:
+            counters.add("core.memo.misses", 1)
             return default
-        get_recorder().counters.add("core.memo.hits", 1)
+        try:
+            document = json.loads(raw)
+            value = document["value"]
+            stored = document["checksum"]
+            recomputed = self._checksum(
+                json.dumps(value, sort_keys=True, default=_to_builtin)
+            )
+            if stored != recomputed:
+                raise ValueError(
+                    "checksum mismatch: %s != %s" % (stored, recomputed)
+                )
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            counters.add("core.memo.corrupt", 1)
+            return default
+        counters.add("core.memo.hits", 1)
         return value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside so it is inspectable but never reread."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def put(self, name: str, value, config=None) -> Path:
         """Store a JSON-serializable value; returns the entry path."""
         get_recorder().counters.add("core.memo.puts", 1)
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(name, config)
-        document = {"name": name, "version": self.version, "value": value}
+        value_json = json.dumps(value, sort_keys=True, default=_to_builtin)
+        document = {
+            "name": name,
+            "version": self.version,
+            "value": value,
+            "checksum": self._checksum(value_json),
+        }
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with open(tmp, "w") as f:
             json.dump(document, f, default=_to_builtin)
@@ -117,13 +160,57 @@ class MemoCache:
         return path
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries; returns how many were removed.
+
+        Also sweeps the debris faulty runs leave behind: quarantined
+        ``*.corrupt`` entries and stale ``*.tmp.<pid>`` files from
+        workers that died mid-:meth:`put`.
+        """
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
+            for pattern in ("*.json", "*.corrupt", "*.tmp.*"):
+                for path in self.directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def prune(self, max_age_days: float = 30.0) -> int:
+        """Remove entries from old code versions, plus aged debris.
+
+        An entry whose stored ``version`` differs from this cache's is
+        unreachable (the key embeds the version) and only wastes disk;
+        it is deleted once older than ``max_age_days``.  Unreadable
+        entries, ``*.corrupt`` quarantine files, and stale ``*.tmp.*``
+        files past the age cutoff are removed too.  Current-version
+        entries are never pruned.  Returns how many files were removed.
+        """
+        if not self.directory.is_dir():
+            return 0
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+                version = json.loads(path.read_text()).get("version")
+            except (OSError, ValueError, AttributeError):
+                version = None
+            if version == self.version:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for pattern in ("*.corrupt", "*.tmp.*"):
+            for path in self.directory.glob(pattern):
                 try:
-                    path.unlink()
-                    removed += 1
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
                 except OSError:
                     pass
         return removed

@@ -4,14 +4,35 @@ Produces the paper's Figures 18-20 data (normalized energy and runtime per
 kernel for CPU-Only / PIM-Core / PIM-Acc) and the headline cross-workload
 averages (PIM-Core: -49.1% energy / +44.6% performance; PIM-Acc: -55.4% /
 +54.2%).
+
+Sweeps are fault-tolerant: pass a
+:class:`~repro.core.resilience.RetryPolicy` and a crashed or hung pool
+worker costs one retry instead of the sweep; targets that exhaust their
+retries are quarantined into :attr:`SweepResult.failures` (strict mode
+upgrades quarantine to a raise).  A :class:`~repro.core.resilience.SweepCheckpoint`
+journal makes long sweeps resumable: completed comparisons are appended
+as they finish and ``resume=True`` reloads them bit-identically instead
+of recomputing.  Without a policy or checkpoint, behaviour (and the
+published counter surface) is exactly the legacy fail-fast one.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig
 from repro.core.offload import OffloadEngine, TargetComparison
+from repro.core.resilience import (
+    ResilientMap,
+    RetryPolicy,
+    SweepCheckpoint,
+    TargetFailure,
+    comparison_from_jsonable,
+    comparison_to_jsonable,
+    maybe_inject_fault,
+    sweep_key,
+)
 from repro.core.target import PimTarget
 from repro.energy.components import EnergyParameters
 from repro.obs.recorder import get_recorder
@@ -19,9 +40,16 @@ from repro.obs.recorder import get_recorder
 
 @dataclass
 class SweepResult:
-    """Results for a set of PIM targets evaluated on all machines."""
+    """Results for a set of PIM targets evaluated on all machines.
+
+    ``failures`` lists the targets a fault-tolerant sweep quarantined
+    after exhausting their retries; when it is non-empty the sweep is
+    ``degraded`` and every aggregate is computed over the survivors in
+    ``comparisons`` only.
+    """
 
     comparisons: list[TargetComparison] = field(default_factory=list)
+    failures: list[TargetFailure] = field(default_factory=list)
     _index: dict | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -40,6 +68,11 @@ class SweepResult:
     @property
     def names(self) -> list[str]:
         return [c.target.name for c in self.comparisons]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any target was quarantined instead of evaluated."""
+        return bool(self.failures)
 
     # ------------------------------------------------------------------
     # Paper-style aggregates (arithmetic means across kernels, as the
@@ -61,24 +94,41 @@ class SweepResult:
     def mean_pim_acc_speedup(self) -> float:
         return _mean([c.pim_acc_speedup for c in self.comparisons])
 
+    def _survivors(self) -> list[TargetComparison]:
+        if not self.comparisons:
+            raise ValueError(
+                "empty sweep: no surviving comparisons to aggregate over"
+                + (
+                    " (%d target(s) quarantined)" % len(self.failures)
+                    if self.failures
+                    else ""
+                )
+            )
+        return self.comparisons
+
     @property
     def max_pim_core_energy_reduction(self) -> float:
-        return max(c.pim_core_energy_reduction for c in self.comparisons)
+        return max(c.pim_core_energy_reduction for c in self._survivors())
 
     @property
     def max_pim_acc_energy_reduction(self) -> float:
-        return max(c.pim_acc_energy_reduction for c in self.comparisons)
+        return max(c.pim_acc_energy_reduction for c in self._survivors())
 
     @property
     def max_pim_core_speedup(self) -> float:
-        return max(c.pim_core_speedup for c in self.comparisons)
+        return max(c.pim_core_speedup for c in self._survivors())
 
     @property
     def max_pim_acc_speedup(self) -> float:
-        return max(c.pim_acc_speedup for c in self.comparisons)
+        return max(c.pim_acc_speedup for c in self._survivors())
 
     def rows(self) -> list[dict]:
-        """Flat result rows for the figure/report harnesses."""
+        """Flat result rows for the figure/report harnesses.
+
+        Quarantined targets contribute a trailing stub row with
+        ``failed=True`` (and no metric keys), so report consumers can
+        annotate degraded sweeps instead of silently dropping targets.
+        """
         out = []
         for c in self.comparisons:
             energy = c.normalized_energy()
@@ -97,6 +147,16 @@ class SweepResult:
                     "speedup_pim_acc": c.pim_acc_speedup,
                 }
             )
+        for failure in self.failures:
+            out.append(
+                {
+                    "target": failure.target,
+                    "workload": "",
+                    "failed": True,
+                    "attempts": failure.attempts,
+                    "error": failure.error,
+                }
+            )
         return out
 
 
@@ -104,9 +164,48 @@ class SweepResult:
 _WORKER_ENGINE: OffloadEngine | None = None
 
 
+def _install_worker_fault_handlers() -> None:
+    """Make worker deaths diagnosable.
+
+    ``faulthandler`` turns hard crashes (segfaults, aborts) into stderr
+    tracebacks, and a SIGTERM handler does the same for workers the
+    resilience layer kills after a timeout — so a killed/hung worker
+    leaves evidence of *where* it was instead of dying silently.
+    """
+    import faulthandler
+    import os
+    import signal
+
+    try:
+        faulthandler.enable()
+    except (RuntimeError, OSError):
+        pass
+
+    def _dump_and_exit(signum, frame):
+        faulthandler.dump_traceback()
+        os._exit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _dump_and_exit)
+    except (ValueError, OSError):
+        # Not the main thread of the worker, or an exotic platform.
+        pass
+
+
 def _init_worker(system, energy_params, observe: bool = False) -> None:
     global _WORKER_ENGINE
-    _WORKER_ENGINE = OffloadEngine(system, energy_params)
+    _install_worker_fault_handlers()
+    try:
+        _WORKER_ENGINE = OffloadEngine(system, energy_params)
+    except BaseException as exc:
+        # An initializer failure normally surfaces in the parent as an
+        # opaque BrokenProcessPool; leave a one-line cause on stderr.
+        print(
+            "repro: pool worker initializer failed: %r" % exc,
+            file=sys.stderr,
+            flush=True,
+        )
+        raise
     if observe:
         # A recorder cannot cross the process boundary (it holds locks),
         # so each worker records into its own and ships snapshots back.
@@ -116,6 +215,7 @@ def _init_worker(system, energy_params, observe: bool = False) -> None:
 
 
 def _compare_in_worker(target: PimTarget) -> "TargetComparison":
+    maybe_inject_fault(target.name)
     return _WORKER_ENGINE.compare(target)
 
 
@@ -124,6 +224,7 @@ def _compare_in_worker_observed(target: PimTarget):
     recorder = get_recorder()
     recorder.reset()
     with recorder.span("core.runner.target.%s" % target.name):
+        maybe_inject_fault(target.name)
         comparison = _WORKER_ENGINE.compare(target)
     _publish_comparison(recorder, comparison)
     return comparison, recorder.snapshot()
@@ -160,7 +261,14 @@ class ExperimentRunner:
         self.energy_params = energy_params
         self.engine = OffloadEngine(system, energy_params)
 
-    def evaluate(self, targets: list[PimTarget], jobs: int = 1) -> SweepResult:
+    def evaluate(
+        self,
+        targets: list[PimTarget],
+        jobs: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> SweepResult:
         """Compare every target on all machines.
 
         Args:
@@ -169,33 +277,135 @@ class ExperimentRunner:
                 worker builds one engine (via the pool initializer) and
                 streams targets through it, so results are identical to
                 the serial path, in input order.
+            retry_policy: per-target fault containment; ``None`` keeps
+                the legacy fail-fast contract (a failure raises).  With
+                a policy, failed targets retry with backoff and
+                exhausted ones are quarantined into
+                :attr:`SweepResult.failures` (strict mode raises
+                instead).
+            checkpoint: path (or :class:`SweepCheckpoint`) of an
+                append-only journal; completed comparisons are recorded
+                as they finish.
+            resume: reload matching journal entries instead of
+                recomputing them; the resumed result is bit-identical
+                to an uninterrupted run.
         """
         recorder = get_recorder()
         with recorder.span("core.runner.evaluate"):
-            if jobs > 1 and len(targets) > 1:
-                from concurrent.futures import ProcessPoolExecutor
+            journal = self._journal(checkpoint)
+            resumed: dict[str, TargetComparison] = {}
+            if journal is not None and resume:
+                for name, payload in journal.entries().items():
+                    resumed[name] = comparison_from_jsonable(payload)
+            resumed = {
+                t.name: resumed[t.name] for t in targets if t.name in resumed
+            }
+            if recorder.enabled and resumed:
+                recorder.counters.add("core.resilience.resumed", len(resumed))
+                for comparison in resumed.values():
+                    _publish_comparison(recorder, comparison)
+            pending = [t for t in targets if t.name not in resumed]
 
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(targets)),
-                    initializer=_init_worker,
-                    initargs=(self.system, self.energy_params, recorder.enabled),
-                ) as pool:
-                    if recorder.enabled:
-                        pairs = list(pool.map(_compare_in_worker_observed, targets))
-                        comparisons = [comparison for comparison, _ in pairs]
-                        for _, snapshot in pairs:
-                            recorder.merge_snapshot(snapshot)
-                    else:
-                        comparisons = list(pool.map(_compare_in_worker, targets))
-            else:
-                comparisons = []
-                for target in targets:
-                    with recorder.span("core.runner.target.%s" % target.name):
-                        comparison = self.engine.compare(target)
-                    if recorder.enabled:
-                        _publish_comparison(recorder, comparison)
-                    comparisons.append(comparison)
-        return SweepResult(comparisons=comparisons)
+            fresh: dict[str, TargetComparison] = {}
+            failures: list[TargetFailure] = []
+            if pending:
+                def journal_success(index, name, value):
+                    if journal is None:
+                        return
+                    comparison = value[0] if isinstance(value, tuple) else value
+                    journal.append(name, comparison_to_jsonable(comparison))
+
+                if jobs > 1 and len(pending) > 1:
+                    values, failures = self._evaluate_parallel(
+                        pending, jobs, retry_policy, recorder, journal_success
+                    )
+                else:
+                    values, failures = self._evaluate_serial(
+                        pending, retry_policy, recorder, journal_success
+                    )
+                fresh = {
+                    t.name: v for t, v in zip(pending, values) if v is not None
+                }
+            comparisons = [
+                resumed.get(t.name) or fresh.get(t.name)
+                for t in targets
+                if t.name in resumed or t.name in fresh
+            ]
+        return SweepResult(comparisons=comparisons, failures=failures)
+
+    # ------------------------------------------------------------------
+    def _evaluate_serial(self, targets, retry_policy, recorder, on_success):
+        def compare(target):
+            with recorder.span("core.runner.target.%s" % target.name):
+                maybe_inject_fault(target.name)
+                comparison = self.engine.compare(target)
+            if recorder.enabled:
+                _publish_comparison(recorder, comparison)
+            return comparison
+
+        return ResilientMap(
+            compare,
+            targets,
+            names=[t.name for t in targets],
+            policy=retry_policy,
+            jobs=1,
+            on_success=on_success,
+            raise_failures=retry_policy is None,
+        ).run()
+
+    def _evaluate_parallel(self, targets, jobs, retry_policy, recorder, on_success):
+        self._check_config_ships(recorder)
+        mapper = ResilientMap(
+            _compare_in_worker_observed if recorder.enabled else _compare_in_worker,
+            targets,
+            names=[t.name for t in targets],
+            policy=retry_policy,
+            jobs=min(jobs, len(targets)),
+            initializer=_init_worker,
+            initargs=(self.system, self.energy_params, recorder.enabled),
+            on_success=on_success,
+            raise_failures=retry_policy is None,
+        )
+        values, failures = mapper.run()
+        if recorder.enabled:
+            # Merge worker snapshots in input order, as the legacy
+            # pool.map path did, so additive sums stay deterministic.
+            unwrapped = []
+            for value in values:
+                if value is None:
+                    unwrapped.append(None)
+                    continue
+                comparison, snapshot = value
+                recorder.merge_snapshot(snapshot)
+                unwrapped.append(comparison)
+            values = unwrapped
+        return values, failures
+
+    def _check_config_ships(self, recorder) -> None:
+        """Fail fast, with a cause, when the config cannot reach workers.
+
+        Without this, a config that does not pickle cleanly dies inside
+        the pool initializer and surfaces only as an opaque
+        ``BrokenProcessPool``.
+        """
+        import pickle
+
+        try:
+            pickle.dumps((self.system, self.energy_params, recorder.enabled))
+        except Exception as exc:
+            raise ValueError(
+                "configuration cannot be shipped to pool workers "
+                "(must pickle cleanly): %r" % exc
+            ) from exc
+
+    def _journal(self, checkpoint) -> SweepCheckpoint | None:
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, SweepCheckpoint):
+            return checkpoint
+        return SweepCheckpoint(
+            checkpoint, key=sweep_key((self.system, self.energy_params))
+        )
 
 
 def _mean(values: list[float]) -> float:

@@ -154,15 +154,19 @@ def registry_output(trace: MemoryTrace, soc: SocConfig, fast: bool) -> dict:
     ``validate.*`` counters are excluded: under REPRO_STRICT the two
     engines run different *structural* self-checks (only replay_fast
     consumes line runs), so check counts differ by design while every
-    simulation statistic must still match exactly.
+    simulation statistic must still match exactly.  ``core.resilience.*``
+    counters are filtered the same way: fault bookkeeping (retries,
+    checkpoint writes) describes the harness run, not the simulation,
+    and must never enter an equivalence verdict.
     """
+    excluded = ("validate.", "core.resilience.")
     with recording() as rec:
         hierarchy = CacheHierarchy(soc)
         (hierarchy.replay_fast if fast else hierarchy.replay)(trace)
     return {
         name: value
         for name, value in rec.counters.as_dict().items()
-        if not name.startswith("validate.")
+        if not name.startswith(excluded)
     }
 
 
