@@ -133,7 +133,10 @@ def all_results(
             def on_success(position, name, value):
                 if journal is None:
                     return
-                result = value[0] if observed else value
+                # The serial path yields a bare FigureResult even when
+                # the recorder is on; only observed *parallel* workers
+                # return (result, snapshot) tuples.
+                result = value[0] if isinstance(value, tuple) else value
                 journal.append(name, result.to_jsonable())
 
             def run_serial(index):

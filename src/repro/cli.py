@@ -77,7 +77,8 @@ def _add_resilience_flags(parser) -> None:
     parser.add_argument(
         "--max-retries", type=int, metavar="N",
         help="tolerate per-target faults: retry each failed/crashed/hung "
-        "target up to N times, then quarantine it (degraded result) "
+        "target up to N times (N + 1 total attempts; 0 quarantines on "
+        "the first failure), then quarantine it (degraded result) "
         "instead of aborting the sweep",
     )
     parser.add_argument(
@@ -102,12 +103,18 @@ def _retry_policy(args):
     """The :class:`RetryPolicy` the resilience flags ask for (or None)."""
     if args.resume and not args.checkpoint:
         raise ValueError("--resume requires --checkpoint PATH")
+    if args.max_retries is not None and args.max_retries < 0:
+        raise ValueError(
+            "--max-retries must be >= 0, got %d" % args.max_retries
+        )
     if args.max_retries is None and args.target_timeout is None:
         return None
     from repro.core.resilience import RetryPolicy
 
+    # --max-retries N means N *retries*: N + 1 total attempts.  With
+    # only --target-timeout, default to two retries per target.
     return RetryPolicy(
-        max_attempts=args.max_retries if args.max_retries is not None else 3,
+        max_attempts=args.max_retries + 1 if args.max_retries is not None else 3,
         timeout_s=args.target_timeout,
     )
 

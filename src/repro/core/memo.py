@@ -120,9 +120,7 @@ class MemoCache:
             document = json.loads(raw)
             value = document["value"]
             stored = document["checksum"]
-            recomputed = self._checksum(
-                json.dumps(value, sort_keys=True, default=_to_builtin)
-            )
+            recomputed = self._checksum(json.dumps(value, sort_keys=True))
             if stored != recomputed:
                 raise ValueError(
                     "checksum mismatch: %s != %s" % (stored, recomputed)
@@ -147,11 +145,17 @@ class MemoCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(name, config)
         value_json = json.dumps(value, sort_keys=True, default=_to_builtin)
+        # Checksum the *canonical* (re-parsed) form: JSON stringifies
+        # non-string dict keys, so a value like {10: ...} serializes with
+        # different key order before vs after a round trip; :meth:`get`
+        # recomputes over the parsed document, which matches this.
         document = {
             "name": name,
             "version": self.version,
             "value": value,
-            "checksum": self._checksum(value_json),
+            "checksum": self._checksum(
+                json.dumps(json.loads(value_json), sort_keys=True)
+            ),
         }
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with open(tmp, "w") as f:

@@ -345,8 +345,18 @@ class ResilientMap:
         Workers get SIGTERM first — the runner's worker initializer
         installs a handler that dumps a traceback to stderr before
         exiting — then SIGKILL if they linger.
+
+        Process discovery relies on the private
+        ``ProcessPoolExecutor._processes`` attribute; if a future Python
+        renames it, hung workers would be leaked, so finding no
+        processes is counted (``core.resilience.pool_kill_no_workers``)
+        rather than silently ignored.
         """
-        processes = list(getattr(pool, "_processes", {}).values())
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        if not processes:
+            get_recorder().counters.add(
+                "core.resilience.pool_kill_no_workers", 1
+            )
         pool.shutdown(wait=False, cancel_futures=True)
         for process in processes:
             try:
@@ -454,6 +464,7 @@ class SweepCheckpoint:
     def __init__(self, path: str | Path, key: str):
         self.path = Path(path)
         self.key = key
+        self._header_ok = False  # verified at most once per instance
 
     # ------------------------------------------------------------------
     def append(self, name: str, payload) -> None:
@@ -496,7 +507,11 @@ class SweepCheckpoint:
             "payload": payload,
             "sha": hashlib.sha256(body.encode()).hexdigest()[:16],
         }
-        return json.dumps(record, sort_keys=True) + "\n"
+        # The checksum is over the canonical (sorted) body above, but
+        # the payload itself is stored unsorted: figure rows are
+        # rendered in dict-insertion order, so sorting here would
+        # reorder table columns on resume.
+        return json.dumps(record) + "\n"
 
     def _parse_record(self, line: str):
         try:
@@ -521,11 +536,17 @@ class SweepCheckpoint:
         )
 
     def _ensure_header(self) -> None:
+        # Verified once per instance; only the first line is read (not
+        # the whole journal), so a long sweep's appends stay O(1) I/O.
+        if self._header_ok:
+            return
         try:
-            first = self.path.read_text().splitlines()[0]
-        except (OSError, IndexError):
+            with open(self.path) as f:
+                first = f.readline() or None
+        except OSError:
             first = None
         if first is not None and self._header_matches(first):
+            self._header_ok = True
             return
         if first is not None:
             # Stale journal (code or config changed): rotate, don't mix.
@@ -535,6 +556,7 @@ class SweepCheckpoint:
             f.write(json.dumps({"schema": self.SCHEMA, "key": self.key}) + "\n")
             f.flush()
             os.fsync(f.fileno())
+        self._header_ok = True
 
 
 # ----------------------------------------------------------------------

@@ -340,6 +340,29 @@ def _probe_handlers(_):
     return faulthandler.is_enabled(), custom
 
 
+class _PoolWithoutProcesses:
+    """A pool whose private ``_processes`` map is missing (future Python)."""
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        pass
+
+
+class TestKillPool:
+    def test_no_discoverable_processes_is_counted_not_silent(self):
+        mapper = ResilientMap(lambda x: x, [])
+        with recording() as rec:
+            mapper._kill_pool(_PoolWithoutProcesses())
+        assert rec.counters.get("core.resilience.pool_kill_no_workers") == 1
+
+    def test_real_pool_kill_is_not_counted_as_blind(self):
+        mapper = ResilientMap(lambda x: x, [])
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.submit(int, 0).result()  # force the worker to exist
+        with recording() as rec:
+            mapper._kill_pool(pool)
+        assert rec.counters.get("core.resilience.pool_kill_no_workers") == 0
+
+
 class TestWorkerDiagnostics:
     def test_pool_workers_install_fault_handlers(self):
         with ProcessPoolExecutor(
@@ -444,6 +467,16 @@ class TestCheckpointResume:
         entries = SweepCheckpoint(journal, key=sweep_key((None, None))).entries()
         assert sorted(entries) == ["alpha", "beta", "delta", "gamma"]
 
+    def test_payload_key_order_survives_resume(self, tmp_path):
+        """Figure rows render columns in dict-insertion order, so the
+        journal must not alphabetize payload keys on the way through."""
+        path = tmp_path / "j.jsonl"
+        SweepCheckpoint(path, key="k").append(
+            "fig", {"rows": [{"page": "Docs", "alpha": 1}]}
+        )
+        reloaded = SweepCheckpoint(path, key="k").entries()
+        assert list(reloaded["fig"]["rows"][0]) == ["page", "alpha"]
+
     def test_checkpoint_counts_writes(self, tmp_path):
         journal = tmp_path / "sweep.jsonl"
         with recording() as rec:
@@ -528,6 +561,33 @@ class TestFigureHarness:
             r.to_jsonable() for r in second
         ]
 
+    def test_serial_checkpoint_with_recorder_enabled(
+        self, monkeypatch, tmp_path
+    ):
+        """Serial runs return bare FigureResults even when observed.
+
+        Regression: the checkpoint hook used to unwrap ``value[0]``
+        whenever the recorder was on, which crashed ``repro figures
+        --manifest DIR --checkpoint PATH`` at the default ``--jobs 1``.
+        """
+        from repro.analysis.base import FigureResult
+
+        def fig_one():
+            return FigureResult(figure_id="F1", title="t", rows=[{"x": 1}])
+
+        report = self._patch_experiments(monkeypatch, [fig_one])
+        journal = tmp_path / "figures.jsonl"
+        with recording() as rec:
+            first = report.all_results(checkpoint=journal)
+        assert first[0].figure_id == "F1"
+        assert rec.counters.get("core.resilience.checkpoint.writes") == 1
+        with recording() as rec:
+            second = report.all_results(checkpoint=journal, resume=True)
+        assert rec.counters.get("core.resilience.resumed") == 1
+        assert [r.to_jsonable() for r in first] == [
+            r.to_jsonable() for r in second
+        ]
+
 
 # ----------------------------------------------------------------------
 # MemoCache: corruption quarantine, debris removal, concurrent writers
@@ -559,6 +619,19 @@ class TestMemoCorruption:
             assert cache.get("entry") is None
         assert rec.counters.get("core.memo.corrupt") == 1
         assert path.with_suffix(".corrupt").exists()
+
+    def test_non_string_dict_keys_are_not_misquarantined(self, tmp_path):
+        """JSON stringifies int keys, changing sort order across a round
+        trip ({10: ...} sorts numerically at put, lexicographically after
+        reload); the checksum is over the canonical re-parsed form, so
+        such entries must load as hits, not corrupt."""
+        cache = MemoCache(tmp_path, version="v1")
+        cache.put("entry", {10: "ten", 2: "two"})
+        with recording() as rec:
+            got = cache.get("entry", default="MISS")
+        assert got == {"10": "ten", "2": "two"}
+        assert rec.counters.get("core.memo.hits") == 1
+        assert rec.counters.get("core.memo.corrupt") == 0
 
     def test_clear_sweeps_tmp_and_corrupt_debris(self, tmp_path):
         cache = MemoCache(tmp_path, version="v1")
@@ -678,16 +751,39 @@ class TestCliResilience:
     ):
         from repro.cli import main
 
+        # --max-retries N is N *retries*: N + 1 attempts must all fail.
         install_plan(
-            tmp_path, monkeypatch, {"texture_tiling": ["raise:dead"] * 3}
+            tmp_path, monkeypatch, {"texture_tiling": ["raise:dead"] * 4}
         )
         with strict_mode(False):
             assert main([
                 "evaluate", "--workload", "chrome", "--max-retries", "3",
             ]) == 0
         captured = capsys.readouterr()
-        assert "FAILED after 3 attempt(s)" in captured.out
+        assert "FAILED after 4 attempt(s)" in captured.out
         assert "DEGRADED" in captured.err
+
+    def test_max_retries_zero_quarantines_on_first_failure(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        install_plan(
+            tmp_path, monkeypatch, {"texture_tiling": ["raise:dead"]}
+        )
+        with strict_mode(False):
+            assert main([
+                "evaluate", "--workload", "chrome", "--max-retries", "0",
+            ]) == 0
+        assert "FAILED after 1 attempt(s)" in capsys.readouterr().out
+
+    def test_negative_max_retries_rejected_by_flag_name(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "evaluate", "--workload", "chrome", "--max-retries", "-1",
+        ]) == 2
+        assert "--max-retries" in capsys.readouterr().err
 
     def test_evaluate_checkpoint_resume_round_trip(
         self, tmp_path, monkeypatch, capsys
