@@ -31,7 +31,19 @@ from repro.analysis.video_figures import (
 from repro.analysis.headline import headline_summary, table1_configuration
 from repro.analysis.report import all_results, write_experiments_md
 from repro.analysis.export import export_all, figure_to_dict
-from repro.analysis.sensitivity import evaluate_point, sweep, breakeven_internal_ratio
+from repro.analysis.sensitivity import (
+    breakeven_internal_ratio,
+    cache_geometry_sweep,
+    evaluate_point,
+    locality_robust_across_geometries,
+    sweep,
+)
+from repro.analysis.cachesweep import (
+    default_geometry_grid,
+    run_sweep,
+    sweep_all,
+    workload_names,
+)
 from repro.analysis.scorecard import Scorecard, full_scorecard, score_figures
 from repro.analysis.scenarios import Scenario, ScenarioResult, evaluate_all, standard_scenarios
 from repro.analysis.ascii import render_chart, render_all_charts
@@ -61,6 +73,12 @@ __all__ = [
     "evaluate_point",
     "sweep",
     "breakeven_internal_ratio",
+    "cache_geometry_sweep",
+    "locality_robust_across_geometries",
+    "default_geometry_grid",
+    "run_sweep",
+    "sweep_all",
+    "workload_names",
     "Scorecard",
     "full_scorecard",
     "score_figures",

@@ -218,6 +218,7 @@ def render_markdown(
     results: list[FigureResult],
     perf: dict | None = None,
     kernels: dict | None = None,
+    batched: dict | None = None,
 ) -> str:
     from repro.analysis.scorecard import score_figures
 
@@ -260,6 +261,9 @@ def render_markdown(
     kernels = kernels if kernels is not None else load_kernel_baseline()
     if kernels:
         lines.append(_render_kernel_perf_section(kernels))
+    batched = batched if batched is not None else load_batched_baseline()
+    if batched:
+        lines.append(_render_batched_perf_section(batched))
     return "\n".join(lines) + "\n"
 
 
@@ -272,6 +276,59 @@ PERF_BASELINE_PATH = (
 KERNEL_BASELINE_PATH = (
     Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_kernels.json"
 )
+
+#: Where the config-batched sweep benchmark records its headline numbers.
+BATCHED_BASELINE_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_batched_replay.json"
+)
+
+
+def load_batched_baseline(path: str | Path | None = None) -> dict | None:
+    """The committed batched-sweep benchmark record, if present."""
+    target = Path(path) if path is not None else BATCHED_BASELINE_PATH
+    try:
+        with open(target) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def _render_batched_perf_section(record: dict) -> str:
+    lines = ["## Performance — config-batched sweeps\n"]
+    lines.append(
+        "Recorded by `benchmarks/bench_batched_replay.py` (re-run it to "
+        "refresh `benchmarks/BENCH_batched_replay.json`).  Baseline is "
+        "the trace-per-config path (every geometry re-traces the kernel "
+        "and replays serially); the batched path traces once into a "
+        "columnar `TraceArtifact` and evaluates the whole geometry grid "
+        "in one `sweep_batch` pass.  Both paths are verified "
+        "bit-identical on every benchmark run before timing.\n"
+    )
+    lines.append(
+        "| sweep | configs | accesses | trace-per-config (s) | "
+        "trace-once batched (s) | speedup |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for row in record.get("sweeps", []):
+        lines.append(
+            "| %s | %d | %d | %.3f | %.3f | %.1fx |"
+            % (
+                row["name"],
+                row["configs"],
+                row["accesses"],
+                row["baseline_s"],
+                row["batched_s"],
+                row["speedup"],
+            )
+        )
+    lines.append("")
+    lines.append(
+        "Geomean end-to-end sweep speedup: **%.1fx**.\n"
+        % record.get("headline_speedup", 0.0)
+    )
+    return "\n".join(lines)
 
 
 def load_kernel_baseline(path: str | Path | None = None) -> dict | None:

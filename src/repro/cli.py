@@ -10,6 +10,10 @@
                              [--manifest DIR] [--trace-out PATH]
                              [--max-retries N] [--target-timeout S]
                              [--checkpoint PATH] [--resume]
+    python -m repro cachesweep [--workload NAME|all] [--batch|--no-batch]
+                               [--trace-dir DIR] [--jobs N] [--no-cache]
+                               [--manifest DIR] [--trace-out PATH]
+                               [--max-retries N] [--checkpoint PATH] [--resume]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -268,6 +272,100 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_cachesweep(args) -> int:
+    from repro.analysis.cachesweep import run_sweep, workload_names
+    from repro.sim.artifact import TraceStore
+
+    if args.workload == "all":
+        names = workload_names()
+    elif args.workload in workload_names():
+        names = [args.workload]
+    else:
+        print(
+            "unknown workload %r; available: %s"
+            % (args.workload, ", ".join(workload_names() + ["all"])),
+            file=sys.stderr,
+        )
+        return 2
+    cache = None
+    if not args.no_cache:
+        from repro.core.memo import MemoCache
+
+        cache = MemoCache()
+    store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore()
+    retry_policy = _retry_policy(args)
+    documents = {}
+    with _obs_session(args) as recorder:
+        for name in names:
+            checkpoint = args.checkpoint
+            if checkpoint and len(names) > 1:
+                # One journal per workload: each sweep has its own
+                # artifact hash, and a shared file would rotate itself
+                # stale on every workload switch.
+                checkpoint = "%s.%s" % (checkpoint, name)
+            documents[name] = document = run_sweep(
+                name,
+                batch=args.batch,
+                store=store,
+                cache=cache,
+                jobs=args.jobs,
+                retry_policy=retry_policy,
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
+            print(
+                "%s  (artifact %s, %s)"
+                % (
+                    name,
+                    document["artifact"][:12],
+                    "batched" if document["batched"] else "serial/cached",
+                )
+            )
+            print(
+                "  %-22s %9s %9s %8s %12s %8s"
+                % ("config", "L1 miss%", "LLC MPKI", "PIM?", "DRAM bytes", "Mcycles")
+            )
+            for row in document["rows"]:
+                print(
+                    "  %-22s %8.2f%% %9.1f %8s %12d %8.2f"
+                    % (
+                        row["config"],
+                        100 * row["l1_miss_rate"],
+                        row["llc_mpki"],
+                        "yes" if row["pim_candidate"] else "no",
+                        row["dram_bytes"],
+                        row["cycles"] / 1e6,
+                    )
+                )
+            for failure in document["failures"]:
+                print(
+                    "  %-22s FAILED after %d attempt(s): %s"
+                    % (failure["config"], failure["attempts"], failure["error"])
+                )
+            print()
+        if recorder is not None:
+            from repro.config import default_system
+
+            _write_obs_outputs(
+                args,
+                recorder,
+                command="cachesweep --workload %s" % args.workload,
+                config=default_system(),
+                results={
+                    name: {
+                        "artifact": doc["artifact"],
+                        "batched": doc["batched"],
+                        "configs": [r["config"] for r in doc["rows"]],
+                        "failures": [f["config"] for f in doc["failures"]],
+                    }
+                    for name, doc in documents.items()
+                },
+            )
+    if any(doc["failures"] for doc in documents.values()):
+        print("DEGRADED: some geometries were quarantined", file=sys.stderr)
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.analysis.headline import workload_characterizations
 
@@ -375,6 +473,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(evaluate)
     _add_resilience_flags(evaluate)
     evaluate.set_defaults(fn=_cmd_evaluate)
+
+    cachesweep = sub.add_parser(
+        "cachesweep",
+        help="cache design-space sweep over shared trace artifacts",
+    )
+    cachesweep.add_argument(
+        "--workload", default="all",
+        help="sweep workload name, or 'all' (default)",
+    )
+    cachesweep.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="evaluate all geometries in one batched replay pass "
+        "(--no-batch replays each geometry serially; results are "
+        "bit-identical either way)",
+    )
+    cachesweep.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="directory for the shared trace artifacts "
+        "(default: the package cache directory)",
+    )
+    cachesweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the serial (--no-batch) path; each "
+        "worker memory-maps the shared artifact",
+    )
+    cachesweep.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk sweep memo cache",
+    )
+    _add_obs_flags(cachesweep)
+    _add_resilience_flags(cachesweep)
+    cachesweep.set_defaults(fn=_cmd_cachesweep)
 
     characterize = sub.add_parser(
         "characterize", help="data-movement share per workload"

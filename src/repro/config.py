@@ -246,6 +246,24 @@ def default_system() -> SystemConfig:
     return SystemConfig()
 
 
+def cache_label(cache: CacheConfig) -> str:
+    """Compact human label for one cache level, e.g. ``64kB/4w``."""
+    if cache.size_bytes % MB == 0:
+        size = "%dMB" % (cache.size_bytes // MB)
+    elif cache.size_bytes % KB == 0:
+        size = "%dkB" % (cache.size_bytes // KB)
+    else:
+        size = "%dB" % cache.size_bytes
+    return "%s/%dw" % (size, cache.associativity)
+
+
+def soc_cache_label(soc: SocConfig) -> str:
+    """Stable identity of an SoC's cache geometry, e.g.
+    ``l1=64kB/4w,llc=2MB/8w`` — used as the sweep-point name in
+    checkpoints, counters, and report rows."""
+    return "l1=%s,llc=%s" % (cache_label(soc.l1), cache_label(soc.l2))
+
+
 def table1_rows(config: SystemConfig | None = None) -> list[tuple[str, str]]:
     """Render Table 1 as (component, description) rows for reports."""
     cfg = config or default_system()

@@ -64,6 +64,34 @@ class TargetComparison:
         }
 
 
+def measured_profile(profile, stats) -> "KernelProfile":
+    """``profile`` with its memory-system fields re-anchored on ``stats``.
+
+    The analytic :class:`~repro.sim.profile.KernelProfile` carries
+    closed-form miss/traffic estimates; a cache design-space sweep
+    (:mod:`repro.analysis.cachesweep`) produces *simulated*
+    :class:`~repro.sim.cache.HierarchyStats` for the same kernel under a
+    specific geometry.  This helper grafts the measured hierarchy
+    behaviour — L1 misses, LLC misses, off-chip bytes — onto the
+    profile, so the CPU/PIM machine models can be re-run per geometry
+    without touching the compute-side fields.  ``pim_bytes`` is left
+    alone when the profile overrode it (a kernel-semantics fact, not a
+    geometry fact); profiles that tracked ``dram_bytes`` keep tracking
+    the measured value.
+    """
+    # ``pim_bytes`` defaults to ``dram_bytes`` and is normalized at
+    # construction; re-arm the default (sentinel -1) unless the kernel
+    # genuinely overrode it, so it follows the measured traffic.
+    pim_bytes = -1.0 if profile.pim_bytes == profile.dram_bytes else profile.pim_bytes
+    return replace(
+        profile,
+        l1_misses=float(stats.l1.misses),
+        llc_misses=float(stats.llc.misses),
+        dram_bytes=float(stats.dram_bytes),
+        pim_bytes=pim_bytes,
+    )
+
+
 class OffloadEngine:
     """Runs PIM targets on the three machine models of the paper."""
 

@@ -412,3 +412,305 @@ def _mean(values: list[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+# ----------------------------------------------------------------------
+# Cache-geometry config sweeps over one shared trace artifact
+# ----------------------------------------------------------------------
+
+#: Per-process replay state for parallel config sweeps: (trace, params,
+#: instructions_per_access), set by the pool initializer from the
+#: memory-mapped artifact so workers never re-trace the kernel.
+_SWEEP_TRACE_STATE = None
+
+
+def _init_sweep_worker(artifact_path, timing_params, instructions_per_access):
+    global _SWEEP_TRACE_STATE
+    _install_worker_fault_handlers()
+    from repro.sim.artifact import TraceArtifact
+
+    try:
+        artifact = TraceArtifact.load(artifact_path, mmap=True)
+        _SWEEP_TRACE_STATE = (
+            artifact.trace(), timing_params, instructions_per_access
+        )
+    except BaseException as exc:
+        print(
+            "repro: sweep worker initializer failed: %r" % exc,
+            file=sys.stderr,
+            flush=True,
+        )
+        raise
+
+
+def _sweep_config_in_worker(job):
+    label, soc = job
+    maybe_inject_fault(label)
+    trace, params, ipa = _SWEEP_TRACE_STATE
+    return _evaluate_sweep_config(trace, soc, params, ipa)
+
+
+def _evaluate_sweep_config(trace, soc, timing_params, instructions_per_access):
+    """One geometry's row: serial cache replay + serial timing replay."""
+    from repro.sim.cache import CacheHierarchy
+    from repro.sim.timing import TimingSimulator
+
+    stats = CacheHierarchy(soc).replay_fast(trace)
+    timing = TimingSimulator(soc, timing_params).replay_fast(
+        trace, instructions_per_access
+    )
+    return _sweep_row(soc, stats, timing, instructions_per_access)
+
+
+def _sweep_row(soc, stats, timing, instructions_per_access) -> dict:
+    """A JSON-able sweep-point row (also the checkpoint payload).
+
+    ``pim_candidate`` applies the paper's Section 3.2 memory-intensity
+    criterion (LLC MPKI > 10) at this geometry's *measured* miss count,
+    with instructions estimated from the replayed access count.
+    """
+    from repro.config import soc_cache_label
+
+    instructions = timing.accesses * instructions_per_access
+    mpki = (
+        stats.llc.misses / (instructions / 1000.0) if instructions > 0 else 0.0
+    )
+    return {
+        "config": soc_cache_label(soc),
+        "l1_bytes": soc.l1.size_bytes,
+        "l1_assoc": soc.l1.associativity,
+        "llc_bytes": soc.l2.size_bytes,
+        "llc_assoc": soc.l2.associativity,
+        "accesses": timing.accesses,
+        "l1_misses": stats.l1.misses,
+        "l1_miss_rate": (
+            stats.l1.misses / stats.l1.accesses if stats.l1.accesses else 0.0
+        ),
+        "llc_misses": stats.llc.misses,
+        "llc_mpki": mpki,
+        "pim_candidate": mpki > 10.0,
+        "dram_line_reads": stats.dram_line_reads,
+        "dram_line_writes": stats.dram_line_writes,
+        "dram_bytes": stats.dram_bytes,
+        "cycles": timing.cycles,
+        "timing_dram_misses": timing.dram_misses,
+        "stall_fraction": timing.stall_fraction,
+    }
+
+
+@dataclass
+class ConfigSweepResult:
+    """Rows for every surviving geometry, in input order."""
+
+    rows: list[dict] = field(default_factory=list)
+    failures: list[TargetFailure] = field(default_factory=list)
+    #: Whether the batched engine produced the fresh rows (False: serial
+    #: path, by request or after a fault-containment fallback).
+    batched: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+    def by_config(self, label: str) -> dict:
+        for row in self.rows:
+            if row["config"] == label:
+                return row
+        raise KeyError("no sweep row for config %r" % label)
+
+
+class ConfigSweep:
+    """Evaluates N cache geometries over one shared trace artifact.
+
+    The artifact (:class:`repro.sim.artifact.TraceArtifact`) is
+    materialized once per workload; every geometry replays the same
+    memoized run stream.  ``batch=True`` evaluates all pending
+    geometries in a single pass (:func:`repro.sim.batch.replay_batch` —
+    bit-identical per config to the serial path, so the two modes can
+    be mixed freely across resume boundaries).
+
+    Resilience composes as in :class:`ExperimentRunner`: a checkpoint
+    journal keyed by the artifact's ``content_hash`` makes sweeps
+    resumable, and a retry policy quarantines a faulty *config* without
+    discarding the shared trace — a batched pass that fails falls back
+    to the resilient serial path over the same in-memory artifact, so
+    one bad geometry costs its own row, never the trace.
+    """
+
+    def __init__(
+        self,
+        artifact,
+        timing_params=None,
+        instructions_per_access: float = 2.0,
+    ):
+        from repro.sim.timing import TimingParameters
+
+        self.artifact = artifact
+        self.timing_params = timing_params or TimingParameters()
+        self.instructions_per_access = instructions_per_access
+
+    def evaluate(
+        self,
+        socs,
+        batch: bool = True,
+        jobs: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> ConfigSweepResult:
+        from repro.config import soc_cache_label
+
+        socs = list(socs)
+        labels = [soc_cache_label(s) for s in socs]
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate cache geometries in sweep: %r" % labels)
+        recorder = get_recorder()
+        with recorder.span("core.runner.config_sweep"):
+            journal = self._journal(checkpoint)
+            resumed: dict[str, dict] = {}
+            if journal is not None and resume:
+                entries = journal.entries()
+                resumed = {
+                    label: entries[label] for label in labels if label in entries
+                }
+                if recorder.enabled and resumed:
+                    recorder.counters.add(
+                        "core.resilience.resumed", len(resumed)
+                    )
+            pending = [
+                (label, soc)
+                for label, soc in zip(labels, socs)
+                if label not in resumed
+            ]
+            fresh: dict[str, dict] = {}
+            failures: list[TargetFailure] = []
+            batched = False
+            if pending and batch:
+                rows = self._evaluate_batch(pending, retry_policy, recorder)
+                if rows is not None:
+                    batched = True
+                    for (label, _), row in zip(pending, rows):
+                        fresh[label] = row
+                        if journal is not None:
+                            journal.append(label, row)
+                    pending = []
+            if pending:
+                values, failures = self._evaluate_serial(
+                    pending, jobs, retry_policy, journal, recorder
+                )
+                fresh.update(
+                    (label, row)
+                    for (label, _), row in zip(pending, values)
+                    if row is not None
+                )
+            if recorder.enabled:
+                recorder.counters.add("core.runner.config_sweeps", 1)
+                recorder.counters.add(
+                    "core.runner.config_sweep_points", len(fresh) + len(resumed)
+                )
+        rows = [
+            (resumed.get(label) or fresh.get(label))
+            for label in labels
+            if label in resumed or label in fresh
+        ]
+        return ConfigSweepResult(rows=rows, failures=failures, batched=batched)
+
+    # ------------------------------------------------------------------
+    def _evaluate_batch(self, pending, retry_policy, recorder):
+        """All pending geometries in one shared pass; None = fall back.
+
+        Fault-injection hooks fire per config *before* the pass, so a
+        planned fault degrades to the serial path (where it is retried
+        and, if persistent, quarantined alone) instead of poisoning the
+        batch.  Any batch-path failure is contained the same way when a
+        retry policy is present; without one the legacy fail-fast
+        contract applies.
+        """
+        from repro.sim.batch import sweep_batch
+
+        trace = self.artifact.trace()
+        try:
+            for label, _ in pending:
+                maybe_inject_fault(label)
+            stats, timings = sweep_batch(
+                trace,
+                [soc for _, soc in pending],
+                params=self.timing_params,
+                instructions_per_access=self.instructions_per_access,
+            )
+        except Exception:
+            if retry_policy is None:
+                raise
+            if recorder.enabled:
+                recorder.counters.add("core.runner.batch_fallbacks", 1)
+            return None
+        return [
+            _sweep_row(soc, s, t, self.instructions_per_access)
+            for (_, soc), s, t in zip(pending, stats, timings)
+        ]
+
+    def _evaluate_serial(self, pending, jobs, retry_policy, journal, recorder):
+        def journal_success(index, name, value):
+            if journal is not None:
+                journal.append(name, value)
+
+        names = [label for label, _ in pending]
+        if jobs > 1 and len(pending) > 1:
+            if self.artifact.path is None:
+                raise ValueError(
+                    "jobs > 1 requires an on-disk artifact (save it, or "
+                    "build it through a TraceStore) so workers can mmap "
+                    "the shared trace"
+                )
+            mapper = ResilientMap(
+                _sweep_config_in_worker,
+                pending,
+                names=names,
+                policy=retry_policy,
+                jobs=min(jobs, len(pending)),
+                initializer=_init_sweep_worker,
+                initargs=(
+                    str(self.artifact.path),
+                    self.timing_params,
+                    self.instructions_per_access,
+                ),
+                on_success=journal_success,
+                raise_failures=retry_policy is None,
+            )
+            return mapper.run()
+        trace = self.artifact.trace()
+
+        def evaluate_one(job):
+            label, soc = job
+            with recorder.span("core.runner.config.%s" % label):
+                maybe_inject_fault(label)
+                return _evaluate_sweep_config(
+                    trace, soc, self.timing_params, self.instructions_per_access
+                )
+
+        return ResilientMap(
+            evaluate_one,
+            pending,
+            names=names,
+            policy=retry_policy,
+            jobs=1,
+            on_success=journal_success,
+            raise_failures=retry_policy is None,
+        ).run()
+
+    def _journal(self, checkpoint) -> SweepCheckpoint | None:
+        """Journal keyed by artifact content + sweep parameters.
+
+        Embedding ``content_hash`` means a journal written against one
+        trace can never resume a sweep over a different one — the
+        mismatched key rotates the file aside, exactly like a code edit.
+        """
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, SweepCheckpoint):
+            return checkpoint
+        key = "%s:%s" % (
+            self.artifact.content_hash,
+            sweep_key((self.timing_params, self.instructions_per_access)),
+        )
+        return SweepCheckpoint(checkpoint, key=key)

@@ -11,6 +11,10 @@ reproduction:
 * :mod:`repro.sim.trace` / :mod:`repro.sim.cache` -- a trace-driven
   set-associative cache-hierarchy simulator used to validate the locality
   assumptions baked into the analytic profiles;
+* :mod:`repro.sim.artifact` / :mod:`repro.sim.batch` -- memory-mapped
+  columnar trace artifacts and config-batched replay, so design-space
+  sweeps trace each workload once and evaluate many cache
+  configurations in one pass;
 * :mod:`repro.sim.dram` -- LPDDR3 and 3D-stacked DRAM bandwidth/latency
   models;
 * :mod:`repro.sim.cpu` / :mod:`repro.sim.pim` -- roofline-style timing and
@@ -21,6 +25,13 @@ reproduction:
 
 from repro.sim.profile import KernelProfile
 from repro.sim.trace import MemoryTrace, TraceRecorder
+from repro.sim.artifact import ArtifactError, TraceArtifact, TraceStore
+from repro.sim.batch import (
+    replay_batch,
+    replay_timing_batch,
+    sweep_batch,
+    timing_batch_for_socs,
+)
 from repro.sim.cache import (
     Cache,
     CacheHierarchy,
@@ -39,6 +50,13 @@ __all__ = [
     "KernelProfile",
     "MemoryTrace",
     "TraceRecorder",
+    "ArtifactError",
+    "TraceArtifact",
+    "TraceStore",
+    "replay_batch",
+    "replay_timing_batch",
+    "sweep_batch",
+    "timing_batch_for_socs",
     "Cache",
     "CacheHierarchy",
     "CacheStats",

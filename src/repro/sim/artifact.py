@@ -1,0 +1,392 @@
+"""Memory-mapped columnar trace artifacts: trace once, sweep many.
+
+The paper's figures are design-space sweeps — one workload trace
+evaluated under many cache configurations — yet re-running the
+instrumented kernel per sweep point makes sweep cost scale as
+``configs x (kernel + trace + replay)``.  A :class:`TraceArtifact`
+materializes a workload's trace *once* as an on-disk columnar file
+holding both the per-access columns (``addresses``, ``is_write``) and
+the precomputed :meth:`repro.sim.trace.MemoryTrace.line_runs` columns
+(``run_lines``, ``run_counts``, ``run_writes``), so every later sweep
+point pays only the replay.
+
+File layout (single file, everything 64-byte aligned so columns can be
+``np.memmap``-ed directly)::
+
+    magic (8 B) | header length (8 B LE) | JSON header | pad | columns
+
+The header pins a schema tag, the workload name, the recording
+``line_bytes``, a per-column SHA-256, the package code-version hash,
+and a ``content_hash`` over the access stream itself.  Integrity
+follows the :class:`repro.core.resilience.SweepCheckpoint` /
+:class:`repro.core.memo.MemoCache` contracts:
+
+* writes are atomic (tmp file + fsync + ``os.replace``), so a crashed
+  writer can never publish a partial artifact under the final name;
+* loads verify structure and checksums; a torn, truncated, or
+  bit-flipped file raises :class:`ArtifactError` rather than returning
+  corrupt data;
+* :class:`TraceStore` quarantines bad artifacts to ``*.corrupt``
+  (counted as ``sim.artifact.corrupt``) and rebuilds, so a damaged
+  cache entry costs one rebuild — never a wrong result.
+
+The ``content_hash`` is the sweep-facing identity of the trace: memo
+keys and checkpoint namespaces embed it (see
+:mod:`repro.analysis.cachesweep`), so a cached sweep row can never be
+reused against a different trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import CACHE_LINE_BYTES
+from repro.obs.recorder import get_recorder
+from repro.sim.trace import MemoryTrace
+
+#: File magic: 8 bytes, versioned with the schema below.
+_MAGIC = b"RPROTRC1"
+SCHEMA = "repro-trace-artifact/v1"
+#: Column alignment; also the pad unit between header and data.
+_ALIGN = 64
+
+#: Column order and dtypes are fixed by the schema.
+_COLUMNS = (
+    ("addresses", np.uint64),
+    ("is_write", np.bool_),
+    ("run_lines", np.uint64),
+    ("run_counts", np.int64),
+    ("run_writes", np.bool_),
+)
+
+
+class ArtifactError(ValueError):
+    """A trace artifact failed structural or checksum validation."""
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _content_hash(
+    addresses: np.ndarray, is_write: np.ndarray, line_bytes: int
+) -> str:
+    """Identity of the access stream (independent of workload/code)."""
+    digest = hashlib.sha256()
+    digest.update(SCHEMA.encode())
+    digest.update(b"\0%d\0" % line_bytes)
+    digest.update(np.ascontiguousarray(addresses).tobytes())
+    digest.update(b"\0")
+    digest.update(np.ascontiguousarray(is_write).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class TraceArtifact:
+    """One workload trace, materialized with its line-run columns.
+
+    Build with :meth:`from_trace`, persist with :meth:`save`, reload
+    with :meth:`load` (memory-mapped by default).  :meth:`trace`
+    returns a :class:`MemoryTrace` whose ``line_runs`` memo is
+    pre-seeded from the stored columns, so replays skip the RLE pass
+    entirely.
+    """
+
+    workload: str
+    line_bytes: int
+    content_hash: str
+    code_version: str
+    addresses: np.ndarray
+    is_write: np.ndarray
+    run_lines: np.ndarray
+    run_counts: np.ndarray
+    run_writes: np.ndarray
+    path: Path | None = field(default=None, compare=False)
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def num_runs(self) -> int:
+        return int(self.run_lines.shape[0])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace: MemoryTrace,
+        workload: str = "",
+        line_bytes: int = CACHE_LINE_BYTES,
+    ) -> "TraceArtifact":
+        """Materialize a trace (and its line runs) as an artifact."""
+        from repro.core.memo import code_version_hash
+
+        run_lines, run_counts, run_writes = trace.line_runs(line_bytes)
+        return cls(
+            workload=workload,
+            line_bytes=line_bytes,
+            content_hash=_content_hash(trace.addresses, trace.is_write, line_bytes),
+            code_version=code_version_hash(),
+            addresses=trace.addresses,
+            is_write=trace.is_write,
+            run_lines=run_lines,
+            run_counts=run_counts,
+            run_writes=run_writes,
+        )
+
+    def trace(self) -> MemoryTrace:
+        """The artifact's trace, with ``line_runs`` pre-seeded."""
+        trace = MemoryTrace(addresses=self.addresses, is_write=self.is_write)
+        trace._line_runs_cache[self.line_bytes] = (
+            self.run_lines,
+            self.run_counts,
+            self.run_writes,
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    def _column_arrays(self) -> list[tuple[str, np.ndarray]]:
+        return [
+            (name, np.ascontiguousarray(getattr(self, name), dtype=dtype))
+            for name, dtype in _COLUMNS
+        ]
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact atomically; returns the final path.
+
+        The file appears under ``path`` only after a full fsync'd write
+        (tmp + ``os.replace``), matching the checkpoint/memo contracts:
+        a crash mid-save can never leave a torn file under the real
+        name, and :meth:`load`'s checksums catch anything else.
+        """
+        path = Path(path)
+        columns = self._column_arrays()
+        specs = []
+        offset = 0
+        for name, array in columns:
+            nbytes = int(array.nbytes)
+            specs.append(
+                {
+                    "name": name,
+                    "dtype": str(array.dtype),
+                    "count": int(array.shape[0]),
+                    "offset": offset,  # relative to the data section
+                    "nbytes": nbytes,
+                    "sha256": _sha256(array.tobytes()),
+                }
+            )
+            offset += -(-nbytes // _ALIGN) * _ALIGN
+        header = {
+            "schema": SCHEMA,
+            "workload": self.workload,
+            "line_bytes": self.line_bytes,
+            "content_hash": self.content_hash,
+            "code_version": self.code_version,
+            "num_accesses": self.num_accesses,
+            "num_runs": self.num_runs,
+            "columns": specs,
+            "data_bytes": offset,
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode()
+        data_start = _data_start(len(header_bytes))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp.%d" % os.getpid())
+        try:
+            with open(tmp, "wb") as f:
+                f.write(_MAGIC)
+                f.write(len(header_bytes).to_bytes(8, "little"))
+                f.write(header_bytes)
+                f.write(b"\0" * (data_start - len(_MAGIC) - 8 - len(header_bytes)))
+                for spec, (_, array) in zip(specs, columns):
+                    f.seek(data_start + spec["offset"])
+                    f.write(array.tobytes())
+                f.truncate(data_start + offset)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        get_recorder().counters.add("sim.artifact.saves", 1)
+        self.path = path
+        return path
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls, path: str | Path, mmap: bool = True, verify: bool = True
+    ) -> "TraceArtifact":
+        """Load an artifact, memory-mapping its columns by default.
+
+        Raises :class:`ArtifactError` on any structural damage: bad
+        magic, unparseable or schema-mismatched header, a file shorter
+        than the header promises (torn write), or — with ``verify`` —
+        a per-column or content checksum mismatch.
+        """
+        path = Path(path)
+        try:
+            file_size = path.stat().st_size
+            with open(path, "rb") as f:
+                magic = f.read(len(_MAGIC))
+                if magic != _MAGIC:
+                    raise ArtifactError("%s: bad magic %r" % (path, magic))
+                raw_len = f.read(8)
+                if len(raw_len) != 8:
+                    raise ArtifactError("%s: truncated header length" % path)
+                header_len = int.from_bytes(raw_len, "little")
+                header_bytes = f.read(header_len)
+        except OSError as exc:
+            raise ArtifactError("%s: unreadable artifact: %s" % (path, exc)) from exc
+        if len(header_bytes) != header_len:
+            raise ArtifactError("%s: truncated header" % path)
+        try:
+            header = json.loads(header_bytes)
+        except ValueError as exc:
+            raise ArtifactError("%s: corrupt header: %s" % (path, exc)) from exc
+        if header.get("schema") != SCHEMA:
+            raise ArtifactError(
+                "%s: schema %r, expected %r" % (path, header.get("schema"), SCHEMA)
+            )
+        data_start = _data_start(header_len)
+        expected = data_start + int(header.get("data_bytes", -1))
+        if file_size != expected:
+            raise ArtifactError(
+                "%s: torn artifact: %d bytes on disk, header promises %d"
+                % (path, file_size, expected)
+            )
+        specs = header["columns"]
+        if [s["name"] for s in specs] != [name for name, _ in _COLUMNS]:
+            raise ArtifactError("%s: unexpected column set" % path)
+        arrays = {}
+        for spec in specs:
+            dtype = np.dtype(spec["dtype"])
+            count = int(spec["count"])
+            if dtype.itemsize * count != int(spec["nbytes"]):
+                raise ArtifactError(
+                    "%s: column %r size mismatch" % (path, spec["name"])
+                )
+            offset = data_start + int(spec["offset"])
+            if mmap and count:
+                array = np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=(count,))
+            else:
+                with open(path, "rb") as f:
+                    f.seek(offset)
+                    array = np.frombuffer(
+                        f.read(int(spec["nbytes"])), dtype=dtype
+                    ).copy()
+            arrays[spec["name"]] = array
+        if verify:
+            for spec in specs:
+                digest = _sha256(arrays[spec["name"]].tobytes())
+                if digest != spec["sha256"]:
+                    raise ArtifactError(
+                        "%s: column %r checksum mismatch (%s != %s)"
+                        % (path, spec["name"], digest, spec["sha256"])
+                    )
+            recomputed = _content_hash(
+                arrays["addresses"], arrays["is_write"], int(header["line_bytes"])
+            )
+            if recomputed != header["content_hash"]:
+                raise ArtifactError(
+                    "%s: content hash mismatch (%s != %s)"
+                    % (path, recomputed, header["content_hash"])
+                )
+        get_recorder().counters.add("sim.artifact.loads", 1)
+        return cls(
+            workload=header["workload"],
+            line_bytes=int(header["line_bytes"]),
+            content_hash=header["content_hash"],
+            code_version=header["code_version"],
+            path=path,
+            **arrays,
+        )
+
+
+def _data_start(header_len: int) -> int:
+    """Aligned offset of the data section, deterministic in header size."""
+    raw = len(_MAGIC) + 8 + header_len
+    return -(-raw // _ALIGN) * _ALIGN
+
+
+class TraceStore:
+    """An on-disk cache of trace artifacts, keyed by workload + code version.
+
+    ``get_or_build(name, builder)`` returns the stored artifact when a
+    valid one exists for this code version (counted as
+    ``sim.artifact.hits``) and otherwise runs ``builder`` — the
+    instrumented kernel — once, saving the result for every later sweep
+    point and process (``sim.artifact.misses`` + ``sim.artifact.saves``).
+    Artifacts that fail validation are quarantined to ``*.corrupt``
+    (``sim.artifact.corrupt``) and rebuilt; artifacts from an older code
+    version are rebuilt in place.  A failed *config* during a sweep
+    never touches the store — quarantine of sweep points is the
+    resilience layer's job, and the shared trace must survive it.
+    """
+
+    def __init__(self, directory: str | Path | None = None, version: str | None = None):
+        from repro.core.memo import code_version_hash, default_cache_dir
+
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir() / "traces"
+        )
+        self.version = version if version is not None else code_version_hash()
+
+    def path_for(self, name: str, line_bytes: int = CACHE_LINE_BYTES) -> Path:
+        digest = hashlib.sha256(
+            ("%s:%d:%s" % (name, line_bytes, self.version)).encode()
+        ).hexdigest()[:16]
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name)
+        return self.directory / ("%s-%s.trace" % (safe, digest))
+
+    def get_or_build(
+        self,
+        name: str,
+        builder,
+        line_bytes: int = CACHE_LINE_BYTES,
+        mmap: bool = True,
+    ) -> TraceArtifact:
+        """The artifact for ``name``, building (and saving) on miss.
+
+        Args:
+            name: workload identity; part of the on-disk key.
+            builder: zero-argument callable returning the workload's
+                :class:`MemoryTrace`; invoked only on a miss.
+            line_bytes: cache-line size the run columns are folded at.
+            mmap: memory-map columns on a hit (loads stay O(1) in trace
+                size until replay touches the pages).
+        """
+        counters = get_recorder().counters
+        path = self.path_for(name, line_bytes)
+        if path.exists():
+            try:
+                artifact = TraceArtifact.load(path, mmap=mmap)
+            except ArtifactError:
+                self._quarantine(path)
+                counters.add("sim.artifact.corrupt", 1)
+            else:
+                if artifact.code_version == self.version:
+                    counters.add("sim.artifact.hits", 1)
+                    return artifact
+                # Stale code version (custom `version=` namespaces can
+                # collide across code edits): rebuild in place.
+        counters.add("sim.artifact.misses", 1)
+        artifact = TraceArtifact.from_trace(
+            builder(), workload=name, line_bytes=line_bytes
+        )
+        artifact.save(path)
+        return artifact
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a bad artifact aside so it is inspectable, never reread."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass

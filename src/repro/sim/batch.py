@@ -1,0 +1,577 @@
+"""Config-batched replay: N cache configurations over one trace, one pass.
+
+A design-space sweep replays the *same* run stream under many cache
+geometries.  The serial path (:meth:`repro.sim.cache.CacheHierarchy.
+replay_fast`) costs one full Python-level loop over the trace per
+configuration; this module factors that work by what actually differs
+between configurations:
+
+* **L1 pass** — the L1's behaviour depends only on its own geometry
+  (sets x ways), so configs sharing an L1 geometry share one pass over
+  the :meth:`repro.sim.trace.MemoryTrace.line_runs` stream.  The pass
+  replays the exact inlined serial L1 loop (OrderedDict recency = true
+  LRU) and records the *LLC event stream* it induces: for every L1 miss,
+  an optional dirty-victim writeback-install followed by the line fetch.
+* **LLC pass** — each (L1 geometry, LLC geometry) pair replays only that
+  event stream, which is as long as the L1 miss traffic, not the trace.
+* **Timing** — the event-driven model's cache state evolves through the
+  same ``Cache.access`` sequence as the hierarchy replay, so its
+  per-event outcomes (L1 hit / LLC hit / DRAM miss) are exactly the
+  passes above.  Runs between latency events only accumulate integer
+  issue gaps, so the ``pending`` value at each event is a prefix-sum
+  difference over the shared run counts; the per-config loop touches
+  only latency events, with the *same float expressions in the same
+  order* as the serial engine.
+
+After the passes each config's end state (the final OrderedDicts) is
+poured into a real :class:`~repro.sim.cache.CacheHierarchy` and finished
+through the *serial* ``_finish`` — same flush order, same strict
+accounting checks, same published counters — which is why
+:func:`replay_batch` and :func:`replay_timing_batch` are bit-identical
+per config to serial ``replay_fast`` (property-tested in
+``tests/sim/test_replay_batch.py``).  :func:`sweep_batch` evaluates both
+engines from one set of shared passes — the sweep executor's fast path.
+
+Counters: each batch publishes ``sim.replay_batch.batches`` /
+``.configs`` / ``.runs``, plus ``.shared_trace_hits`` (config
+evaluations that reused an already-materialized run stream — a memoized
+trace or a loaded artifact).  Per-config ``sim.cache.*`` /
+``sim.timing.*`` counters are identical to a serial sweep's; the
+differential test in ``tests/sim/test_replay_equivalence.py`` pins
+this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.obs.recorder import get_recorder
+from repro.sim.cache import CacheHierarchy, CacheStats, HierarchyStats
+from repro.sim.timing import TimingParameters, TimingResult, TimingSimulator
+from repro.sim.trace import MemoryTrace
+from repro.validate.strict import invariant, resolve_strict
+
+
+def _line_runs_for_batch(trace: MemoryTrace):
+    """The trace's run columns as int64 lines, plus a shared-memo flag."""
+    shared = bool(getattr(trace, "_line_runs_cache", None))
+    run_lines, run_counts, run_writes = trace.line_runs()
+    if run_lines.size and int(run_lines.max()) > np.iinfo(np.int64).max:
+        raise ValueError(
+            "replay_batch requires line addresses < 2**63; "
+            "use the serial replay for exotic address spaces"
+        )
+    return run_lines.astype(np.int64), run_counts, run_writes, shared
+
+
+def _publish_batch(recorder, n, num_runs, shared) -> None:
+    if not recorder.enabled:
+        return
+    counters = recorder.counters
+    counters.add("sim.replay_batch.batches", 1)
+    counters.add("sim.replay_batch.configs", n)
+    counters.add("sim.replay_batch.runs", num_runs)
+    if shared:
+        counters.add("sim.replay_batch.shared_trace_hits", n)
+
+
+class _L1Pass:
+    """One distinct L1 geometry's replay of the shared run stream.
+
+    ``stream_key`` fingerprints the induced LLC event stream (event
+    lines, kinds, and fetch positions): two L1 geometries whose streams
+    collide — common in sweeps, e.g. every geometry too small for the
+    working set misses identically — share LLC passes and timing event
+    loops downstream.
+    """
+
+    __slots__ = (
+        "acc", "hits", "miss", "wb", "sets", "ev_lines", "ev_is_wb",
+        "fetch_runs", "stream_key",
+    )
+
+
+class _LlcPass:
+    """One (L1 geometry, LLC geometry) pair's replay of the event stream."""
+
+    __slots__ = (
+        "acc", "hits", "miss", "wb", "dram_reads", "dram_writes", "sets",
+        "fetch_hits",
+    )
+
+
+class _SharedOutcomes:
+    """Memoized per-geometry passes over one trace's run stream.
+
+    Every batched entry point builds one of these; configs sharing an L1
+    geometry share its :class:`_L1Pass`, and each (L1, LLC) geometry
+    pair shares its :class:`_LlcPass` — including between the hierarchy
+    and timing engines inside :func:`sweep_batch`, whose cache state
+    evolves identically.
+    """
+
+    def __init__(self, trace: MemoryTrace):
+        self.run_lines, self.run_counts, self.run_writes, self.shared = (
+            _line_runs_for_batch(trace)
+        )
+        self.num_accesses = len(trace)
+        self.num_runs = int(self.run_lines.shape[0])
+        self.lines = self.run_lines.tolist()
+        self.counts = self.run_counts.tolist()
+        self.writes = self.run_writes.tolist()
+        self._l1 = {}
+        self._llc = {}
+        self._pendings = {}
+        self._prefix = None
+
+    @staticmethod
+    def _key(cfg):
+        return (cfg.num_sets, cfg.associativity)
+
+    def l1(self, cfg) -> _L1Pass:
+        key = self._key(cfg)
+        pass_ = self._l1.get(key)
+        if pass_ is None:
+            pass_ = self._l1[key] = self._run_l1(cfg.num_sets, cfg.associativity)
+        return pass_
+
+    def llc(self, l1_cfg, llc_cfg) -> _LlcPass:
+        l1_pass = self.l1(l1_cfg)
+        key = (l1_pass.stream_key, self._key(llc_cfg))
+        pass_ = self._llc.get(key)
+        if pass_ is None:
+            pass_ = self._llc[key] = self._run_llc(
+                l1_pass, llc_cfg.num_sets, llc_cfg.associativity
+            )
+        return pass_
+
+    def _run_l1(self, num_sets: int, assoc: int) -> _L1Pass:
+        """The inlined serial L1 loop, recording induced LLC events.
+
+        Mirrors ``CacheHierarchy._replay_line_runs`` exactly: per run one
+        lookup; on a miss the dirty victim's writeback-install event is
+        emitted *before* the install, then the fetch event.
+        """
+        setv = (self.run_lines % num_sets).tolist()
+        tagv = (self.run_lines // num_sets).tolist()
+        sets = [OrderedDict() for _ in range(num_sets)]
+        acc = hits = miss = wb = 0
+        ev_lines: list[int] = []
+        ev_is_wb: list[bool] = []
+        fetch_runs: list[int] = []
+        append_line = ev_lines.append
+        append_kind = ev_is_wb.append
+        append_fetch = fetch_runs.append
+        r = 0
+        for set_idx, tag, line, count, is_write in zip(
+            setv, tagv, self.lines, self.counts, self.writes
+        ):
+            acc += count
+            od = sets[set_idx]
+            if tag in od:
+                hits += count
+                od.move_to_end(tag)
+                if is_write:
+                    od[tag] = True
+                r += 1
+                continue
+            miss += 1
+            hits += count - 1
+            if len(od) >= assoc:
+                victim_tag, victim_dirty = od.popitem(last=False)
+                if victim_dirty:
+                    wb += 1
+                    append_line(victim_tag * num_sets + set_idx)
+                    append_kind(True)
+            od[tag] = is_write
+            append_line(line)
+            append_kind(False)
+            append_fetch(r)
+            r += 1
+        pass_ = _L1Pass()
+        pass_.acc, pass_.hits, pass_.miss, pass_.wb = acc, hits, miss, wb
+        pass_.sets = sets
+        pass_.ev_lines = np.array(ev_lines, dtype=np.int64)
+        pass_.ev_is_wb = ev_is_wb
+        pass_.fetch_runs = np.array(fetch_runs, dtype=np.int64)
+        digest = hashlib.blake2b(pass_.ev_lines.tobytes(), digest_size=16)
+        digest.update(np.packbits(np.asarray(ev_is_wb, dtype=bool)).tobytes())
+        digest.update(pass_.fetch_runs.tobytes())
+        pass_.stream_key = digest.digest()
+        return pass_
+
+    def _run_llc(self, l1_pass: _L1Pass, num_sets: int, assoc: int) -> _LlcPass:
+        """The inlined serial LLC loop over one L1 geometry's events.
+
+        Writeback-installs are write-allocate (the install is dirty and
+        the fill a DRAM read); fetches install clean.  Per fetch the LLC
+        hit outcome is recorded for the timing engine.
+        """
+        setv = (l1_pass.ev_lines % num_sets).tolist()
+        tagv = (l1_pass.ev_lines // num_sets).tolist()
+        sets = [OrderedDict() for _ in range(num_sets)]
+        acc = hits = miss = wb = 0
+        dram_reads = dram_writes = 0
+        fetch_hits: list[bool] = []
+        append_hit = fetch_hits.append
+        for set_idx, tag, is_wb in zip(setv, tagv, l1_pass.ev_is_wb):
+            od = sets[set_idx]
+            acc += 1
+            if is_wb:
+                if tag in od:
+                    hits += 1
+                    od.move_to_end(tag)
+                    od[tag] = True
+                else:
+                    miss += 1
+                    if len(od) >= assoc:
+                        _, victim_dirty = od.popitem(last=False)
+                        if victim_dirty:
+                            wb += 1
+                            dram_writes += 1
+                    od[tag] = True
+                    dram_reads += 1
+            elif tag in od:
+                hits += 1
+                od.move_to_end(tag)
+                append_hit(True)
+            else:
+                miss += 1
+                if len(od) >= assoc:
+                    _, victim_dirty = od.popitem(last=False)
+                    if victim_dirty:
+                        wb += 1
+                        dram_writes += 1
+                od[tag] = False
+                dram_reads += 1
+                append_hit(False)
+        pass_ = _LlcPass()
+        pass_.acc, pass_.hits, pass_.miss, pass_.wb = acc, hits, miss, wb
+        pass_.dram_reads, pass_.dram_writes = dram_reads, dram_writes
+        pass_.sets = sets
+        pass_.fetch_hits = fetch_hits
+        return pass_
+
+    def pendings(self, l1_cfg):
+        """Issue-gap counts at each fetch event, plus the final pending.
+
+        Between latency events every run is an L1 hit contributing its
+        whole ``count``, and an event run contributes ``+1`` before and
+        ``count - 1`` after materialization, so pending at event *e* in
+        run ``E[e]`` telescopes to ``prefix[E[e]] - prefix[E[e-1]]``
+        (``prefix`` the exclusive cumulative sum of run counts, with
+        ``prefix[E[0]] + 1`` for the first event) — the exact integer
+        sequence the serial loop materializes.
+        """
+        l1_pass = self.l1(l1_cfg)
+        key = l1_pass.stream_key
+        cached = self._pendings.get(key)
+        if cached is None:
+            if self._prefix is None:
+                self._prefix = np.concatenate(
+                    ([0], np.cumsum(self.run_counts, dtype=np.int64))
+                )
+            prefix = self._prefix
+            fetch_runs = l1_pass.fetch_runs
+            total = int(prefix[-1])
+            if not fetch_runs.size:
+                cached = ([], total)
+            else:
+                at_event = prefix[fetch_runs]
+                pend = np.empty(fetch_runs.size, dtype=np.int64)
+                pend[0] = at_event[0] + 1
+                pend[1:] = at_event[1:] - at_event[:-1]
+                cached = (pend.tolist(), total - int(at_event[-1]) - 1)
+            self._pendings[key] = cached
+        return cached
+
+
+def _pour_stats(
+    soc, l1_pass, llc_pass, num_accesses, flush, instructions_hint,
+    recorder, strict,
+) -> HierarchyStats:
+    """Pour one config's end state into a real hierarchy and finish it.
+
+    The OrderedDicts' insertion order is the serial recency order (the
+    passes replay the serial op sequence), so the flush walk and strict
+    accounting in ``_finish`` see exactly the serial end state.  Each
+    config gets copies: flush mutates, and configs share pass objects.
+    """
+    hierarchy = CacheHierarchy(soc)
+    for pass_, cache in ((l1_pass, hierarchy.l1), (llc_pass, hierarchy.llc)):
+        dst_sets = cache._sets
+        for s, od in enumerate(pass_.sets):
+            if od:
+                dst_sets[s].update(od)
+        cache.stats = CacheStats(
+            accesses=pass_.acc,
+            hits=pass_.hits,
+            misses=pass_.miss,
+            writebacks=pass_.wb,
+        )
+    hierarchy.dram_line_reads = llc_pass.dram_reads
+    hierarchy.dram_line_writes = llc_pass.dram_writes
+    return hierarchy._finish(
+        num_accesses,
+        flush,
+        instructions_hint,
+        recorder,
+        before=(0,) * len(CacheHierarchy._COUNTER_NAMES),
+        strict=strict,
+    )
+
+
+def replay_batch(
+    trace: MemoryTrace,
+    socs,
+    flush: bool = True,
+    instructions_hint: float = 0.0,
+    strict: bool | None = None,
+) -> list[HierarchyStats]:
+    """Replay ``trace`` under every SoC in ``socs`` in one shared pass.
+
+    Returns one :class:`HierarchyStats` per config, in input order,
+    each bit-identical to ``CacheHierarchy(soc).replay_fast(trace,
+    flush=flush, instructions_hint=instructions_hint)`` — including the
+    published ``sim.cache.*`` counters.
+    """
+    socs = list(socs)
+    if not socs:
+        return []
+    strict = resolve_strict(strict)
+    recorder = get_recorder()
+    outcomes = _SharedOutcomes(trace)
+    with recorder.span("sim.cache.replay_batch"):
+        results = _hierarchy_results(
+            outcomes, socs, flush, instructions_hint, recorder, strict
+        )
+        _publish_batch(recorder, len(socs), outcomes.num_runs, outcomes.shared)
+        return results
+
+
+def _hierarchy_results(
+    outcomes, socs, flush, instructions_hint, recorder, strict
+) -> list[HierarchyStats]:
+    num_accesses = outcomes.num_accesses
+    if strict:
+        CacheHierarchy._check_line_runs(
+            num_accesses, outcomes.run_lines, outcomes.run_counts
+        )
+    return [
+        _pour_stats(
+            soc,
+            outcomes.l1(soc.l1),
+            outcomes.llc(soc.l1, soc.l2),
+            num_accesses,
+            flush,
+            instructions_hint,
+            recorder,
+            strict,
+        )
+        for soc in socs
+    ]
+
+
+def replay_timing_batch(
+    trace: MemoryTrace,
+    simulators,
+    instructions_per_access: float = 2.0,
+    strict: bool | None = None,
+) -> list[TimingResult]:
+    """Event-driven timing for N simulators over one shared trace pass.
+
+    ``simulators`` is a sequence of :class:`TimingSimulator` (each
+    carries its SoC geometry and :class:`TimingParameters`).  Returns
+    one :class:`TimingResult` per simulator, in input order, each
+    bit-identical to ``sim.replay_fast(trace, instructions_per_access)``
+    — the per-event float expressions match the serial engine's exactly.
+    """
+    simulators = list(simulators)
+    if not simulators:
+        return []
+    strict = resolve_strict(strict)
+    recorder = get_recorder()
+    outcomes = _SharedOutcomes(trace)
+    with recorder.span("sim.timing.replay_batch"):
+        results = _timing_results(
+            outcomes, simulators, instructions_per_access, recorder, strict
+        )
+        _publish_batch(
+            recorder, len(simulators), outcomes.num_runs, outcomes.shared
+        )
+        return results
+
+
+def _timing_clock(
+    pendings, final_pending, fetch_hits, params, issue_gap, strict
+):
+    """The serial timing recurrence over one config's latency events.
+
+    Returns ``(clock, dram_misses, mshr_overflows, completion_disorder)``
+    with the same float expressions in the same order as the serial
+    engine — ``pendings`` supplies the integer issue-gap counts the
+    serial loop would have accumulated between events.
+    """
+    llc_penalty = params.llc_hit_cycles * 0.25  # partially overlapped
+    mshrs = params.mshrs
+    dram_cycles = params.dram_cycles
+    issue_interval = params.dram_issue_interval_cycles
+    anchor = 0.0
+    in_flight: deque[float] = deque()
+    next_dram_slot = 0.0
+    dram_misses = 0
+    mshr_overflows = 0
+    completion_disorder = 0
+    for pending, llc_hit in zip(pendings, fetch_hits):
+        if llc_hit:
+            anchor = anchor + pending * issue_gap + llc_penalty
+            continue
+        dram_misses += 1
+        clock = anchor + pending * issue_gap
+        while in_flight and in_flight[0] <= clock:
+            in_flight.popleft()
+        if len(in_flight) >= mshrs:
+            clock = max(clock, in_flight[0])
+            while in_flight and in_flight[0] <= clock:
+                in_flight.popleft()
+        start = max(clock, next_dram_slot)
+        if strict:
+            if in_flight and start + dram_cycles < in_flight[-1]:
+                completion_disorder += 1
+            if len(in_flight) >= mshrs:
+                mshr_overflows += 1
+        in_flight.append(start + dram_cycles)
+        next_dram_slot = start + issue_interval
+        anchor = clock
+    clock = anchor + final_pending * issue_gap
+    if in_flight:
+        clock = max(clock, in_flight[-1])
+    return clock, dram_misses, mshr_overflows, completion_disorder
+
+
+def _timing_results(
+    outcomes, simulators, instructions_per_access, recorder, strict
+) -> list[TimingResult]:
+    num_accesses = outcomes.num_accesses
+    clocks = {}
+    results = []
+    for sim in simulators:
+        issue_gap = instructions_per_access / sim.soc.sustained_ipc
+        l1_pass = outcomes.l1(sim.soc.l1)
+        llc_pass = outcomes.llc(sim.soc.l1, sim.soc.l2)
+        # Simulators whose cache outcomes and timing constants coincide
+        # share one event loop; `_finish` still runs once per simulator.
+        key = (
+            l1_pass.stream_key,
+            outcomes._key(sim.soc.l2),
+            sim.params,
+            issue_gap,
+        )
+        cached = clocks.get(key)
+        if cached is None:
+            pendings, final_pending = outcomes.pendings(sim.soc.l1)
+            cached = clocks[key] = _timing_clock(
+                pendings, final_pending, llc_pass.fetch_hits,
+                sim.params, issue_gap, strict,
+            )
+        clock, dram_misses, mshr_overflows, completion_disorder = cached
+        if strict:
+            invariant(
+                completion_disorder == 0,
+                "timing.mshr_ordering",
+                "%d DRAM completions issued out of order" % completion_disorder,
+            )
+        results.append(
+            sim._finish(
+                _TraceLength(num_accesses),
+                clock,
+                dram_misses,
+                issue_gap,
+                recorder,
+                fast=True,
+                strict=strict,
+                mshr_overflows=mshr_overflows,
+            )
+        )
+    return results
+
+
+class _TraceLength:
+    """Stand-in passing only ``len(trace)`` to ``TimingSimulator._finish``."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def sweep_batch(
+    trace: MemoryTrace,
+    socs,
+    params: TimingParameters | None = None,
+    instructions_per_access: float = 2.0,
+    flush: bool = True,
+    instructions_hint: float = 0.0,
+    strict: bool | None = None,
+):
+    """Hierarchy stats *and* timing for every SoC from one set of passes.
+
+    The sweep executor's fast path: because the timing engine's cache
+    state evolves through the same access sequence as the hierarchy
+    replay, both engines share the per-geometry passes.  Returns
+    ``(stats, timings)``, each a list in ``socs`` order and bit-identical
+    to the corresponding serial ``replay_fast`` call.  Publishes the
+    same two batch counter records as calling :func:`replay_batch` then
+    :func:`replay_timing_batch`.
+    """
+    socs = list(socs)
+    if not socs:
+        return [], []
+    strict = resolve_strict(strict)
+    recorder = get_recorder()
+    outcomes = _SharedOutcomes(trace)
+    shared_params = params or TimingParameters()
+    simulators = [TimingSimulator(soc, shared_params) for soc in socs]
+    with recorder.span("sim.cache.replay_batch"):
+        stats = _hierarchy_results(
+            outcomes, socs, flush, instructions_hint, recorder, strict
+        )
+        _publish_batch(recorder, len(socs), outcomes.num_runs, outcomes.shared)
+    with recorder.span("sim.timing.replay_batch"):
+        timings = _timing_results(
+            outcomes, simulators, instructions_per_access, recorder, strict
+        )
+        # The timing engine reuses the runs materialized above.
+        _publish_batch(recorder, len(socs), outcomes.num_runs, True)
+    return stats, timings
+
+
+def timing_batch_for_socs(
+    trace: MemoryTrace,
+    socs,
+    params: TimingParameters | None = None,
+    instructions_per_access: float = 2.0,
+    strict: bool | None = None,
+) -> list[TimingResult]:
+    """:func:`replay_timing_batch` over SoCs sharing one parameter set."""
+    shared = params or TimingParameters()
+    return replay_timing_batch(
+        trace,
+        [TimingSimulator(soc, shared) for soc in socs],
+        instructions_per_access=instructions_per_access,
+        strict=strict,
+    )
+
+
+__all__ = [
+    "replay_batch",
+    "replay_timing_batch",
+    "sweep_batch",
+    "timing_batch_for_socs",
+]

@@ -234,6 +234,31 @@ class CacheHierarchy:
                 len(trace), flush, instructions_hint, recorder, before, strict
             )
 
+    @classmethod
+    def replay_batch(
+        cls,
+        trace: MemoryTrace,
+        socs,
+        flush: bool = True,
+        instructions_hint: float = 0.0,
+        strict: bool | None = None,
+    ) -> list[HierarchyStats]:
+        """Replay one trace under N SoC configs in a single shared pass.
+
+        Returns one :class:`HierarchyStats` per config in input order,
+        each bit-identical to ``CacheHierarchy(soc).replay_fast(trace)``
+        on a fresh hierarchy; see :func:`repro.sim.batch.replay_batch`.
+        """
+        from repro.sim.batch import replay_batch
+
+        return replay_batch(
+            trace,
+            socs,
+            flush=flush,
+            instructions_hint=instructions_hint,
+            strict=strict,
+        )
+
     def _replay_line_runs(self, trace: MemoryTrace, strict: bool = False) -> None:
         run_lines, run_counts, run_writes = trace.line_runs()
         if strict:

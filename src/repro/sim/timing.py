@@ -251,6 +251,29 @@ class TimingSimulator:
                 fast=True, strict=strict, mshr_overflows=mshr_overflows,
             )
 
+    @classmethod
+    def replay_batch(
+        cls,
+        trace: MemoryTrace,
+        simulators,
+        instructions_per_access: float = 2.0,
+        strict: bool | None = None,
+    ) -> list[TimingResult]:
+        """Replay one trace through N simulators in a single shared pass.
+
+        Returns one :class:`TimingResult` per simulator in input order,
+        each bit-identical to ``sim.replay_fast(trace)``; see
+        :func:`repro.sim.batch.replay_timing_batch`.
+        """
+        from repro.sim.batch import replay_timing_batch
+
+        return replay_timing_batch(
+            trace,
+            simulators,
+            instructions_per_access=instructions_per_access,
+            strict=strict,
+        )
+
     def _finish(
         self,
         trace: MemoryTrace,

@@ -42,6 +42,8 @@ class MemoryTrace:
         self.is_write = np.asarray(self.is_write, dtype=bool)
         if self.addresses.shape != self.is_write.shape:
             raise ValueError("addresses and is_write must have equal length")
+        # line_bytes -> (run_lines, run_counts, run_writes); see line_runs().
+        self._line_runs_cache: dict = {}
 
     def __len__(self) -> int:
         return int(self.addresses.shape[0])
@@ -86,7 +88,27 @@ class MemoryTrace:
         guaranteed cache hits that cannot change LRU order, hit/miss
         outcomes, or evictions.  The only state they carry is the dirty
         bit, which is the OR of the run's write flags.
+
+        The result is memoized per ``line_bytes`` on the trace object:
+        replaying the same trace many times (a config sweep, or the
+        cache and timing simulators back to back) computes the RLE once.
+        Traces are treated as immutable once replayed — mutating
+        ``addresses``/``is_write`` in place after a replay would leave a
+        stale cache.  The memo travels with the trace through pickling,
+        so pool workers receive the precomputed runs for free, and
+        :class:`repro.sim.artifact.TraceArtifact` pre-seeds it from the
+        artifact's stored columns.
         """
+        cached = self._line_runs_cache.get(line_bytes)
+        if cached is not None:
+            return cached
+        result = self._compute_line_runs(line_bytes)
+        self._line_runs_cache[line_bytes] = result
+        return result
+
+    def _compute_line_runs(
+        self, line_bytes: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         lines = self.addresses // np.uint64(line_bytes)
         n = int(lines.shape[0])
         if n == 0:

@@ -1,0 +1,275 @@
+"""Tests for columnar trace artifacts (:mod:`repro.sim.artifact`).
+
+The contract mirrors the checkpoint/memo layers': atomic writes, loads
+that verify structure and checksums, quarantine-and-rebuild on damage.
+The replay-facing half of the contract is bit-identity: a replay from a
+memory-mapped artifact must equal a replay of the original in-memory
+trace, stat for stat.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, SocConfig
+from repro.obs import recording
+from repro.sim.artifact import (
+    _MAGIC,
+    _data_start,
+    ArtifactError,
+    TraceArtifact,
+    TraceStore,
+)
+from repro.sim.batch import replay_batch
+from repro.sim.cache import CacheHierarchy
+from repro.sim.trace import MemoryTrace
+
+
+def small_soc() -> SocConfig:
+    return SocConfig(
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+    )
+
+
+def random_trace(seed: int = 0, n: int = 500) -> MemoryTrace:
+    rng = np.random.default_rng(seed)
+    return MemoryTrace(
+        addresses=rng.integers(0, 1 << 16, n, dtype=np.uint64),
+        is_write=rng.random(n) < 0.4,
+    )
+
+
+def header_span(raw: bytes) -> tuple[int, dict]:
+    """(data_start, parsed header) of a serialized artifact."""
+    header_len = int.from_bytes(raw[len(_MAGIC) : len(_MAGIC) + 8], "little")
+    header = json.loads(raw[len(_MAGIC) + 8 : len(_MAGIC) + 8 + header_len])
+    return _data_start(header_len), header
+
+
+class TestRoundTrip:
+    def test_save_load_replay_bit_identity(self, tmp_path):
+        trace = random_trace(1)
+        art = TraceArtifact.from_trace(trace, workload="unit")
+        path = art.save(tmp_path / "t.trace")
+        assert path.exists()
+        loaded = TraceArtifact.load(path)
+        assert loaded.workload == "unit"
+        assert loaded.content_hash == art.content_hash
+        assert loaded.code_version == art.code_version
+        assert loaded.num_accesses == len(trace)
+        assert loaded.num_runs == art.num_runs
+        # Columns survive byte for byte.
+        np.testing.assert_array_equal(loaded.addresses, trace.addresses)
+        np.testing.assert_array_equal(loaded.is_write, trace.is_write)
+        # Replay from the mmap'd artifact equals replay of the original.
+        direct = CacheHierarchy(small_soc()).replay_fast(random_trace(1))
+        assert CacheHierarchy(small_soc()).replay_fast(loaded.trace()) == direct
+        assert replay_batch(loaded.trace(), [small_soc()])[0] == direct
+
+    def test_trace_preseeds_line_runs_memo(self, tmp_path):
+        art = TraceArtifact.from_trace(random_trace(2), workload="memo")
+        loaded = TraceArtifact.load(art.save(tmp_path / "t.trace"))
+        replayed = loaded.trace()
+        assert art.line_bytes in replayed._line_runs_cache
+        lines, counts, writes = replayed.line_runs()
+        np.testing.assert_array_equal(lines, art.run_lines)
+        np.testing.assert_array_equal(counts, art.run_counts)
+        np.testing.assert_array_equal(writes, art.run_writes)
+
+    def test_load_without_mmap(self, tmp_path):
+        art = TraceArtifact.from_trace(random_trace(3), workload="copy")
+        loaded = TraceArtifact.load(art.save(tmp_path / "t.trace"), mmap=False)
+        assert not isinstance(loaded.addresses, np.memmap)
+        np.testing.assert_array_equal(loaded.addresses, art.addresses)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        empty = MemoryTrace(np.empty(0, np.uint64), np.empty(0, bool))
+        art = TraceArtifact.from_trace(empty, workload="empty")
+        loaded = TraceArtifact.load(art.save(tmp_path / "e.trace"))
+        assert loaded.num_accesses == 0
+        assert loaded.num_runs == 0
+        direct = CacheHierarchy(small_soc()).replay_fast(
+            MemoryTrace(np.empty(0, np.uint64), np.empty(0, bool))
+        )
+        assert CacheHierarchy(small_soc()).replay_fast(loaded.trace()) == direct
+
+    def test_save_leaves_no_tmp_files(self, tmp_path):
+        TraceArtifact.from_trace(random_trace(4)).save(tmp_path / "t.trace")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.trace"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 14), max_size=120
+        ),
+        data=st.data(),
+    )
+    def test_round_trip_property(self, tmp_path_factory, addresses, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        trace = MemoryTrace(
+            addresses=np.array(addresses, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+        )
+        d = tmp_path_factory.mktemp("artifacts")
+        art = TraceArtifact.from_trace(trace)
+        loaded = TraceArtifact.load(art.save(d / "t.trace"))
+        rebuilt = MemoryTrace(
+            addresses=np.array(addresses, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+        )
+        assert CacheHierarchy(small_soc()).replay_fast(
+            loaded.trace()
+        ) == CacheHierarchy(small_soc()).replay_fast(rebuilt)
+
+
+class TestValidation:
+    @pytest.fixture
+    def saved(self, tmp_path):
+        art = TraceArtifact.from_trace(random_trace(5), workload="victim")
+        path = art.save(tmp_path / "v.trace")
+        return path, path.read_bytes()
+
+    def test_bad_magic_rejected(self, saved):
+        path, raw = saved
+        path.write_bytes(b"NOTMAGIC" + raw[8:])
+        with pytest.raises(ArtifactError, match="bad magic"):
+            TraceArtifact.load(path)
+
+    def test_torn_tail_rejected(self, saved):
+        """A partially written data section is detected by size alone."""
+        path, raw = saved
+        path.write_bytes(raw[:-100])
+        with pytest.raises(ArtifactError, match="torn artifact"):
+            TraceArtifact.load(path)
+
+    def test_truncated_header_rejected(self, saved):
+        path, raw = saved
+        path.write_bytes(raw[: len(_MAGIC) + 4])
+        with pytest.raises(ArtifactError, match="truncated header"):
+            TraceArtifact.load(path)
+
+    def test_corrupt_header_json_rejected(self, saved):
+        path, raw = saved
+        body = bytearray(raw)
+        body[len(_MAGIC) + 8] ^= 0xFF  # first header byte
+        path.write_bytes(bytes(body))
+        with pytest.raises(ArtifactError, match="corrupt header|schema"):
+            TraceArtifact.load(path)
+
+    def test_flipped_column_byte_rejected(self, saved):
+        path, raw = saved
+        data_start, header = header_span(raw)
+        col = header["columns"][0]
+        body = bytearray(raw)
+        body[data_start + col["offset"] + 3] ^= 0xFF
+        path.write_bytes(bytes(body))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            TraceArtifact.load(path)
+
+    def test_content_hash_mismatch_rejected(self, saved):
+        """Header/columns individually valid but mutually inconsistent."""
+        path, raw = saved
+        _, header = header_span(raw)
+        stored = header["content_hash"]
+        forged = ("0" if stored[0] != "0" else "1") + stored[1:]
+        path.write_bytes(raw.replace(stored.encode(), forged.encode()))
+        with pytest.raises(ArtifactError, match="content hash mismatch"):
+            TraceArtifact.load(path)
+
+    def test_verify_false_skips_checksums(self, saved):
+        path, raw = saved
+        data_start, header = header_span(raw)
+        col = header["columns"][0]
+        body = bytearray(raw)
+        body[data_start + col["offset"] + 3] ^= 0xFF
+        path.write_bytes(bytes(body))
+        TraceArtifact.load(path, verify=False)  # caller opted out
+
+
+class TestTraceStore:
+    def build_counter(self, seed=6):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return random_trace(seed)
+
+        return builder, calls
+
+    def test_miss_builds_then_hit_reuses(self, tmp_path):
+        store = TraceStore(directory=tmp_path)
+        builder, calls = self.build_counter()
+        with recording() as obs:
+            first = store.get_or_build("gemm", builder)
+            second = store.get_or_build("gemm", builder)
+        assert len(calls) == 1
+        assert first.content_hash == second.content_hash
+        counters = obs.counters.as_dict()
+        assert counters["sim.artifact.misses"] == 1
+        assert counters["sim.artifact.saves"] == 1
+        assert counters["sim.artifact.hits"] == 1
+
+    def test_distinct_names_get_distinct_paths(self, tmp_path):
+        store = TraceStore(directory=tmp_path)
+        assert store.path_for("gemm") != store.path_for("texture")
+        assert store.path_for("gemm", 64) != store.path_for("gemm", 32)
+
+    def test_corrupt_artifact_quarantined_and_rebuilt(self, tmp_path):
+        store = TraceStore(directory=tmp_path)
+        builder, calls = self.build_counter()
+        store.get_or_build("gemm", builder)
+        path = store.path_for("gemm")
+        raw = path.read_bytes()
+        data_start, header = header_span(raw)
+        body = bytearray(raw)
+        body[data_start + header["columns"][0]["offset"]] ^= 0xFF
+        path.write_bytes(bytes(body))
+        with recording() as obs:
+            rebuilt = store.get_or_build("gemm", builder)
+        assert len(calls) == 2
+        assert path.with_suffix(".corrupt").exists()
+        assert rebuilt.content_hash == TraceArtifact.load(path).content_hash
+        counters = obs.counters.as_dict()
+        assert counters["sim.artifact.corrupt"] == 1
+        assert counters["sim.artifact.misses"] == 1
+
+    def test_stale_code_version_rebuilt(self, tmp_path):
+        old = TraceStore(directory=tmp_path, version="v-old")
+        new = TraceStore(directory=tmp_path, version="v-old")
+        builder, calls = self.build_counter()
+        old.get_or_build("gemm", builder)
+        # Same key namespace, different recorded code version: the store
+        # must notice the artifact header disagrees and rebuild.
+        artifact = TraceArtifact.load(old.path_for("gemm"))
+        forged = TraceArtifact(
+            workload=artifact.workload,
+            line_bytes=artifact.line_bytes,
+            content_hash=artifact.content_hash,
+            code_version="something-older",
+            addresses=np.asarray(artifact.addresses),
+            is_write=np.asarray(artifact.is_write),
+            run_lines=np.asarray(artifact.run_lines),
+            run_counts=np.asarray(artifact.run_counts),
+            run_writes=np.asarray(artifact.run_writes),
+        )
+        forged.save(old.path_for("gemm"))
+        new.get_or_build("gemm", builder)
+        assert len(calls) == 2
+
+    def test_sweep_failure_never_touches_store(self, tmp_path):
+        """A failing per-config evaluation must not invalidate the trace."""
+        store = TraceStore(directory=tmp_path)
+        builder, calls = self.build_counter()
+        artifact = store.get_or_build("gemm", builder)
+        try:
+            raise RuntimeError("config 3 exploded")
+        except RuntimeError:
+            pass
+        again = store.get_or_build("gemm", builder)
+        assert len(calls) == 1
+        assert again.content_hash == artifact.content_hash

@@ -1,0 +1,247 @@
+"""Property tests: config-batched replay is bit-identical to serial.
+
+:func:`repro.sim.batch.replay_batch` evaluates N cache configurations
+over one shared run stream; these tests drive random traces through
+random config batches and require every per-config result — stats,
+flush traffic, published counters, timing clocks — to match the serial
+``replay_fast`` path exactly.  Bit-identity (not closeness) is the
+contract: a sweep must be allowed to switch between the two paths
+without changing a single figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, SocConfig
+from repro.obs import recording
+from repro.sim.batch import replay_batch, replay_timing_batch, timing_batch_for_socs
+from repro.sim.cache import CacheHierarchy
+from repro.sim.timing import TimingParameters, TimingSimulator
+from repro.sim.trace import MemoryTrace, TraceRecorder
+
+#: Deliberately small, deliberately *heterogeneous* geometries: different
+#: set counts, associativities (including direct-mapped), and LLC sizes,
+#: so batched planes are padded and per-config indexing bugs surface.
+GEOMETRIES = [
+    (512, 2, 2048, 2),
+    (1024, 1, 4096, 2),
+    (1024, 2, 4096, 4),
+    (2048, 4, 8192, 8),
+    (4096, 4, 16384, 4),
+]
+
+
+def make_soc(l1_bytes, l1_assoc, llc_bytes, llc_assoc) -> SocConfig:
+    return SocConfig(
+        l1=CacheConfig(size_bytes=l1_bytes, associativity=l1_assoc),
+        l2=CacheConfig(size_bytes=llc_bytes, associativity=llc_assoc),
+    )
+
+
+soc_batches = st.lists(
+    st.sampled_from(GEOMETRIES), min_size=1, max_size=4
+).map(lambda geos: [make_soc(*g) for g in geos])
+
+address_lists = st.lists(
+    st.integers(min_value=0, max_value=1 << 14), min_size=0, max_size=300
+)
+
+
+def make_trace(addresses, writes) -> MemoryTrace:
+    return MemoryTrace(
+        addresses=np.array(addresses, dtype=np.uint64),
+        is_write=np.array(writes, dtype=bool),
+    )
+
+
+class TestCacheBatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(addresses=address_lists, socs=soc_batches, data=st.data())
+    def test_bit_identical_to_serial(self, addresses, socs, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        flush = data.draw(st.booleans())
+        serial = [
+            CacheHierarchy(soc).replay_fast(
+                make_trace(addresses, writes), flush=flush
+            )
+            for soc in socs
+        ]
+        batch = replay_batch(make_trace(addresses, writes), socs, flush=flush)
+        assert batch == serial
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stride=st.integers(min_value=1, max_value=4096),
+        count=st.integers(min_value=1, max_value=150),
+        socs=soc_batches,
+    )
+    def test_strided_traces(self, stride, count, socs):
+        def rec_trace():
+            rec = TraceRecorder(granularity=8)
+            for i in range(count):
+                rec.read(i * stride, 64)
+            return rec.trace()
+
+        serial = [CacheHierarchy(soc).replay_fast(rec_trace()) for soc in socs]
+        assert replay_batch(rec_trace(), socs) == serial
+
+    def test_duplicate_configs_get_identical_results(self):
+        rng = np.random.default_rng(3)
+        trace = make_trace(
+            rng.integers(0, 1 << 13, 400, dtype=np.uint64),
+            rng.random(400) < 0.3,
+        )
+        soc = make_soc(*GEOMETRIES[0])
+        out = replay_batch(trace, [soc, soc, soc])
+        assert out[0] == out[1] == out[2]
+
+    def test_empty_config_list(self):
+        assert replay_batch(make_trace([0, 64], [False, True]), []) == []
+
+    def test_empty_trace(self):
+        socs = [make_soc(*g) for g in GEOMETRIES[:2]]
+        serial = [CacheHierarchy(s).replay_fast(make_trace([], [])) for s in socs]
+        assert replay_batch(make_trace([], []), socs) == serial
+
+    def test_strict_mode_passes_on_valid_trace(self):
+        rng = np.random.default_rng(5)
+        trace = make_trace(
+            rng.integers(0, 1 << 12, 300, dtype=np.uint64),
+            rng.random(300) < 0.5,
+        )
+        socs = [make_soc(*g) for g in GEOMETRIES[:3]]
+        serial = [
+            CacheHierarchy(s).replay_fast(
+                make_trace(trace.addresses, trace.is_write), strict=True
+            )
+            for s in socs
+        ]
+        assert replay_batch(trace, socs, strict=True) == serial
+
+    def test_classmethod_entry_point(self):
+        trace = make_trace([0, 64, 128, 0], [False, True, False, False])
+        socs = [make_soc(*GEOMETRIES[0])]
+        assert CacheHierarchy.replay_batch(trace, socs) == replay_batch(
+            make_trace(trace.addresses, trace.is_write), socs
+        )
+
+    def test_instructions_hint_forwarded(self):
+        trace = make_trace([0, 4096, 8192], [True, True, True])
+        soc = make_soc(*GEOMETRIES[0])
+        serial = CacheHierarchy(soc).replay_fast(
+            make_trace(trace.addresses, trace.is_write), instructions_hint=123.0
+        )
+        batch = replay_batch(trace, [soc], instructions_hint=123.0)[0]
+        assert batch == serial
+        assert batch.instructions_hint == 123.0
+
+
+class TestTimingBatchEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        addresses=address_lists,
+        socs=soc_batches,
+        mshrs=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_bit_identical_to_serial(self, addresses, socs, mshrs, data):
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        params = TimingParameters(mshrs=mshrs)
+        serial = [
+            TimingSimulator(soc, params).replay_fast(make_trace(addresses, writes))
+            for soc in socs
+        ]
+        batch = timing_batch_for_socs(make_trace(addresses, writes), socs, params)
+        assert batch == serial
+
+    @settings(max_examples=20, deadline=None)
+    @given(addresses=address_lists, data=st.data())
+    def test_heterogeneous_parameters(self, addresses, data):
+        """Each simulator may carry its own latency/MSHR parameters."""
+        writes = [data.draw(st.booleans()) for _ in addresses]
+        sims = [
+            TimingSimulator(make_soc(*GEOMETRIES[0]), TimingParameters(mshrs=1)),
+            TimingSimulator(
+                make_soc(*GEOMETRIES[3]),
+                TimingParameters(dram_cycles=333, dram_issue_interval_cycles=0.0),
+            ),
+            TimingSimulator(
+                make_soc(*GEOMETRIES[1]), TimingParameters(llc_hit_cycles=7)
+            ),
+        ]
+        serial = [s.replay_fast(make_trace(addresses, writes)) for s in sims]
+        batch = replay_timing_batch(make_trace(addresses, writes), sims)
+        assert batch == serial
+
+    def test_strict_mode(self):
+        rng = np.random.default_rng(11)
+        trace = make_trace(
+            rng.integers(0, 1 << 13, 500, dtype=np.uint64),
+            rng.random(500) < 0.3,
+        )
+        socs = [make_soc(*g) for g in GEOMETRIES[:3]]
+        params = TimingParameters(mshrs=2)
+        serial = [
+            TimingSimulator(s, params).replay_fast(
+                make_trace(trace.addresses, trace.is_write), strict=True
+            )
+            for s in socs
+        ]
+        assert timing_batch_for_socs(trace, socs, params, strict=True) == serial
+
+    def test_empty_simulator_list(self):
+        assert replay_timing_batch(make_trace([0], [False]), []) == []
+
+    def test_classmethod_entry_point(self):
+        trace = make_trace([0, 64, 0, 4096], [False, False, True, False])
+        sims = [TimingSimulator(make_soc(*GEOMETRIES[0]))]
+        assert TimingSimulator.replay_batch(trace, sims) == replay_timing_batch(
+            make_trace(trace.addresses, trace.is_write), sims
+        )
+
+
+class TestBatchCounters:
+    def test_batch_publishes_own_counters(self):
+        rng = np.random.default_rng(2)
+        trace = make_trace(
+            rng.integers(0, 1 << 12, 200, dtype=np.uint64),
+            rng.random(200) < 0.2,
+        )
+        socs = [make_soc(*g) for g in GEOMETRIES[:3]]
+        with recording() as obs:
+            replay_batch(trace, socs)
+        counters = obs.counters.as_dict()
+        assert counters["sim.replay_batch.batches"] == 1
+        assert counters["sim.replay_batch.configs"] == 3
+        assert counters["sim.replay_batch.runs"] == len(trace.line_runs()[0])
+        # Per-config replay bookkeeping matches a 3-config serial sweep.
+        assert counters["sim.cache.replays"] == 3
+        assert counters["sim.cache.trace_accesses"] == 3 * len(trace)
+
+    def test_shared_trace_hits_counts_memoized_runs(self):
+        rng = np.random.default_rng(4)
+        trace = make_trace(
+            rng.integers(0, 1 << 12, 100, dtype=np.uint64),
+            rng.random(100) < 0.2,
+        )
+        socs = [make_soc(*g) for g in GEOMETRIES[:2]]
+        with recording() as obs:
+            replay_batch(trace, socs)  # first call materializes the runs
+            replay_batch(trace, socs)  # second call reuses the memo
+        counters = obs.counters.as_dict()
+        assert counters["sim.replay_batch.shared_trace_hits"] == 2
+
+    def test_rejects_lines_beyond_int64(self):
+        # uint64 byte addresses cap line numbers at 2**58, so forge an
+        # exotic run stream through the memo cache to exercise the guard.
+        trace = make_trace([0], [False])
+        trace._line_runs_cache[64] = (
+            np.array([1 << 63], dtype=np.uint64),
+            np.array([1], dtype=np.int64),
+            np.array([False]),
+        )
+        with pytest.raises(ValueError, match="2\\*\\*63"):
+            replay_batch(trace, [make_soc(*GEOMETRIES[0])])

@@ -157,9 +157,13 @@ def registry_output(trace: MemoryTrace, soc: SocConfig, fast: bool) -> dict:
     simulation statistic must still match exactly.  ``core.resilience.*``
     counters are filtered the same way: fault bookkeeping (retries,
     checkpoint writes) describes the harness run, not the simulation,
-    and must never enter an equivalence verdict.
+    and must never enter an equivalence verdict.  ``sim.replay_batch.*``
+    is batch-shape bookkeeping (configs per batch, shared-trace hits),
+    published only by the batched engine, and likewise excluded — the
+    batched-vs-serial test below asserts every *simulation* counter
+    matches across engines.
     """
-    excluded = ("validate.", "core.resilience.")
+    excluded = ("validate.", "core.resilience.", "sim.replay_batch.")
     with recording() as rec:
         hierarchy = CacheHierarchy(soc)
         (hierarchy.replay_fast if fast else hierarchy.replay)(trace)
@@ -209,6 +213,52 @@ class TestCounterRegistryEquivalence:
         assert registry_output(trace, tiny_soc(), fast=True) == registry_output(
             trace, tiny_soc(), fast=False
         )
+
+    @settings(max_examples=25)
+    @given(addresses=address_lists, data=st.data())
+    def test_registry_identical_batched_vs_serial_sweep(self, addresses, data):
+        """A batched sweep publishes the same simulation registry as N
+        serial replays — ``sim.cache.*`` totals across configs match
+        exactly; only the batch-bookkeeping namespace differs."""
+        from repro.sim.batch import replay_batch
+
+        writes = [data.draw(st.booleans()) for _ in addresses]
+
+        def trace():
+            return MemoryTrace(
+                addresses=np.array(addresses, dtype=np.uint64),
+                is_write=np.array(writes, dtype=bool),
+            )
+
+        socs = [
+            tiny_soc(),
+            SocConfig(
+                l1=CacheConfig(size_bytes=512, associativity=1),
+                l2=CacheConfig(size_bytes=2048, associativity=2),
+            ),
+            SocConfig(
+                l1=CacheConfig(size_bytes=2048, associativity=4),
+                l2=CacheConfig(size_bytes=8192, associativity=8),
+            ),
+        ]
+        excluded = ("validate.", "core.resilience.", "sim.replay_batch.")
+        with recording() as serial_rec:
+            for soc in socs:
+                CacheHierarchy(soc).replay_fast(trace())
+        with recording() as batch_rec:
+            replay_batch(trace(), socs)
+        serial = {
+            k: v
+            for k, v in serial_rec.counters.as_dict().items()
+            if not k.startswith(excluded)
+        }
+        batched = {
+            k: v
+            for k, v in batch_rec.counters.as_dict().items()
+            if not k.startswith(excluded)
+        }
+        assert batched == serial
+        assert batch_rec.counters.as_dict()["sim.replay_batch.configs"] == len(socs)
 
     def test_second_replay_publishes_delta_not_cumulative(self):
         rec = TraceRecorder(granularity=8)

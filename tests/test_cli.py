@@ -94,6 +94,34 @@ class TestCommands:
         assert main(["evaluate", "--workload", "chrome", "--jobs", "2"]) == 0
         assert "texture_tiling" in capsys.readouterr().out
 
+    def test_cachesweep_batched_and_serial_agree(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        args = ["cachesweep", "--workload", "tensorflow.gemm_packed",
+                "--trace-dir", store, "--no-cache"]
+        assert main(args) == 0
+        batched = capsys.readouterr().out
+        assert "batched" in batched
+        assert "l1=64kB/4w,llc=2MB/8w" in batched
+        assert main(args + ["--no-batch"]) == 0
+        serial = capsys.readouterr().out
+        # Identical rows, different engine tag.
+        assert serial.replace("serial/cached", "batched") == batched
+
+    def test_cachesweep_unknown_workload(self, capsys):
+        assert main(["cachesweep", "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_cachesweep_checkpoint_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        journal = str(tmp_path / "sweep.jsonl")
+        args = ["cachesweep", "--workload", "chrome.compositing_tiled",
+                "--trace-dir", store, "--no-cache", "--checkpoint", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed.replace("serial/cached", "batched") == first
+
 
 class TestObservabilityFlags:
     def test_evaluate_writes_manifest_and_trace(self, tmp_path, capsys):
