@@ -1,7 +1,7 @@
 """Command-line interface.
 
     python -m repro figures [--figure "Figure 18"] [--write PATH]
-                            [--jobs N] [--no-cache]
+                            [--jobs N] [--no-cache] [--cache-flush-every N]
                             [--manifest DIR] [--trace-out PATH]
                             [--max-retries N] [--target-timeout S]
                             [--checkpoint PATH] [--resume]
@@ -12,8 +12,11 @@
                              [--checkpoint PATH] [--resume]
     python -m repro cachesweep [--workload NAME|all] [--batch|--no-batch]
                                [--trace-dir DIR] [--jobs N] [--no-cache]
+                               [--cache-flush-every N]
                                [--manifest DIR] [--trace-out PATH]
                                [--max-retries N] [--checkpoint PATH] [--resume]
+    python -m repro cache {compact|clear|prune} [--dir PATH]
+                          [--max-age-days DAYS]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -77,6 +80,16 @@ def _add_obs_flags(parser) -> None:
     )
 
 
+def _add_cache_batch_flag(parser) -> None:
+    parser.add_argument(
+        "--cache-flush-every", type=int, default=None, metavar="N",
+        help="buffer N memo entries per segment flush (default 1: each "
+        "entry is written through immediately, like the legacy "
+        "file-per-entry cache; larger values batch N entries per blob "
+        "write)",
+    )
+
+
 def _add_resilience_flags(parser) -> None:
     parser.add_argument(
         "--max-retries", type=int, metavar="N",
@@ -123,14 +136,26 @@ def _retry_policy(args):
     )
 
 
+def _memo_cache(args):
+    """The MemoCache the cache flags ask for (or None with --no-cache)."""
+    if args.no_cache:
+        return None
+    from repro.core.memo import MemoCache
+
+    if getattr(args, "cache_flush_every", None) is not None:
+        if args.cache_flush_every < 1:
+            raise ValueError(
+                "--cache-flush-every must be >= 1, got %d"
+                % args.cache_flush_every
+            )
+        return MemoCache(flush_every=args.cache_flush_every)
+    return MemoCache()
+
+
 def _cmd_figures(args) -> int:
     from repro.analysis.report import all_results, render_markdown
 
-    cache = None
-    if not args.no_cache:
-        from repro.core.memo import MemoCache
-
-        cache = MemoCache()
+    cache = _memo_cache(args)
     with _obs_session(args) as recorder:
         results = all_results(
             jobs=args.jobs,
@@ -287,11 +312,7 @@ def _cmd_cachesweep(args) -> int:
             file=sys.stderr,
         )
         return 2
-    cache = None
-    if not args.no_cache:
-        from repro.core.memo import MemoCache
-
-        cache = MemoCache()
+    cache = _memo_cache(args)
     store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore()
     retry_policy = _retry_policy(args)
     documents = {}
@@ -361,8 +382,43 @@ def _cmd_cachesweep(args) -> int:
                     for name, doc in documents.items()
                 },
             )
+    if cache is not None:
+        cache.flush()
     if any(doc["failures"] for doc in documents.values()):
         print("DEGRADED: some geometries were quarantined", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.core.memo import MemoCache
+
+    cache = MemoCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print("cleared %d entries/files from %s" % (removed, cache.directory))
+    elif args.action == "prune":
+        days = args.max_age_days if args.max_age_days is not None else 30.0
+        removed = cache.prune(max_age_days=days)
+        print(
+            "pruned %d file(s) older than %g day(s) from %s"
+            % (removed, days, cache.directory)
+        )
+    else:
+        stats = cache.compact(max_age_days=args.max_age_days)
+        print(
+            "compacted %s: %d live entries (%d segment(s) merged, "
+            "%d legacy file(s) folded), %d file(s) removed, "
+            "%d quarantined, %d aged file(s) pruned"
+            % (
+                cache.directory,
+                stats.entries,
+                stats.segments_merged,
+                stats.legacy_folded,
+                stats.files_removed,
+                stats.quarantined,
+                stats.pruned,
+            )
+        )
     return 0
 
 
@@ -454,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the on-disk figure memo cache",
     )
+    _add_cache_batch_flag(figures)
     _add_obs_flags(figures)
     _add_resilience_flags(figures)
     figures.set_defaults(fn=_cmd_figures)
@@ -502,9 +559,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the on-disk sweep memo cache",
     )
+    _add_cache_batch_flag(cachesweep)
     _add_obs_flags(cachesweep)
     _add_resilience_flags(cachesweep)
     cachesweep.set_defaults(fn=_cmd_cachesweep)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="manage the on-disk memo cache segments"
+    )
+    cache_cmd.add_argument(
+        "action", choices=["compact", "clear", "prune"],
+        help="compact: rewrite all live entries (segments + legacy "
+        "files) into one fresh segment, quarantining corrupt blobs; "
+        "clear: delete everything; prune: remove aged foreign-version "
+        "files and debris",
+    )
+    cache_cmd.add_argument(
+        "--dir", metavar="PATH", default=None,
+        help="cache directory (default: the package cache directory)",
+    )
+    cache_cmd.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="age cutoff for pruning foreign-version files and debris "
+        "(prune defaults to 30; compact age-prunes only when given)",
+    )
+    cache_cmd.set_defaults(fn=_cmd_cache)
 
     characterize = sub.add_parser(
         "characterize", help="data-movement share per workload"

@@ -12,11 +12,16 @@ work and loads rows from disk.
 The cache directory defaults to ``.repro_cache/`` next to
 ``pyproject.toml`` when running from a source checkout (override with the
 ``REPRO_CACHE_DIR`` environment variable; falls back to
-``~/.cache/repro`` for installed packages).  Entries are small JSON
-documents, written atomically so concurrent runs never observe partial
-files, and carry a content checksum: a corrupted or truncated entry is
-quarantined to ``*.corrupt`` (and counted as ``core.memo.corrupt``)
-rather than returned or silently treated as a miss.
+``~/.cache/repro`` for installed packages).  Entries live in append-only
+segment blobs (:mod:`repro.core.store`): each writing process claims its
+own ``memo-*.seg`` blob and appends checksummed entries to it, so N puts
+cost N buffered appends and a handful of file opens instead of N
+open/write/rename round trips.  The torn-write contract is unchanged: a
+corrupted entry (checksum mismatch) is counted as ``core.memo.corrupt``
+and never returned, and a truncated flush loses only its own uncommitted
+tail.  The pre-segment layout — one ``<key>.json`` document per entry —
+is still read transparently, and :meth:`MemoCache.compact` folds legacy
+files, quarantine debris, and accumulated blobs into one fresh segment.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.core.store import CompactionStats, SegmentReader, SegmentStore, peek_key
 from repro.obs.recorder import get_recorder
 
 
@@ -70,6 +76,9 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+_MISS = object()
+
+
 class MemoCache:
     """A content-addressed store of JSON-serializable results.
 
@@ -77,15 +86,36 @@ class MemoCache:
         directory: where entries live; created on first :meth:`put`.
         version: cache namespace; defaults to :func:`code_version_hash`
             so edits to the model code invalidate prior entries.
+        flush_every: entries buffered per segment flush.  The default
+            (1) writes each :meth:`put` through immediately — the same
+            read-your-writes durability as the old file-per-entry
+            layout; larger values batch N entries per file write for
+            high-rate producers (call :meth:`flush` or :meth:`close`
+            when done).
     """
 
     def __init__(
         self,
         directory: str | Path | None = None,
         version: str | None = None,
+        flush_every: int = 1,
     ):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.version = version if version is not None else code_version_hash()
+        self._store = SegmentStore(
+            self.directory,
+            key=self.version,
+            prefix="memo",
+            flush_every=flush_every,
+            fsync=False,
+            count=self._count,
+        )
+
+    def _count(self, event: str, n: float = 1) -> None:
+        counters = get_recorder().counters
+        counters.add("core.store." + event, n)
+        if event == "corrupt":
+            counters.add("core.memo.corrupt", n)
 
     def key(self, name: str, config=None) -> str:
         payload = json.dumps(
@@ -94,6 +124,7 @@ class MemoCache:
         return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
     def _path(self, name: str, config) -> Path:
+        """The legacy (pre-segment) per-entry document path."""
         return self.directory / ("%s.json" % self.key(name, config))
 
     @staticmethod
@@ -103,12 +134,23 @@ class MemoCache:
     def get(self, name: str, config=None, default=None):
         """The cached value for (name, config) at this code version.
 
-        A corrupted or truncated entry (unparseable JSON, missing
-        fields, or a checksum mismatch) is never returned as a value:
-        it is quarantined to ``<entry>.corrupt`` and counted as
-        ``core.memo.corrupt`` — distinct from an honest miss — so a
+        A corrupted entry (checksum mismatch, in a segment or a legacy
+        document) is never returned as a value: it is counted as
+        ``core.memo.corrupt`` — distinct from an honest miss — and made
+        permanently invisible (legacy documents are quarantined to
+        ``<entry>.corrupt`` immediately; a bad segment frame hides its
+        entry at once and :meth:`compact` quarantines the blob), so a
         torn write from a dead worker cannot poison later runs.
         """
+        counters = get_recorder().counters
+        value = self._store.get(self.key(name, config), _MISS)
+        if value is not _MISS:
+            counters.add("core.memo.hits", 1)
+            return value
+        return self._get_legacy(name, config, default)
+
+    def _get_legacy(self, name: str, config, default):
+        """Read-transparency for the pre-segment one-file-per-entry layout."""
         counters = get_recorder().counters
         path = self._path(name, config)
         try:
@@ -140,38 +182,44 @@ class MemoCache:
             pass
 
     def put(self, name: str, value, config=None) -> Path:
-        """Store a JSON-serializable value; returns the entry path."""
+        """Store a JSON-serializable value; returns the segment path.
+
+        The entry is appended to this process's own segment blob (a
+        single buffered write per ``flush_every`` entries — no
+        per-entry file creation), committed under a per-entry BLAKE2
+        checksum by the flush's index frame (or, for a single-entry
+        flush, its own self-committing frame).
+        """
         get_recorder().counters.add("core.memo.puts", 1)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(name, config)
-        value_json = json.dumps(value, sort_keys=True, default=_to_builtin)
-        # Checksum the *canonical* (re-parsed) form: JSON stringifies
-        # non-string dict keys, so a value like {10: ...} serializes with
-        # different key order before vs after a round trip; :meth:`get`
-        # recomputes over the parsed document, which matches this.
-        document = {
-            "name": name,
-            "version": self.version,
-            "value": value,
-            "checksum": self._checksum(
-                json.dumps(json.loads(value_json), sort_keys=True)
-            ),
-        }
-        tmp = path.with_suffix(".tmp.%d" % os.getpid())
-        with open(tmp, "w") as f:
-            json.dump(document, f, default=_to_builtin)
-        os.replace(tmp, path)
-        return path
+        self._store.append(self.key(name, config), value)
+        return self._store.segment_path()
+
+    def flush(self):
+        """Write any entries still buffered by ``flush_every`` > 1."""
+        return self._store.flush()
+
+    def close(self) -> None:
+        """Flush buffered entries and release the segment blob."""
+        self._store.close()
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed.
+        """Delete all entries; returns how many entries (plus debris
+        files) were removed.
 
-        Also sweeps the debris faulty runs leave behind: quarantined
-        ``*.corrupt`` entries and stale ``*.tmp.<pid>`` files from
-        workers that died mid-:meth:`put`.
+        Sweeps everything the cache can own: segment blobs (counted by
+        the committed entries inside them), legacy per-entry documents,
+        quarantined ``*.corrupt`` entries, and stale ``*.tmp.<pid>``
+        files from workers that died mid-write.
         """
         removed = 0
+        self._store.discard()
         if self.directory.is_dir():
+            for path in self.directory.glob("*.seg"):
+                removed += self._segment_weight(path)
+                try:
+                    path.unlink()
+                except OSError:
+                    removed -= 1
             for pattern in ("*.json", "*.corrupt", "*.tmp.*"):
                 for path in self.directory.glob(pattern):
                     try:
@@ -181,15 +229,30 @@ class MemoCache:
                         pass
         return removed
 
-    def prune(self, max_age_days: float = 30.0) -> int:
-        """Remove entries from old code versions, plus aged debris.
+    def _segment_weight(self, path: Path) -> int:
+        """How many removals deleting ``path`` counts for.
 
-        An entry whose stored ``version`` differs from this cache's is
-        unreachable (the key embeds the version) and only wastes disk;
-        it is deleted once older than ``max_age_days``.  Unreadable
-        entries, ``*.corrupt`` quarantine files, and stale ``*.tmp.*``
-        files past the age cutoff are removed too.  Current-version
-        entries are never pruned.  Returns how many files were removed.
+        A current-version blob counts its committed entries (so clearing
+        N entries reports N whether they lived in one blob or N files);
+        a foreign or unreadable blob counts as one opaque file.
+        """
+        if peek_key(path) != self.version:
+            return 1
+        reader = SegmentReader(path, count=lambda *a: None)
+        reader.refresh()
+        return max(len(reader.names()), 1)
+
+    def prune(self, max_age_days: float = 30.0) -> int:
+        """Remove files from old code versions, plus aged debris.
+
+        A legacy document or segment blob keyed by a different version
+        is unreachable (the key embeds the version) and only wastes
+        disk; it is deleted once older than ``max_age_days``, as are
+        ``*.corrupt`` quarantine files and stale ``*.tmp.*`` files past
+        the cutoff.  Current-version files are never pruned.  Returns
+        how many files were removed.  (:meth:`compact` subsumes this
+        *and* rewrites current-version data; ``prune`` alone never
+        touches live entries or legacy documents it can still read.)
         """
         if not self.directory.is_dir():
             return 0
@@ -209,6 +272,19 @@ class MemoCache:
                 removed += 1
             except OSError:
                 pass
+        for path in self.directory.glob("*.seg"):
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+            except OSError:
+                continue
+            if peek_key(path) == self.version:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         for pattern in ("*.corrupt", "*.tmp.*"):
             for path in self.directory.glob(pattern):
                 try:
@@ -218,3 +294,57 @@ class MemoCache:
                 except OSError:
                     pass
         return removed
+
+    def compact(self, max_age_days: float | None = None) -> CompactionStats:
+        """Rewrite the cache as one fresh segment, folding in the chores.
+
+        Every live current-version entry — from segment blobs *and*
+        from readable legacy per-entry documents — is rewritten into a
+        single new blob; the merged blobs and folded legacy files are
+        removed, blobs that held corrupt/torn frames are quarantined to
+        ``*.corrupt`` (like a corrupt legacy document always was), and
+        an unreadable legacy document is quarantined on the spot.  With
+        ``max_age_days``, aged foreign-version files and debris are
+        pruned as :meth:`prune` would.  Requires no concurrent writers
+        (the same contract :meth:`clear` always had).  Returns the
+        :class:`~repro.core.store.CompactionStats`.
+        """
+        legacy: dict = {}
+        remove: list = []
+        pruned_json = 0
+        if self.directory.is_dir():
+            for path in sorted(self.directory.glob("*.json")):
+                try:
+                    document = json.loads(path.read_text())
+                    version = document["version"]
+                    value = document["value"]
+                    checksum = document["checksum"]
+                except (OSError, ValueError, KeyError, TypeError):
+                    self._quarantine(path)
+                    self._count("corrupt")
+                    continue
+                if version != self.version:
+                    continue  # left for the age-prune below
+                if checksum != self._checksum(
+                    json.dumps(value, sort_keys=True)
+                ):
+                    self._quarantine(path)
+                    self._count("corrupt")
+                    continue
+                legacy[path.stem] = value
+                remove.append(path)
+        stats = self._store.compact(
+            max_age_days=max_age_days, extra_entries=legacy, remove_paths=remove
+        )
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            for path in self.directory.glob("*.json"):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        pruned_json += 1
+                except OSError:
+                    pass
+            stats.pruned += pruned_json
+            stats.files_removed += pruned_json
+        return stats

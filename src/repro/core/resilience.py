@@ -16,10 +16,12 @@ retry — never the sweep.  This module is the resilience layer under
   (timed-out workers are killed and the pool respawned without losing
   completed items), and quarantine of items that exhaust their retries;
 * :class:`TargetFailure` — the audit record of one quarantined item;
-* :class:`SweepCheckpoint` — an append-only, fsync'd JSONL journal of
+* :class:`SweepCheckpoint` — an append-only, fsync'd journal of
   completed results keyed by config+code-version hash (like
-  :class:`repro.core.memo.MemoCache`), so an interrupted sweep resumed
-  with ``--resume`` reproduces the uninterrupted result bit-for-bit;
+  :class:`repro.core.memo.MemoCache`), stored as one
+  :mod:`repro.core.store` segment blob (legacy JSONL journals are read
+  and migrated transparently), so an interrupted sweep resumed with
+  ``--resume`` reproduces the uninterrupted result bit-for-bit;
 * :func:`maybe_inject_fault` — the chaos hook the fault-injection test
   harness (and CI's chaos smoke step) uses to crash/hang/fail specific
   targets on schedule via the ``REPRO_FAULT_PLAN`` environment variable.
@@ -447,16 +449,21 @@ def sweep_key(config=None) -> str:
 class SweepCheckpoint:
     """Append-only journal of completed sweep entries.
 
-    The file is JSON-Lines: a header record pinning the schema and key,
-    then one record per completed entry carrying its payload and a
-    checksum.  Appends are single ``write`` calls flushed and fsync'd,
-    so a crash mid-append can at worst leave one torn *final* line,
-    which :meth:`entries` detects (checksum mismatch / parse failure)
-    and drops — the corresponding target is simply recomputed.
+    The file is one :mod:`repro.core.store` segment blob: a checksummed
+    header frame pinning the key, then per append one entry frame plus
+    the index frame that commits it — a single fsync'd ``write`` per
+    completed target.  A crash mid-append leaves an uncommitted tail
+    that :meth:`entries` drops (counted as
+    ``core.resilience.checkpoint.torn``) and the next writer physically
+    truncates; committed entries are never lost, and a checksum
+    mismatch means an entry is hidden, never silently altered.
 
     A journal whose header key does not match (stale code or different
     config) is rotated aside to ``<path>.stale`` rather than mixed into
-    the new run.
+    the new run.  Pre-segment journals — the original fsync-per-line
+    JSONL layout — are still read transparently, and the first
+    :meth:`append` migrates a matching one to the segment format in a
+    single atomic rewrite.
     """
 
     SCHEMA = "repro-sweep-checkpoint/v1"
@@ -464,56 +471,142 @@ class SweepCheckpoint:
     def __init__(self, path: str | Path, key: str):
         self.path = Path(path)
         self.key = key
-        self._header_ok = False  # verified at most once per instance
+        self._reader = None  # shared SegmentReader (segment journals)
+        self._writer = None  # SegmentWriter once append() ran
+
+    def _count(self, event: str, n: float = 1) -> None:
+        counters = get_recorder().counters
+        counters.add("core.store." + event, n)
+        if event == "flushes":
+            counters.add("core.resilience.checkpoint.writes", n)
+        elif event == "torn":
+            counters.add("core.resilience.checkpoint.torn", n)
 
     # ------------------------------------------------------------------
     def append(self, name: str, payload) -> None:
-        """Journal one completed entry (atomic line append + fsync)."""
-        self._ensure_header()
-        with open(self.path, "a") as f:
-            f.write(self._record_line(name, payload))
-            f.flush()
-            os.fsync(f.fileno())
-        get_recorder().counters.add("core.resilience.checkpoint.writes", 1)
+        """Journal one completed entry (one fsync'd chunk write)."""
+        self._ensure_writer()
+        self._writer.append_chunk([(name, payload)], fsync=True)
 
     def entries(self) -> dict:
         """Completed entries from a matching journal, name -> payload.
 
-        Torn or corrupted lines are skipped (counted as
+        Torn or corrupted frames are dropped (counted as
         ``core.resilience.checkpoint.torn``); a missing file or a key
-        mismatch yields no entries.
+        mismatch yields no entries.  Legacy JSONL journals are parsed
+        in place without being rewritten.
         """
+        from repro.core.store import SegmentReader
+
+        kind = self._classify()
+        if kind == "segment":
+            if self._reader is None:
+                self._reader = SegmentReader(self.path, count=self._count)
+            self._reader.refresh()
+            return self._reader.entries()
+        if kind == "legacy":
+            return self._legacy_entries()
+        return {}
+
+    def close(self) -> None:
+        """Release the journal's file descriptor."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # ------------------------------------------------------------------
+    def _classify(self) -> str:
+        """What lives at ``path``: absent | segment | legacy | foreign.
+
+        Only the first line is read, so classification (and therefore
+        every append) stays O(1) I/O regardless of journal length.
+        ``foreign`` covers everything that must be rotated aside before
+        writing: mismatched keys, other schemas, garbage.
+        """
+        from repro.core.store import peek_key
+
+        try:
+            if os.path.getsize(self.path) == 0:
+                return "absent"
+        except OSError:
+            return "absent"
+        segment_key = peek_key(self.path)
+        if segment_key == self.key:
+            return "segment"
+        if segment_key is None:
+            try:
+                with open(self.path, "rb") as f:
+                    header = json.loads(f.readline(1 << 16))
+            except (OSError, ValueError):
+                header = None
+            if isinstance(header, dict) and header.get("schema") == self.SCHEMA:
+                return "legacy" if header.get("key") == self.key else "foreign"
+        return "foreign"
+
+    def _ensure_writer(self) -> None:
+        from repro.core.store import SegmentReader, SegmentWriter
+
+        if self._writer is not None and self._writer.is_open:
+            return
+        kind = self._classify()
+        if kind == "foreign":
+            # Stale journal (code or config changed): rotate, don't mix.
+            os.replace(
+                self.path, self.path.with_suffix(self.path.suffix + ".stale")
+            )
+            kind = "absent"
+        if kind == "legacy":
+            self._writer = self._migrate_legacy()
+            return
+        self._writer = SegmentWriter(self.path, self.key, count=self._count)
+        if kind == "segment":
+            if self._reader is None:
+                self._reader = SegmentReader(self.path, count=self._count)
+            self._writer.open(reader=self._reader)
+            # The writer may have truncated a torn tail out from under
+            # the shared reader; force a clean re-parse on next read.
+            self._reader = None
+        else:
+            self._writer.open()
+
+    def _migrate_legacy(self):
+        """Rewrite a matching legacy JSONL journal as one segment blob.
+
+        The new blob is built beside the journal and swapped in with
+        ``os.replace``, so a crash mid-migration leaves the legacy file
+        intact; the returned writer keeps appending to the swapped-in
+        blob.  Counts one checkpoint write for the fold-in chunk.
+        """
+        from repro.core.store import SegmentWriter
+
+        entries = self._legacy_entries()
+        tmp = self.path.with_suffix(self.path.suffix + ".migrate.%d" % os.getpid())
+        writer = SegmentWriter(tmp, self.key, count=self._count)
+        writer.open()
+        if entries:
+            writer.append_chunk(entries.items(), fsync=True)
+        os.replace(tmp, self.path)
+        writer.fsync()
+        writer.path = self.path  # the fd survives the rename
+        return writer
+
+    def _legacy_entries(self) -> dict:
         counters = get_recorder().counters
         try:
             lines = self.path.read_text().splitlines()
         except OSError:
             return {}
-        if not lines or not self._header_matches(lines[0]):
-            return {}
         out: dict = {}
         for line in lines[1:]:
-            record = self._parse_record(line)
+            record = self._parse_legacy_record(line)
             if record is None:
                 counters.add("core.resilience.checkpoint.torn", 1)
                 continue
             out[record["name"]] = record["payload"]
         return out
 
-    # ------------------------------------------------------------------
-    def _record_line(self, name: str, payload) -> str:
-        body = json.dumps(payload, sort_keys=True)
-        record = {
-            "name": name,
-            "payload": payload,
-            "sha": hashlib.sha256(body.encode()).hexdigest()[:16],
-        }
-        # The checksum is over the canonical (sorted) body above, but
-        # the payload itself is stored unsorted: figure rows are
-        # rendered in dict-insertion order, so sorting here would
-        # reorder table columns on resume.
-        return json.dumps(record) + "\n"
-
-    def _parse_record(self, line: str):
+    @staticmethod
+    def _parse_legacy_record(line: str):
         try:
             record = json.loads(line)
             body = json.dumps(record["payload"], sort_keys=True)
@@ -523,40 +616,6 @@ class SweepCheckpoint:
         except (ValueError, KeyError, TypeError):
             return None
         return record
-
-    def _header_matches(self, line: str) -> bool:
-        try:
-            header = json.loads(line)
-        except ValueError:
-            return False
-        return (
-            isinstance(header, dict)
-            and header.get("schema") == self.SCHEMA
-            and header.get("key") == self.key
-        )
-
-    def _ensure_header(self) -> None:
-        # Verified once per instance; only the first line is read (not
-        # the whole journal), so a long sweep's appends stay O(1) I/O.
-        if self._header_ok:
-            return
-        try:
-            with open(self.path) as f:
-                first = f.readline() or None
-        except OSError:
-            first = None
-        if first is not None and self._header_matches(first):
-            self._header_ok = True
-            return
-        if first is not None:
-            # Stale journal (code or config changed): rotate, don't mix.
-            os.replace(self.path, self.path.with_suffix(self.path.suffix + ".stale"))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "w") as f:
-            f.write(json.dumps({"schema": self.SCHEMA, "key": self.key}) + "\n")
-            f.flush()
-            os.fsync(f.fileno())
-        self._header_ok = True
 
 
 # ----------------------------------------------------------------------

@@ -293,44 +293,50 @@ class ExperimentRunner:
         recorder = get_recorder()
         with recorder.span("core.runner.evaluate"):
             journal = self._journal(checkpoint)
-            resumed: dict[str, TargetComparison] = {}
-            if journal is not None and resume:
-                for name, payload in journal.entries().items():
-                    resumed[name] = comparison_from_jsonable(payload)
-            resumed = {
-                t.name: resumed[t.name] for t in targets if t.name in resumed
-            }
-            if recorder.enabled and resumed:
-                recorder.counters.add("core.resilience.resumed", len(resumed))
-                for comparison in resumed.values():
-                    _publish_comparison(recorder, comparison)
-            pending = [t for t in targets if t.name not in resumed]
-
-            fresh: dict[str, TargetComparison] = {}
-            failures: list[TargetFailure] = []
-            if pending:
-                def journal_success(index, name, value):
-                    if journal is None:
-                        return
-                    comparison = value[0] if isinstance(value, tuple) else value
-                    journal.append(name, comparison_to_jsonable(comparison))
-
-                if jobs > 1 and len(pending) > 1:
-                    values, failures = self._evaluate_parallel(
-                        pending, jobs, retry_policy, recorder, journal_success
-                    )
-                else:
-                    values, failures = self._evaluate_serial(
-                        pending, retry_policy, recorder, journal_success
-                    )
-                fresh = {
-                    t.name: v for t, v in zip(pending, values) if v is not None
+            try:
+                resumed: dict[str, TargetComparison] = {}
+                if journal is not None and resume:
+                    for name, payload in journal.entries().items():
+                        resumed[name] = comparison_from_jsonable(payload)
+                resumed = {
+                    t.name: resumed[t.name] for t in targets if t.name in resumed
                 }
-            comparisons = [
-                resumed.get(t.name) or fresh.get(t.name)
-                for t in targets
-                if t.name in resumed or t.name in fresh
-            ]
+                if recorder.enabled and resumed:
+                    recorder.counters.add("core.resilience.resumed", len(resumed))
+                    for comparison in resumed.values():
+                        _publish_comparison(recorder, comparison)
+                pending = [t for t in targets if t.name not in resumed]
+
+                fresh: dict[str, TargetComparison] = {}
+                failures: list[TargetFailure] = []
+                if pending:
+                    def journal_success(index, name, value):
+                        if journal is None:
+                            return
+                        comparison = value[0] if isinstance(value, tuple) else value
+                        journal.append(name, comparison_to_jsonable(comparison))
+
+                    if jobs > 1 and len(pending) > 1:
+                        values, failures = self._evaluate_parallel(
+                            pending, jobs, retry_policy, recorder, journal_success
+                        )
+                    else:
+                        values, failures = self._evaluate_serial(
+                            pending, retry_policy, recorder, journal_success
+                        )
+                    fresh = {
+                        t.name: v for t, v in zip(pending, values) if v is not None
+                    }
+                comparisons = [
+                    resumed.get(t.name) or fresh.get(t.name)
+                    for t in targets
+                    if t.name in resumed or t.name in fresh
+                ]
+            finally:
+                # A journal built here from a path owns an fd; callers
+                # who passed a SweepCheckpoint keep control of theirs.
+                if journal is not None and journal is not checkpoint:
+                    journal.close()
         return SweepResult(comparisons=comparisons, failures=failures)
 
     # ------------------------------------------------------------------
@@ -567,47 +573,51 @@ class ConfigSweep:
         recorder = get_recorder()
         with recorder.span("core.runner.config_sweep"):
             journal = self._journal(checkpoint)
-            resumed: dict[str, dict] = {}
-            if journal is not None and resume:
-                entries = journal.entries()
-                resumed = {
-                    label: entries[label] for label in labels if label in entries
-                }
-                if recorder.enabled and resumed:
-                    recorder.counters.add(
-                        "core.resilience.resumed", len(resumed)
+            try:
+                resumed: dict[str, dict] = {}
+                if journal is not None and resume:
+                    entries = journal.entries()
+                    resumed = {
+                        label: entries[label] for label in labels if label in entries
+                    }
+                    if recorder.enabled and resumed:
+                        recorder.counters.add(
+                            "core.resilience.resumed", len(resumed)
+                        )
+                pending = [
+                    (label, soc)
+                    for label, soc in zip(labels, socs)
+                    if label not in resumed
+                ]
+                fresh: dict[str, dict] = {}
+                failures: list[TargetFailure] = []
+                batched = False
+                if pending and batch:
+                    rows = self._evaluate_batch(pending, retry_policy, recorder)
+                    if rows is not None:
+                        batched = True
+                        for (label, _), row in zip(pending, rows):
+                            fresh[label] = row
+                            if journal is not None:
+                                journal.append(label, row)
+                        pending = []
+                if pending:
+                    values, failures = self._evaluate_serial(
+                        pending, jobs, retry_policy, journal, recorder
                     )
-            pending = [
-                (label, soc)
-                for label, soc in zip(labels, socs)
-                if label not in resumed
-            ]
-            fresh: dict[str, dict] = {}
-            failures: list[TargetFailure] = []
-            batched = False
-            if pending and batch:
-                rows = self._evaluate_batch(pending, retry_policy, recorder)
-                if rows is not None:
-                    batched = True
-                    for (label, _), row in zip(pending, rows):
-                        fresh[label] = row
-                        if journal is not None:
-                            journal.append(label, row)
-                    pending = []
-            if pending:
-                values, failures = self._evaluate_serial(
-                    pending, jobs, retry_policy, journal, recorder
-                )
-                fresh.update(
-                    (label, row)
-                    for (label, _), row in zip(pending, values)
-                    if row is not None
-                )
-            if recorder.enabled:
-                recorder.counters.add("core.runner.config_sweeps", 1)
-                recorder.counters.add(
-                    "core.runner.config_sweep_points", len(fresh) + len(resumed)
-                )
+                    fresh.update(
+                        (label, row)
+                        for (label, _), row in zip(pending, values)
+                        if row is not None
+                    )
+                if recorder.enabled:
+                    recorder.counters.add("core.runner.config_sweeps", 1)
+                    recorder.counters.add(
+                        "core.runner.config_sweep_points", len(fresh) + len(resumed)
+                    )
+            finally:
+                if journal is not None and journal is not checkpoint:
+                    journal.close()
         rows = [
             (resumed.get(label) or fresh.get(label))
             for label in labels

@@ -16,6 +16,7 @@ CI runs this file under ``REPRO_STRICT=1`` as well, so every test that
 *expects* quarantine-instead-of-raise pins ``strict_mode(False)``.
 """
 
+import hashlib
 import itertools
 import json
 import multiprocessing
@@ -35,6 +36,7 @@ from repro.core.resilience import (
     RetryPolicy,
     SweepCheckpoint,
     TargetFailure,
+    comparison_to_jsonable,
     sweep_key,
 )
 from repro.core.runner import ExperimentRunner, SweepResult, _init_worker
@@ -483,6 +485,45 @@ class TestCheckpointResume:
             ExperimentRunner().evaluate(sweep_targets(2), checkpoint=journal)
         assert rec.counters.get("core.resilience.checkpoint.writes") == 2
 
+    def test_resume_from_legacy_jsonl_journal_bit_identical(
+        self, tmp_path, monkeypatch, baseline
+    ):
+        """The migration path: a pre-segment JSONL journal resumes a
+        sweep bit-identically and is rewritten as a segment blob on the
+        first append."""
+        journal = tmp_path / "sweep.jsonl"
+        key = sweep_key((None, None))
+        lines = [json.dumps({"schema": SweepCheckpoint.SCHEMA, "key": key})]
+        for comparison in baseline.comparisons[:2]:
+            payload = comparison_to_jsonable(comparison)
+            body = json.dumps(payload, sort_keys=True)
+            lines.append(json.dumps({
+                "name": comparison.target.name,
+                "payload": payload,
+                "sha": hashlib.sha256(body.encode()).hexdigest()[:16],
+            }))
+        journal.write_text("\n".join(lines) + "\n")
+        # Recomputing a journaled target would now die on first attempt.
+        install_plan(
+            tmp_path, monkeypatch,
+            {"alpha": ["raise:recomputed"], "beta": ["raise:recomputed"]},
+        )
+        with recording() as rec:
+            result = ExperimentRunner().evaluate(
+                sweep_targets(), checkpoint=journal, resume=True
+            )
+        assert rec.counters.get("core.resilience.resumed") == 2
+        # Bit-identical to the uninterrupted run (and hence to a
+        # segment-journal resume, which asserts the same equality).
+        assert result.comparisons == baseline.comparisons
+        assert json.dumps(result.rows()) == json.dumps(baseline.rows())
+        # The journal now *is* a segment blob holding all four targets.
+        from repro.core.store import peek_key
+
+        assert peek_key(journal) == key
+        reloaded = SweepCheckpoint(journal, key=key).entries()
+        assert sorted(reloaded) == ["alpha", "beta", "delta", "gamma"]
+
 
 # ----------------------------------------------------------------------
 # SweepResult aggregates under degradation
@@ -597,28 +638,42 @@ class TestMemoCorruption:
     def test_tampered_value_is_quarantined_never_returned(self, tmp_path):
         cache = MemoCache(tmp_path, version="v1")
         path = cache.put("entry", {"answer": 42})
-        document = json.loads(path.read_text())
-        document["value"] = {"answer": 41}  # checksum now lies
-        path.write_text(json.dumps(document))
+        # Alter the payload bytes inside the segment's entry frame: the
+        # body still parses as JSON, but the frame checksum now lies.
+        raw = path.read_bytes()
+        assert raw.count(b'"answer": 42') == 1
+        path.write_bytes(raw.replace(b'"answer": 42', b'"answer": 41'))
         with recording() as rec:
             assert cache.get("entry", default="MISS") == "MISS"
         assert rec.counters.get("core.memo.corrupt") == 1
-        assert not path.exists()
-        assert path.with_suffix(".corrupt").exists()
-        # The quarantined entry is an honest miss from now on.
+        assert rec.counters.get("core.store.corrupt") == 1
+        # The altered entry is an honest miss from now on.
         with recording() as rec:
             assert cache.get("entry") is None
         assert rec.counters.get("core.memo.corrupt") == 0
         assert rec.counters.get("core.memo.misses") == 1
-
-    def test_truncated_entry_is_quarantined(self, tmp_path):
-        cache = MemoCache(tmp_path, version="v1")
-        path = cache.put("entry", {"rows": list(range(100))})
-        path.write_text(path.read_text()[: len(path.read_text()) // 2])
-        with recording() as rec:
-            assert cache.get("entry") is None
-        assert rec.counters.get("core.memo.corrupt") == 1
+        # Compaction quarantines the tampered blob for inspection.
+        stats = cache.compact()
+        assert stats.quarantined == 1
+        assert not path.exists()
         assert path.with_suffix(".corrupt").exists()
+
+    def test_truncated_entry_is_dropped_as_torn(self, tmp_path):
+        cache = MemoCache(tmp_path, version="v1", flush_every=2)
+        cache.put("entry", {"rows": list(range(100))})
+        path = cache.put("other", {"rows": [2]})
+        cache.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])  # cut into the committing index frame
+        fresh = MemoCache(tmp_path, version="v1")
+        with recording() as rec:
+            assert fresh.get("entry") is None
+            assert fresh.get("other") is None
+        assert rec.counters.get("core.store.torn") == 1
+        assert rec.counters.get("core.memo.corrupt") == 0
+        # A re-put lands in a new per-process blob and reads back fine.
+        fresh.put("entry", {"rows": [1]})
+        assert fresh.get("entry") == {"rows": [1]}
 
     def test_non_string_dict_keys_are_not_misquarantined(self, tmp_path):
         """JSON stringifies int keys, changing sort order across a round
@@ -724,6 +779,45 @@ class TestMemoConcurrency:
                     got = cache.get("k")
                     assert got in (None, value["a"], value["b"])
             assert rec.counters.get("core.memo.corrupt") == 0
+
+    def test_memo_and_checkpoint_writers_share_a_directory(self, tmp_path):
+        """Segment blobs and a checkpoint journal coexist in one
+        directory: per-process memo blobs and the journal never collide,
+        and nothing is lost, duplicated, or corrupted."""
+        value_a = {"who": "a", "rows": list(range(100))}
+        value_b = {"who": "b", "rows": list(range(100, 200))}
+        writers = [
+            multiprocessing.Process(
+                target=_hammer_puts, args=(str(tmp_path), "v1", value, 25)
+            )
+            for value in (value_a, value_b)
+        ] + [
+            multiprocessing.Process(
+                target=_hammer_checkpoint, args=(str(tmp_path), 25)
+            )
+        ]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        assert all(w.exitcode == 0 for w in writers)
+        with recording() as rec:
+            cache = MemoCache(tmp_path, version="v1")
+            assert cache.get("shared", config={"k": 1}) in (value_a, value_b)
+            journal = SweepCheckpoint(tmp_path / "sweep.jsonl", key="ck")
+            entries = journal.entries()
+        assert sorted(entries) == ["t%03d" % i for i in range(25)]
+        assert all(entries["t%03d" % i] == {"i": i} for i in range(25))
+        assert rec.counters.get("core.memo.corrupt") == 0
+        assert rec.counters.get("core.store.corrupt") == 0
+        assert not list(tmp_path.glob("*.corrupt"))
+
+
+def _hammer_checkpoint(directory, count):
+    journal = SweepCheckpoint(Path(directory) / "sweep.jsonl", key="ck")
+    for i in range(count):
+        journal.append("t%03d" % i, {"i": i})
+    journal.close()
 
 
 # ----------------------------------------------------------------------
