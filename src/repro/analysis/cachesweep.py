@@ -170,21 +170,203 @@ def run_sweep(
     return document
 
 
+#: Per-process settings for cross-workload fan-out (set by the pool
+#: initializer); workers rebuild their own store/cache handles from it.
+_WORKLOAD_STATE = None
+
+
+def _init_workload_worker(settings, observe: bool = False):
+    global _WORKLOAD_STATE
+    from repro.core.runner import _install_worker_fault_handlers
+
+    _WORKLOAD_STATE = settings
+    _install_worker_fault_handlers()
+    if observe:
+        from repro.obs.recorder import Recorder, set_recorder
+
+        set_recorder(Recorder())
+
+
+def _sweep_workload_in_worker(job):
+    """One workload's sweep document, built from per-process handles.
+
+    The worker opens its own :class:`TraceStore` (artifact saves are
+    atomic, so concurrent builders converge on identical files) and its
+    own :class:`MemoCache` (per-process segment blobs make concurrent
+    writers safe by construction).
+    """
+    from repro.core.memo import MemoCache
+    from repro.core.resilience import maybe_inject_fault
+    from repro.sim.artifact import TraceStore
+
+    name, checkpoint = job
+    maybe_inject_fault(name)
+    s = _WORKLOAD_STATE
+    store = TraceStore(s["store_dir"], version=s["store_version"])
+    cache = None
+    if s["cache_dir"] is not None:
+        cache = MemoCache(
+            s["cache_dir"],
+            version=s["cache_version"],
+            flush_every=s["cache_flush_every"],
+        )
+    try:
+        return run_sweep(
+            name,
+            socs=s["socs"],
+            batch=s["batch"],
+            store=store,
+            cache=cache,
+            jobs=s["inner_jobs"],
+            retry_policy=s["retry_policy"],
+            checkpoint=checkpoint,
+            resume=s["resume"],
+            timing_params=s["timing_params"],
+            instructions_per_access=s["instructions_per_access"],
+        )
+    finally:
+        if cache is not None:
+            cache.close()
+
+
+def _sweep_workload_in_worker_observed(job):
+    """Workload task when observability is on: (document, obs snapshot)."""
+    recorder = get_recorder()
+    recorder.reset()
+    with recorder.span("analysis.cachesweep.worker.%s" % job[0]):
+        document = _sweep_workload_in_worker(job)
+    return document, recorder.snapshot()
+
+
 def sweep_all(
     workloads=None,
     socs=None,
     batch: bool = True,
     store=None,
     cache=None,
-    **kwargs,
+    jobs: int = 1,
+    retry_policy=None,
+    checkpoint=None,
+    resume: bool = False,
+    timing_params=None,
+    instructions_per_access: float = 2.0,
 ) -> dict[str, dict]:
-    """:func:`run_sweep` for several workloads sharing one store."""
+    """:func:`run_sweep` for several workloads sharing one store.
+
+    With ``jobs > 1`` and more than one workload, sweeps fan out across
+    pool workers — one workload per worker, dispatched through
+    :class:`~repro.core.resilience.ResilientMap` so crash/hang/retry
+    semantics match every other sweep; a workload that exhausts its
+    retries contributes a failure document instead of aborting the
+    rest.  With a single workload, ``jobs`` flows into the sharded
+    batch engine (:meth:`~repro.core.runner.ConfigSweep.evaluate`)
+    instead.  ``checkpoint`` is a journal *path prefix*: with several
+    workloads each gets its own ``<prefix>.<workload>`` journal (each
+    sweep has its own artifact hash, and a shared file would rotate
+    itself stale on every workload switch).
+    """
     from repro.sim.artifact import TraceStore
 
     store = store or TraceStore()
+    names = list(workloads) if workloads is not None else workload_names()
+
+    def checkpoint_for(name):
+        if checkpoint is None:
+            return None
+        if len(names) > 1:
+            return "%s.%s" % (checkpoint, name)
+        return checkpoint
+
+    if jobs > 1 and len(names) > 1:
+        return _sweep_all_parallel(
+            names, socs, batch, store, cache, jobs, retry_policy,
+            checkpoint_for, resume, timing_params, instructions_per_access,
+        )
     return {
         name: run_sweep(
-            name, socs=socs, batch=batch, store=store, cache=cache, **kwargs
+            name,
+            socs=socs,
+            batch=batch,
+            store=store,
+            cache=cache,
+            jobs=jobs,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint_for(name),
+            resume=resume,
+            timing_params=timing_params,
+            instructions_per_access=instructions_per_access,
         )
-        for name in (workloads or workload_names())
+        for name in names
     }
+
+
+def _sweep_all_parallel(
+    names, socs, batch, store, cache, jobs, retry_policy,
+    checkpoint_for, resume, timing_params, instructions_per_access,
+):
+    from repro.core.resilience import ResilientMap
+
+    recorder = get_recorder()
+    observe = recorder.enabled
+    settings = {
+        "socs": list(socs) if socs is not None else None,
+        "batch": batch,
+        "store_dir": str(store.directory),
+        "store_version": store.version,
+        "cache_dir": str(cache.directory) if cache is not None else None,
+        "cache_version": cache.version if cache is not None else None,
+        "cache_flush_every": (
+            cache._store.flush_every if cache is not None else 1
+        ),
+        # Workload workers already own the cores; nested shard pools
+        # would only thrash.
+        "inner_jobs": 1,
+        "retry_policy": retry_policy,
+        "resume": resume,
+        "timing_params": timing_params,
+        "instructions_per_access": instructions_per_access,
+    }
+    jobs_used = min(jobs, len(names))
+    values, failures = ResilientMap(
+        _sweep_workload_in_worker_observed if observe else _sweep_workload_in_worker,
+        [(name, checkpoint_for(name)) for name in names],
+        names=list(names),
+        policy=retry_policy,
+        jobs=jobs_used,
+        initializer=_init_workload_worker,
+        initargs=(settings, observe),
+        raise_failures=retry_policy is None,
+    ).run()
+    documents = {}
+    for name, value in zip(names, values):
+        if value is None:
+            continue
+        if observe:
+            document, snapshot = value
+            recorder.merge_snapshot(snapshot)
+        else:
+            document = value
+        documents[name] = document
+    for failure in failures:
+        # A quarantined *workload* (its worker kept dying) still gets a
+        # document, shaped like a fully-failed sweep, so reports can
+        # annotate it instead of silently dropping the workload.
+        documents[failure.target] = {
+            "workload": failure.target,
+            "artifact": None,
+            "batched": False,
+            "rows": [],
+            "failures": [
+                {
+                    "config": "*",
+                    "attempts": failure.attempts,
+                    "error": failure.error,
+                }
+            ],
+        }
+    if observe:
+        recorder.counters.add(
+            "analysis.cachesweep.parallel_workloads", len(names)
+        )
+        recorder.counters.max("core.runner.pool_workers", jobs_used)
+    return {name: documents[name] for name in names if name in documents}

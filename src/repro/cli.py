@@ -17,6 +17,8 @@
                                [--max-retries N] [--checkpoint PATH] [--resume]
     python -m repro cache {compact|clear|prune} [--dir PATH]
                           [--max-age-days DAYS]
+    python -m repro trace {list|prune|clear} [--dir PATH]
+                          [--max-age-days DAYS]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -192,6 +194,9 @@ def _cmd_figures(args) -> int:
                 config=default_system(),
                 results={"figures": [r.figure_id for r in results]},
             )
+    if cache is not None:
+        cache.flush()
+        cache.maybe_compact()
     return 0
 
 
@@ -298,7 +303,7 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_cachesweep(args) -> int:
-    from repro.analysis.cachesweep import run_sweep, workload_names
+    from repro.analysis.cachesweep import sweep_all, workload_names
     from repro.sim.artifact import TraceStore
 
     if args.workload == "all":
@@ -315,30 +320,27 @@ def _cmd_cachesweep(args) -> int:
     cache = _memo_cache(args)
     store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore()
     retry_policy = _retry_policy(args)
-    documents = {}
     with _obs_session(args) as recorder:
-        for name in names:
-            checkpoint = args.checkpoint
-            if checkpoint and len(names) > 1:
-                # One journal per workload: each sweep has its own
-                # artifact hash, and a shared file would rotate itself
-                # stale on every workload switch.
-                checkpoint = "%s.%s" % (checkpoint, name)
-            documents[name] = document = run_sweep(
-                name,
-                batch=args.batch,
-                store=store,
-                cache=cache,
-                jobs=args.jobs,
-                retry_policy=retry_policy,
-                checkpoint=checkpoint,
-                resume=args.resume,
-            )
+        # --jobs fans out across workloads (several names) or across
+        # shards of one workload's batch plan (a single name); the
+        # journal-per-workload suffixing lives in sweep_all.
+        documents = sweep_all(
+            names,
+            batch=args.batch,
+            store=store,
+            cache=cache,
+            jobs=args.jobs,
+            retry_policy=retry_policy,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+        for name, document in documents.items():
+            artifact = document["artifact"] or "(none)"
             print(
                 "%s  (artifact %s, %s)"
                 % (
                     name,
-                    document["artifact"][:12],
+                    artifact[:12],
                     "batched" if document["batched"] else "serial/cached",
                 )
             )
@@ -384,6 +386,7 @@ def _cmd_cachesweep(args) -> int:
             )
     if cache is not None:
         cache.flush()
+        cache.maybe_compact()
     if any(doc["failures"] for doc in documents.values()):
         print("DEGRADED: some geometries were quarantined", file=sys.stderr)
     return 0
@@ -419,6 +422,43 @@ def _cmd_cache(args) -> int:
                 stats.pruned,
             )
         )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.sim.artifact import TraceStore
+
+    store = TraceStore(args.dir) if args.dir else TraceStore()
+    if args.action == "list":
+        rows = store.artifacts()
+        if not rows:
+            print("no trace artifacts in %s" % store.directory)
+            return 0
+        print(
+            "%-44s %-8s %10s %8s %12s"
+            % ("artifact", "status", "size", "age", "accesses")
+        )
+        for row in rows:
+            print(
+                "%-44s %-8s %9.1fk %7.1fd %12s"
+                % (
+                    row["name"],
+                    row["status"],
+                    row["bytes"] / 1024.0,
+                    row["age_days"],
+                    row.get("accesses", "-"),
+                )
+            )
+    elif args.action == "prune":
+        days = args.max_age_days if args.max_age_days is not None else 30.0
+        removed = store.prune(max_age_days=days)
+        print(
+            "pruned %d file(s) older than %g day(s) from %s"
+            % (removed, days, store.directory)
+        )
+    else:
+        removed = store.clear()
+        print("cleared %d file(s) from %s" % (removed, store.directory))
     return 0
 
 
@@ -552,8 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cachesweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the serial (--no-batch) path; each "
-        "worker memory-maps the shared artifact",
+        help="worker processes, on every path: shards of the batched "
+        "plan, per-config serial replays (--no-batch), and whole "
+        "workloads (--workload all); each worker memory-maps the "
+        "shared artifact — results are bit-identical to --jobs 1",
     )
     cachesweep.add_argument(
         "--no-cache", action="store_true",
@@ -584,6 +626,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(prune defaults to 30; compact age-prunes only when given)",
     )
     cache_cmd.set_defaults(fn=_cmd_cache)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="manage the on-disk trace-artifact store"
+    )
+    trace_cmd.add_argument(
+        "action", choices=["list", "prune", "clear"],
+        help="list: describe every artifact (status, size, age); "
+        "prune: remove aged stale-version artifacts, quarantine files "
+        "and tmp debris (current-version artifacts are never pruned); "
+        "clear: delete everything",
+    )
+    trace_cmd.add_argument(
+        "--dir", metavar="PATH", default=None,
+        help="trace-artifact directory (default: the package cache's "
+        "traces directory, as used by cachesweep --trace-dir)",
+    )
+    trace_cmd.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="age cutoff for prune (default 30)",
+    )
+    trace_cmd.set_defaults(fn=_cmd_trace)
 
     characterize = sub.add_parser(
         "characterize", help="data-movement share per workload"

@@ -92,6 +92,9 @@ class MemoCache:
             layout; larger values batch N entries per file write for
             high-rate producers (call :meth:`flush` or :meth:`close`
             when done).
+        compact_ratio: dead-bytes threshold for :meth:`maybe_compact`
+            (forwarded to the segment store; ``None`` disables the
+            auto-compaction trigger).
     """
 
     def __init__(
@@ -99,6 +102,7 @@ class MemoCache:
         directory: str | Path | None = None,
         version: str | None = None,
         flush_every: int = 1,
+        compact_ratio: float | None = 0.6,
     ):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.version = version if version is not None else code_version_hash()
@@ -109,6 +113,7 @@ class MemoCache:
             flush_every=flush_every,
             fsync=False,
             count=self._count,
+            compact_ratio=compact_ratio,
         )
 
     def _count(self, event: str, n: float = 1) -> None:
@@ -294,6 +299,24 @@ class MemoCache:
                 except OSError:
                     pass
         return removed
+
+    def maybe_compact(self, max_age_days: float | None = None):
+        """:meth:`compact` iff the store's dead-bytes ratio crosses the knob.
+
+        The sweep-completion hook: the CLI calls this after a sweep's
+        results land, so caches serving many overwriting sweeps shed
+        superseded bytes without anyone scheduling maintenance.
+        Returns the :class:`~repro.core.store.CompactionStats` when a
+        rewrite ran (counted as ``core.store.auto_compactions``), else
+        None.
+        """
+        if self._store.compact_ratio is None:
+            return None
+        if self._store.dead_ratio() <= self._store.compact_ratio:
+            return None
+        stats = self.compact(max_age_days=max_age_days)
+        self._count("auto_compactions")
+        return stats
 
     def compact(self, max_age_days: float | None = None) -> CompactionStats:
         """Rewrite the cache as one fresh segment, folding in the chores.

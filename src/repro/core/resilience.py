@@ -163,6 +163,14 @@ class ResilientMap:
         raise_failures: when True (the legacy contract), an exhausted
             item re-raises its original exception instead of being
             quarantined.  Strict mode forces a raise either way.
+        pool_factory: the executor seam — ``fn(mapper) -> executor``
+            called whenever a (re)spawn is needed.  Any object with the
+            ``ProcessPoolExecutor`` surface (``submit`` returning
+            futures, ``shutdown``, optionally ``_processes`` for hang
+            teardown) works, so the same retry/quarantine/checkpoint
+            policy can drive a local pool today and a remote worker
+            fleet tomorrow.  Default: a ``ProcessPoolExecutor`` built
+            from ``jobs``/``initializer``/``initargs``.
 
     :meth:`run` returns ``(values, failures)``: ``values`` holds one
     result per item in input order (``None`` for quarantined items), and
@@ -183,6 +191,7 @@ class ResilientMap:
         initargs=(),
         on_success=None,
         raise_failures: bool = False,
+        pool_factory=None,
     ):
         self.fn = fn
         self.items = list(items)
@@ -199,6 +208,7 @@ class ResilientMap:
         self.initargs = initargs
         self.on_success = on_success
         self.raise_failures = raise_failures
+        self.pool_factory = pool_factory
 
     # ------------------------------------------------------------------
     def run(self):
@@ -333,6 +343,8 @@ class ResilientMap:
         return values, failures
 
     def _new_pool(self):
+        if self.pool_factory is not None:
+            return self.pool_factory(self)
         from concurrent.futures import ProcessPoolExecutor
 
         return ProcessPoolExecutor(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.config import SystemConfig
 from repro.core.offload import OffloadEngine, TargetComparison
@@ -430,13 +431,17 @@ def _mean(values: list[float]) -> float:
 _SWEEP_TRACE_STATE = None
 
 
-def _init_sweep_worker(artifact_path, timing_params, instructions_per_access):
+def _init_sweep_worker(
+    artifact_path, content_hash, timing_params, instructions_per_access
+):
     global _SWEEP_TRACE_STATE
     _install_worker_fault_handlers()
     from repro.sim.artifact import TraceArtifact
 
     try:
-        artifact = TraceArtifact.load(artifact_path, mmap=True)
+        artifact = TraceArtifact.load(
+            artifact_path, mmap=True, expected_hash=content_hash
+        )
         _SWEEP_TRACE_STATE = (
             artifact.trace(), timing_params, instructions_per_access
         )
@@ -454,6 +459,76 @@ def _sweep_config_in_worker(job):
     maybe_inject_fault(label)
     trace, params, ipa = _SWEEP_TRACE_STATE
     return _evaluate_sweep_config(trace, soc, params, ipa)
+
+
+#: Per-process batch engine for sharded sweeps (set by the shard pool
+#: initializer from the memory-mapped artifact; reused across shards).
+_SHARD_EVALUATOR = None
+
+
+def _init_shard_worker(
+    artifact_path,
+    content_hash,
+    timing_params,
+    instructions_per_access,
+    observe: bool = False,
+):
+    global _SHARD_EVALUATOR
+    _install_worker_fault_handlers()
+    from repro.sim.artifact import TraceArtifact
+    from repro.sim.batch import ShardEvaluator
+
+    try:
+        # Zero-copy trace sharing: the worker opens the artifact by path
+        # *and* content hash — no trace bytes cross the pool boundary,
+        # and a file swapped under the path is rejected at open.
+        artifact = TraceArtifact.load(
+            artifact_path, mmap=True, expected_hash=content_hash
+        )
+        _SHARD_EVALUATOR = ShardEvaluator(
+            artifact.trace(),
+            params=timing_params,
+            instructions_per_access=instructions_per_access,
+        )
+    except BaseException as exc:
+        print(
+            "repro: shard worker initializer failed: %r" % exc,
+            file=sys.stderr,
+            flush=True,
+        )
+        raise
+    if observe:
+        from repro.obs.recorder import Recorder, set_recorder
+
+        set_recorder(Recorder())
+
+
+def _sweep_shard_in_worker(job):
+    """One shard's rows: ``[(plan_index, label, row), ...]``.
+
+    Fault hooks fire on the shard name and then on each config label,
+    so fault plans can target either a whole shard (worker-level
+    crash/hang) or a single geometry within it.
+    """
+    shard_name, items = job
+    maybe_inject_fault(shard_name)
+    for _, label, _ in items:
+        maybe_inject_fault(label)
+    stats, timings = _SHARD_EVALUATOR.evaluate([soc for _, _, soc in items])
+    ipa = _SHARD_EVALUATOR.instructions_per_access
+    return [
+        (index, label, _sweep_row(soc, s, t, ipa))
+        for (index, label, soc), s, t in zip(items, stats, timings)
+    ]
+
+
+def _sweep_shard_in_worker_observed(job):
+    """Shard task when observability is on: (rows, obs snapshot)."""
+    recorder = get_recorder()
+    recorder.reset()
+    with recorder.span("core.runner.shard.%s" % job[0]):
+        rows = _sweep_shard_in_worker(job)
+    return rows, recorder.snapshot()
 
 
 def _evaluate_sweep_config(trace, soc, timing_params, instructions_per_access):
@@ -535,12 +610,22 @@ class ConfigSweep:
     bit-identical per config to the serial path, so the two modes can
     be mixed freely across resume boundaries).
 
+    With ``jobs > 1`` the batch plan itself is sharded across pool
+    workers (:func:`repro.sim.batch.plan_shards`): each worker opens the
+    on-disk artifact by path + content hash (memory-mapped — the trace
+    is never pickled) and evaluates its shard through the same
+    pour-and-``_finish`` path, so parallel rows are bit-identical to
+    the single-process batch and to serial replay.  An in-memory
+    artifact is auto-saved to ``trace_dir`` first.
+
     Resilience composes as in :class:`ExperimentRunner`: a checkpoint
     journal keyed by the artifact's ``content_hash`` makes sweeps
     resumable, and a retry policy quarantines a faulty *config* without
     discarding the shared trace — a batched pass that fails falls back
     to the resilient serial path over the same in-memory artifact, so
-    one bad geometry costs its own row, never the trace.
+    one bad geometry costs its own row, never the trace.  A shard whose
+    worker keeps dying is contained the same way: its configs fall back
+    to the in-process serial path after the retry budget is spent.
     """
 
     def __init__(
@@ -548,12 +633,14 @@ class ConfigSweep:
         artifact,
         timing_params=None,
         instructions_per_access: float = 2.0,
+        trace_dir=None,
     ):
         from repro.sim.timing import TimingParameters
 
         self.artifact = artifact
         self.timing_params = timing_params or TimingParameters()
         self.instructions_per_access = instructions_per_access
+        self.trace_dir = trace_dir
 
     def evaluate(
         self,
@@ -592,6 +679,15 @@ class ConfigSweep:
                 fresh: dict[str, dict] = {}
                 failures: list[TargetFailure] = []
                 batched = False
+                if pending and batch and jobs > 1 and len(pending) > 1:
+                    parallel = self._evaluate_batch_parallel(
+                        pending, jobs, retry_policy, journal, recorder
+                    )
+                    if parallel is not None:
+                        shard_fresh, failures, used_fallback = parallel
+                        fresh.update(shard_fresh)
+                        batched = not used_fallback
+                        pending = []
                 if pending and batch:
                     rows = self._evaluate_batch(pending, retry_policy, recorder)
                     if rows is not None:
@@ -659,6 +755,137 @@ class ConfigSweep:
             for (_, soc), s, t in zip(pending, stats, timings)
         ]
 
+    def _evaluate_batch_parallel(
+        self, pending, jobs, retry_policy, journal, recorder
+    ):
+        """Shards of one batch plan across pool workers; None = not sharded.
+
+        Returns ``(fresh, failures, used_fallback)``.  The plan is
+        partitioned by L1 geometry (:func:`repro.sim.batch.plan_shards`)
+        and each shard runs in a pool worker that memory-maps the
+        artifact — only geometry specs travel out and compact row dicts
+        travel back.  Shard workers publish per-config ``sim.*``
+        counters into their own recorders (merged here); the plan-level
+        ``sim.replay_batch.*`` records are published exactly once by
+        this parent, so the merged registry matches a single-process
+        batched sweep.  A shard that exhausts its retries is contained:
+        its configs fall back to the in-process serial path
+        (``core.runner.shard_fallbacks``).
+        """
+        from repro.sim.batch import plan_shards, publish_sweep_plan
+
+        try:
+            path = self._ensure_artifact_path()
+        except Exception:
+            if retry_policy is None:
+                raise
+            if recorder.enabled:
+                recorder.counters.add("core.runner.batch_fallbacks", 1)
+            return None  # the in-memory single-process batch still works
+        items = [(i, label, soc) for i, (label, soc) in enumerate(pending)]
+        shards = plan_shards(items, jobs)
+        if len(shards) < 2:
+            return None
+        shard_names = ["shard-%d" % k for k in range(len(shards))]
+        observe = recorder.enabled
+
+        def journal_success(index, name, value):
+            if journal is None:
+                return
+            rows = value[0] if isinstance(value, tuple) else value
+            for _, label, row in rows:
+                journal.append(label, row)
+
+        jobs_used = min(jobs, len(shards))
+        values, shard_failures = ResilientMap(
+            _sweep_shard_in_worker_observed if observe else _sweep_shard_in_worker,
+            list(zip(shard_names, shards)),
+            names=shard_names,
+            policy=retry_policy,
+            jobs=jobs_used,
+            initializer=_init_shard_worker,
+            initargs=(
+                str(path),
+                self.artifact.content_hash,
+                self.timing_params,
+                self.instructions_per_access,
+                observe,
+            ),
+            on_success=journal_success,
+            raise_failures=retry_policy is None,
+        ).run()
+        fresh: dict[str, dict] = {}
+        for value in values:
+            if value is None:
+                continue
+            if observe:
+                rows, snapshot = value
+                recorder.merge_snapshot(snapshot)
+            else:
+                rows = value
+            for _, label, row in rows:
+                fresh[label] = row
+        failures: list[TargetFailure] = []
+        fb_pending = []
+        if shard_failures:
+            by_name = dict(zip(shard_names, shards))
+            fb_items = sorted(
+                (item for f in shard_failures for item in by_name[f.target]),
+                key=lambda item: item[0],
+            )
+            fb_pending = [(label, soc) for _, label, soc in fb_items]
+            if recorder.enabled:
+                recorder.counters.add(
+                    "core.runner.shard_fallbacks", len(shard_failures)
+                )
+            fb_values, failures = self._evaluate_serial(
+                fb_pending, 1, retry_policy, journal, recorder
+            )
+            fresh.update(
+                (label, row)
+                for (label, _), row in zip(fb_pending, fb_values)
+                if row is not None
+            )
+        if recorder.enabled:
+            n_sharded = len(pending) - len(fb_pending)
+            if n_sharded:
+                publish_sweep_plan(
+                    recorder, n_sharded, self.artifact.num_runs
+                )
+            recorder.counters.add("core.runner.parallel_batches", 1)
+            recorder.counters.add("core.runner.shards", len(shards))
+            recorder.counters.max("core.runner.pool_workers", jobs_used)
+        return fresh, failures, bool(shard_failures)
+
+    def _ensure_artifact_path(self) -> Path:
+        """The artifact's on-disk path, auto-saving an in-memory one.
+
+        Pool workers open the trace by path + content hash instead of
+        pickling columns, so a sharded sweep needs a file.  An artifact
+        built in memory is saved once into ``trace_dir`` (default: the
+        cache's trace directory), counted as ``sim.artifact.autosaves``
+        — parallel sweeps never silently degrade to single-process.
+        """
+        if self.artifact.path is not None:
+            return self.artifact.path
+        from repro.core.memo import default_cache_dir
+
+        directory = (
+            Path(self.trace_dir)
+            if self.trace_dir is not None
+            else default_cache_dir() / "traces"
+        )
+        safe = "".join(
+            c if (c.isalnum() or c in "-_.") else "_"
+            for c in (self.artifact.workload or "trace")
+        )
+        path = directory / (
+            "auto-%s-%s.trace" % (safe, self.artifact.content_hash[:16])
+        )
+        self.artifact.save(path)
+        get_recorder().counters.add("sim.artifact.autosaves", 1)
+        return path
+
     def _evaluate_serial(self, pending, jobs, retry_policy, journal, recorder):
         def journal_success(index, name, value):
             if journal is not None:
@@ -666,12 +893,7 @@ class ConfigSweep:
 
         names = [label for label, _ in pending]
         if jobs > 1 and len(pending) > 1:
-            if self.artifact.path is None:
-                raise ValueError(
-                    "jobs > 1 requires an on-disk artifact (save it, or "
-                    "build it through a TraceStore) so workers can mmap "
-                    "the shared trace"
-                )
+            path = self._ensure_artifact_path()
             mapper = ResilientMap(
                 _sweep_config_in_worker,
                 pending,
@@ -680,7 +902,8 @@ class ConfigSweep:
                 jobs=min(jobs, len(pending)),
                 initializer=_init_sweep_worker,
                 initargs=(
-                    str(self.artifact.path),
+                    str(path),
+                    self.artifact.content_hash,
                     self.timing_params,
                     self.instructions_per_access,
                 ),

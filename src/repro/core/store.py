@@ -592,6 +592,10 @@ class SegmentStore:
         fsync: whether each flush is fsync'd (checkpoints want this;
             the memo cache historically never fsync'd and still
             does not).
+        compact_ratio: dead-bytes ratio above which
+            :meth:`maybe_compact` rewrites the store (``None`` disables
+            auto-compaction).  The conservative default only triggers
+            once well over half the committed bytes are superseded.
     """
 
     def __init__(
@@ -602,12 +606,14 @@ class SegmentStore:
         flush_every: int = 1,
         fsync: bool = False,
         count=_default_count,
+        compact_ratio: float | None = 0.6,
     ):
         self.directory = Path(directory)
         self.key = key
         self.prefix = prefix
         self.flush_every = max(int(flush_every), 1)
         self.fsync = fsync
+        self.compact_ratio = compact_ratio
         self._count = count
         self._writer = None
         self._buffer: dict = {}  # name -> payload, insertion ordered
@@ -764,6 +770,54 @@ class SegmentStore:
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
+    def dead_bytes(self) -> tuple:
+        """``(dead, total)`` committed bytes across this store's blobs.
+
+        An entry line is *live* when it is the winning (newest) write
+        for its name under the merge order; everything else committed —
+        superseded rewrites, batched-chunk index frames — is weight a
+        :meth:`compact` rewrite would reclaim.  Blob header lines count
+        as live (a compacted store still pays one).
+        """
+        self._refresh()
+        total = 0
+        live = 0
+        winners: dict = {}
+        for reader in self._our_readers(newest_first=False):
+            committed = reader.committed_offset
+            total += committed
+            header_end = reader._buf.find(b"\n") + 1
+            if header_end > 0:
+                live += min(header_end, committed)
+            for name, (_, length) in reader._index.items():
+                winners[name] = length
+        live += sum(winners.values())
+        return max(total - live, 0), total
+
+    def dead_ratio(self) -> float:
+        dead, total = self.dead_bytes()
+        return dead / total if total else 0.0
+
+    def maybe_compact(self, **kwargs):
+        """:meth:`compact` iff the dead-bytes ratio crosses the knob.
+
+        The sweep-completion hook: rewriting a store is only worth the
+        IO once enough superseded bytes pile up, so callers invoke this
+        unconditionally after a batch of writes and the knob decides.
+        Returns the :class:`CompactionStats` when a compaction ran
+        (counted as ``core.store.auto_compactions`` on top of the
+        rewrite's own ``compactions``), else None.  A ``compact_ratio``
+        of None disables the trigger.  Keyword arguments are forwarded
+        to :meth:`compact`.
+        """
+        if self.compact_ratio is None:
+            return None
+        if self.dead_ratio() <= self.compact_ratio:
+            return None
+        stats = self.compact(**kwargs)
+        self._count("auto_compactions")
+        return stats
+
     def compact(
         self,
         max_age_days=None,

@@ -48,6 +48,18 @@ class CounterRegistry:
         with self._lock:
             self._gauges[name] = value
 
+    def max(self, name: str, value: float) -> None:
+        """Record ``value`` as a high-water gauge (largest write wins).
+
+        Used for utilization peaks — e.g. ``core.runner.pool_workers``
+        tracks the widest pool a sweep actually spun up, even when
+        several sweeps of different widths publish into one registry.
+        """
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -221,45 +222,33 @@ class TraceArtifact:
     # ------------------------------------------------------------------
     @classmethod
     def load(
-        cls, path: str | Path, mmap: bool = True, verify: bool = True
+        cls,
+        path: str | Path,
+        mmap: bool = True,
+        verify: bool = True,
+        expected_hash: str | None = None,
     ) -> "TraceArtifact":
         """Load an artifact, memory-mapping its columns by default.
 
         Raises :class:`ArtifactError` on any structural damage: bad
         magic, unparseable or schema-mismatched header, a file shorter
         than the header promises (torn write), or — with ``verify`` —
-        a per-column or content checksum mismatch.
+        a per-column or content checksum mismatch.  ``expected_hash``
+        additionally pins the trace identity: a sharded sweep's pool
+        workers open the artifact by path *and* content hash, so a file
+        swapped under the path between dispatch and open is rejected
+        before any column is read.
         """
         path = Path(path)
-        try:
-            file_size = path.stat().st_size
-            with open(path, "rb") as f:
-                magic = f.read(len(_MAGIC))
-                if magic != _MAGIC:
-                    raise ArtifactError("%s: bad magic %r" % (path, magic))
-                raw_len = f.read(8)
-                if len(raw_len) != 8:
-                    raise ArtifactError("%s: truncated header length" % path)
-                header_len = int.from_bytes(raw_len, "little")
-                header_bytes = f.read(header_len)
-        except OSError as exc:
-            raise ArtifactError("%s: unreadable artifact: %s" % (path, exc)) from exc
-        if len(header_bytes) != header_len:
-            raise ArtifactError("%s: truncated header" % path)
-        try:
-            header = json.loads(header_bytes)
-        except ValueError as exc:
-            raise ArtifactError("%s: corrupt header: %s" % (path, exc)) from exc
-        if header.get("schema") != SCHEMA:
+        header, data_start = _read_header(path)
+        if (
+            expected_hash is not None
+            and header.get("content_hash") != expected_hash
+        ):
             raise ArtifactError(
-                "%s: schema %r, expected %r" % (path, header.get("schema"), SCHEMA)
-            )
-        data_start = _data_start(header_len)
-        expected = data_start + int(header.get("data_bytes", -1))
-        if file_size != expected:
-            raise ArtifactError(
-                "%s: torn artifact: %d bytes on disk, header promises %d"
-                % (path, file_size, expected)
+                "%s: artifact content hash %s does not match the "
+                "dispatched trace %s"
+                % (path, header.get("content_hash"), expected_hash)
             )
         specs = header["columns"]
         if [s["name"] for s in specs] != [name for name, _ in _COLUMNS]:
@@ -313,6 +302,58 @@ def _data_start(header_len: int) -> int:
     """Aligned offset of the data section, deterministic in header size."""
     raw = len(_MAGIC) + 8 + header_len
     return -(-raw // _ALIGN) * _ALIGN
+
+
+def _read_header(path: Path) -> tuple[dict, int]:
+    """Parse and structurally validate an artifact's header.
+
+    Returns ``(header, data_start)``.  Raises :class:`ArtifactError`
+    on bad magic, a truncated or unparseable header, a schema
+    mismatch, or a file size that disagrees with the header's
+    ``data_bytes`` promise (torn write).
+    """
+    try:
+        file_size = path.stat().st_size
+        with open(path, "rb") as f:
+            magic = f.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise ArtifactError("%s: bad magic %r" % (path, magic))
+            raw_len = f.read(8)
+            if len(raw_len) != 8:
+                raise ArtifactError("%s: truncated header length" % path)
+            header_len = int.from_bytes(raw_len, "little")
+            header_bytes = f.read(header_len)
+    except OSError as exc:
+        raise ArtifactError("%s: unreadable artifact: %s" % (path, exc)) from exc
+    if len(header_bytes) != header_len:
+        raise ArtifactError("%s: truncated header" % path)
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ArtifactError("%s: corrupt header: %s" % (path, exc)) from exc
+    if header.get("schema") != SCHEMA:
+        raise ArtifactError(
+            "%s: schema %r, expected %r" % (path, header.get("schema"), SCHEMA)
+        )
+    data_start = _data_start(header_len)
+    expected = data_start + int(header.get("data_bytes", -1))
+    if file_size != expected:
+        raise ArtifactError(
+            "%s: torn artifact: %d bytes on disk, header promises %d"
+            % (path, file_size, expected)
+        )
+    return header, data_start
+
+
+def read_artifact_header(path: str | Path) -> dict:
+    """The validated JSON header of an artifact, without its columns.
+
+    Cheap (no column read, no checksum verification) — used by
+    ``TraceStore.artifacts()`` and the ``trace list`` CLI to describe a
+    store without paging in trace data.
+    """
+    header, _ = _read_header(Path(path))
+    return header
 
 
 class TraceStore:
@@ -382,6 +423,97 @@ class TraceStore:
         )
         artifact.save(path)
         return artifact
+
+    # -- maintenance ---------------------------------------------------
+    def artifacts(self) -> list[dict]:
+        """Describe every entry in the store directory, newest first.
+
+        Each row carries ``name`` (file stem), ``path``, ``bytes``,
+        ``age_days``, and a ``status``: ``current`` (valid, this code
+        version), ``stale`` (valid, older code version), or
+        ``corrupt`` (fails header validation, or already quarantined).
+        Valid artifacts also report ``workload``, ``accesses`` and
+        ``runs`` from the header.  Headers only — no trace columns are
+        read, so listing a store of multi-GB artifacts stays cheap.
+        """
+        if not self.directory.is_dir():
+            return []
+        rows = []
+        now = time.time()
+        paths = sorted(self.directory.glob("*.trace")) + sorted(
+            self.directory.glob("*.corrupt")
+        )
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            row = {
+                "name": path.name,
+                "path": str(path),
+                "bytes": int(stat.st_size),
+                "age_days": max(0.0, (now - stat.st_mtime) / 86400.0),
+            }
+            if path.suffix == ".corrupt":
+                row["status"] = "corrupt"
+            else:
+                try:
+                    header = read_artifact_header(path)
+                except ArtifactError:
+                    row["status"] = "corrupt"
+                else:
+                    row["status"] = (
+                        "current"
+                        if header.get("code_version") == self.version
+                        else "stale"
+                    )
+                    row["workload"] = header.get("workload", "")
+                    row["accesses"] = int(header.get("num_accesses", 0))
+                    row["runs"] = int(header.get("num_runs", 0))
+            rows.append(row)
+        rows.sort(key=lambda r: r["age_days"])
+        return rows
+
+    def prune(self, max_age_days: float = 30.0) -> int:
+        """Remove aged debris: stale/corrupt artifacts and tmp leftovers.
+
+        Current-code-version artifacts are never pruned regardless of
+        age — they are still this build's cache.  Returns the number of
+        files removed.
+        """
+        removed = 0
+        for row in self.artifacts():
+            if row["status"] == "current" or row["age_days"] < max_age_days:
+                continue
+            try:
+                os.unlink(row["path"])
+                removed += 1
+            except OSError:
+                pass
+        if self.directory.is_dir():
+            now = time.time()
+            for path in self.directory.glob("*.tmp.*"):
+                try:
+                    if (now - path.stat().st_mtime) / 86400.0 >= max_age_days:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self) -> int:
+        """Remove every artifact, quarantine file, and tmp leftover."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for pattern in ("*.trace", "*.corrupt", "*.tmp.*"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     @staticmethod
     def _quarantine(path: Path) -> None:

@@ -511,6 +511,114 @@ class _TraceLength:
         return self.n
 
 
+# ----------------------------------------------------------------------
+# Sharded execution: the multicore decomposition of one sweep plan
+# ----------------------------------------------------------------------
+
+def plan_shards(items, jobs: int):
+    """Partition sweep items into independent shard work lists.
+
+    ``items`` is a sequence whose elements carry their SoC as the last
+    tuple field (e.g. ``(index, soc)`` or ``(index, label, soc)``).
+    Configs sharing an L1 geometry land in the same shard, so each
+    shard's worker runs that L1 pass exactly once — the same sharing the
+    single-process engine gets from :class:`_SharedOutcomes`.  When
+    there are fewer distinct L1 geometries than worker slots, the
+    largest groups split in half (each half redundantly recomputes one
+    L1 pass, but the LLC and timing work — the bulk of a sweep —
+    parallelizes).
+
+    Deterministic: the same items and ``jobs`` always produce the same
+    plan, in the same order, so fault plans can key on stable shard
+    names and reruns schedule identically.
+    """
+    items = list(items)
+    if not items:
+        return []
+    groups: dict = {}
+    for item in items:
+        groups.setdefault(_SharedOutcomes._key(item[-1].l1), []).append(item)
+    shards = list(groups.values())
+    want = min(max(int(jobs), 1), len(items))
+    while len(shards) < want:
+        shards.sort(key=len, reverse=True)  # stable: ties keep plan order
+        biggest = shards[0]
+        if len(biggest) < 2:
+            break
+        half = (len(biggest) + 1) // 2
+        shards[0:1] = [biggest[:half], biggest[half:]]
+    shards.sort(key=lambda shard: shard[0][0])
+    return shards
+
+
+class ShardEvaluator:
+    """Per-process executor for shards of one sweep plan.
+
+    A pool worker builds one of these over the memory-mapped artifact's
+    trace and reuses it across every shard dispatched to the worker, so
+    shards sharing an L1 geometry (a split group) share passes exactly
+    like the single-process engine.  Results flow through the same
+    ``_hierarchy_results`` / ``_timing_results`` pour-and-``_finish``
+    path as :func:`sweep_batch`, so per-config stats, timings, and
+    published ``sim.cache.*`` / ``sim.timing.*`` counters are
+    bit-identical to it (and therefore to serial replay).
+
+    What is deliberately *not* published here: the plan-level
+    ``sim.replay_batch.*`` records.  Those belong to the dispatching
+    parent (:func:`publish_sweep_plan`) exactly once per sweep, so a
+    parallel run's merged registry equals the single-process batched
+    registry instead of counting one batch per shard.
+    """
+
+    def __init__(
+        self,
+        trace: MemoryTrace,
+        params: TimingParameters | None = None,
+        instructions_per_access: float = 2.0,
+    ):
+        self.outcomes = _SharedOutcomes(trace)
+        self.params = params or TimingParameters()
+        self.instructions_per_access = instructions_per_access
+
+    def evaluate(
+        self,
+        socs,
+        flush: bool = True,
+        instructions_hint: float = 0.0,
+        strict: bool | None = None,
+    ):
+        """``(stats, timings)`` for this shard's configs, in input order."""
+        socs = list(socs)
+        if not socs:
+            return [], []
+        strict = resolve_strict(strict)
+        recorder = get_recorder()
+        simulators = [TimingSimulator(soc, self.params) for soc in socs]
+        with recorder.span("sim.cache.replay_shard"):
+            stats = _hierarchy_results(
+                self.outcomes, socs, flush, instructions_hint, recorder, strict
+            )
+        with recorder.span("sim.timing.replay_shard"):
+            timings = _timing_results(
+                self.outcomes, simulators, self.instructions_per_access,
+                recorder, strict,
+            )
+        return stats, timings
+
+
+def publish_sweep_plan(recorder, n_configs: int, num_runs: int, shared: bool = True) -> None:
+    """The two plan-level batch records a sharded sweep's parent owns.
+
+    :func:`sweep_batch` publishes one ``sim.replay_batch.*`` record per
+    engine (cache, then timing — the latter always a shared-trace hit).
+    When the shards run in pool workers, the parent publishes these
+    records exactly once over the whole plan, so the merged registry is
+    identical to a single-process batched sweep of the same configs.
+    """
+    _publish_batch(recorder, n_configs, num_runs, shared)
+    _publish_batch(recorder, n_configs, num_runs, True)
+
+
 def sweep_batch(
     trace: MemoryTrace,
     socs,
@@ -570,6 +678,9 @@ def timing_batch_for_socs(
 
 
 __all__ = [
+    "ShardEvaluator",
+    "plan_shards",
+    "publish_sweep_plan",
     "replay_batch",
     "replay_timing_batch",
     "sweep_batch",

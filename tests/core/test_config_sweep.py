@@ -76,10 +76,21 @@ class TestConfigSweep:
         parallel = ConfigSweep(artifact).evaluate(socs, batch=False, jobs=2)
         assert parallel.rows == expected.rows
 
-    def test_parallel_requires_on_disk_artifact(self):
+    def test_parallel_autosaves_in_memory_artifact(self, tmp_path):
+        """An in-memory artifact no longer blocks ``jobs > 1`` — the sweep
+        saves it into ``trace_dir`` so workers can memory-map it, and the
+        rows stay identical to a single-process run."""
         artifact = make_artifact()  # never saved
-        with pytest.raises(ValueError, match="on-disk artifact"):
-            ConfigSweep(artifact).evaluate(small_grid(), batch=False, jobs=2)
+        socs = small_grid()
+        expected = ConfigSweep(make_artifact()).evaluate(socs, batch=False)
+        with recording() as obs:
+            result = ConfigSweep(artifact, trace_dir=tmp_path).evaluate(
+                socs, batch=False, jobs=2
+            )
+        assert result.rows == expected.rows
+        assert artifact.path is not None
+        assert artifact.path.parent == tmp_path
+        assert obs.counters.as_dict()["sim.artifact.autosaves"] == 1
 
     def test_duplicate_geometries_rejected(self):
         artifact = make_artifact()

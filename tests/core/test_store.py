@@ -535,3 +535,54 @@ class TestCompaction:
         assert SegmentStore(tmp_path, key="mine", prefix="seg").entries() == {
             "keep": 1
         }
+
+
+class TestAutoCompaction:
+    def test_fresh_store_is_below_threshold(self, tmp_path):
+        store = SegmentStore(tmp_path, key="k", prefix="seg")
+        store.append("a", 1)
+        assert store.dead_ratio() < 0.6
+        assert store.maybe_compact() is None
+
+    def test_rewrite_churn_trips_the_threshold(self, tmp_path):
+        store = SegmentStore(tmp_path, key="k", prefix="seg")
+        for i in range(20):
+            store.append("hot", {"round": i, "pad": "x" * 64})
+        dead, total = store.dead_bytes()
+        assert dead / total > 0.6  # 19 of 20 writes are superseded
+        with recording() as rec:
+            stats = store.maybe_compact()
+        assert isinstance(stats, CompactionStats)
+        assert stats.entries == 1
+        assert rec.counters.get("core.store.auto_compactions") == 1
+        assert rec.counters.get("core.store.compactions") == 1
+        # The rewrite reclaimed the churn: next check is a no-op.
+        assert store.dead_ratio() < 0.6
+        assert store.maybe_compact() is None
+        assert SegmentStore(tmp_path, key="k", prefix="seg").entries() == {
+            "hot": {"round": 19, "pad": "x" * 64}
+        }
+
+    def test_compact_ratio_none_disables(self, tmp_path):
+        store = SegmentStore(tmp_path, key="k", prefix="seg",
+                             compact_ratio=None)
+        for i in range(20):
+            store.append("hot", i)
+        with recording() as rec:
+            assert store.maybe_compact() is None
+        assert rec.counters.get("core.store.auto_compactions") == 0
+
+    def test_memo_cache_auto_compacts(self, tmp_path):
+        from repro.core.memo import MemoCache
+
+        cache = MemoCache(directory=tmp_path, compact_ratio=0.5)
+        key = cache.key("unit.fn", {"p": 1})
+        for i in range(20):
+            cache.put(key, {"value": i, "pad": "y" * 64})
+        with recording() as rec:
+            stats = cache.maybe_compact()
+        assert stats is not None
+        assert rec.counters.get("core.store.auto_compactions") == 1
+        assert cache.get(key)["value"] == 19
+        assert cache.maybe_compact() is None
+        cache.close()

@@ -122,6 +122,37 @@ class TestCommands:
         resumed = capsys.readouterr().out
         assert resumed.replace("serial/cached", "batched") == first
 
+    def test_cachesweep_parallel_rows_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        args = ["cachesweep", "--workload", "tensorflow.gemm_packed",
+                "--trace-dir", store, "--no-cache"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_trace_list_prune_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        assert main(["cachesweep", "--workload", "tensorflow.gemm_packed",
+                     "--trace-dir", store, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "list", "--dir", store]) == 0
+        listing = capsys.readouterr().out
+        assert "tensorflow.gemm_packed" in listing
+        assert "current" in listing
+        # The current version's artifact survives an age prune...
+        assert main(["trace", "prune", "--dir", store,
+                     "--max-age-days", "0"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "list", "--dir", store]) == 0
+        assert "tensorflow.gemm_packed" in capsys.readouterr().out
+        # ...but clear removes everything.
+        assert main(["trace", "clear", "--dir", store]) == 0
+        capsys.readouterr()
+        assert main(["trace", "list", "--dir", store]) == 0
+        assert "tensorflow.gemm_packed" not in capsys.readouterr().out
+
 
 class TestObservabilityFlags:
     def test_evaluate_writes_manifest_and_trace(self, tmp_path, capsys):
