@@ -1,0 +1,227 @@
+"""Fleet smoke: a loopback gateway + worker fleet must match a serial run.
+
+CI runs this as a standalone script::
+
+    PYTHONPATH=src python benchmarks/fleet_smoke.py
+
+It boots the whole distributed stack through the CLI — two single-slot
+HTTP workers (``repro fleet worker``), a gateway over them (``repro
+fleet serve``) — then asserts:
+
+* ``repro fleet status`` exits 0 with every worker alive;
+* a ``cachesweep --fleet`` run over the fleet is **byte-identical** on
+  stdout to the same sweep run serially with ``--jobs 1`` — the
+  bit-identity contract at the CLI level;
+* a second fleet run with the shared gateway cache enabled answers from
+  the cache (``fleet.cache.hits`` in its manifest) with byte-identical
+  stdout — the promoted MemoCache short-circuits recomputation without
+  changing the answer.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO / "benchmarks" / "BENCH_fleet_smoke.json"
+WORKLOAD = "chrome.compositing_linear"
+
+
+def _wait_for_port_file(path: Path, timeout_s: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise RuntimeError("no port file at %s after %gs" % (path, timeout_s))
+
+
+def _wait_healthy(port: int, timeout_s: float = 30.0) -> None:
+    url = "http://127.0.0.1:%d/health" % port
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                if json.loads(response.read())["ok"]:
+                    return
+        except Exception:
+            pass
+        time.sleep(0.05)
+    raise RuntimeError("no /health from port %d after %gs" % (port, timeout_s))
+
+
+def _counters(manifest_dir: Path) -> dict:
+    return json.loads((manifest_dir / "manifest.json").read_text())["counters"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as scratch:
+        scratch = Path(scratch)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["REPRO_CACHE_DIR"] = str(scratch / "cache")
+        env.pop("REPRO_STRICT", None)
+        env.pop("REPRO_FAULT_PLAN", None)
+        procs = []
+
+        def spawn(argv, log_name):
+            log = (scratch / log_name).open("w")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro"] + argv,
+                cwd=REPO, env=env, stdout=log, stderr=subprocess.STDOUT,
+            )
+            procs.append(proc)
+            return proc
+
+        def run(argv, timeout=600):
+            return subprocess.run(
+                [sys.executable, "-m", "repro"] + argv,
+                cwd=REPO, env=env, capture_output=True, text=True,
+                timeout=timeout,
+            )
+
+        try:
+            # Two real single-slot workers on ephemeral ports.
+            worker_ports = []
+            for i in range(2):
+                port_file = scratch / ("worker-%d.port" % i)
+                spawn(
+                    ["fleet", "worker", "--port", "0",
+                     "--port-file", str(port_file)],
+                    "worker-%d.log" % i,
+                )
+                worker_ports.append(_wait_for_port_file(port_file))
+            for port in worker_ports:
+                _wait_healthy(port)
+
+            # A gateway over them, then the full manifest clients use.
+            workers_manifest = scratch / "workers.json"
+            workers_manifest.write_text(json.dumps({
+                "workers": [
+                    {"host": "127.0.0.1", "port": port}
+                    for port in worker_ports
+                ],
+            }))
+            gw_port_file = scratch / "gateway.port"
+            spawn(
+                ["fleet", "serve", "--fleet", str(workers_manifest),
+                 "--port", "0", "--port-file", str(gw_port_file),
+                 "--cache-dir", str(scratch / "gateway-cache")],
+                "gateway.log",
+            )
+            gw_port = _wait_for_port_file(gw_port_file)
+            _wait_healthy(gw_port)
+            manifest = scratch / "fleet.json"
+            manifest.write_text(json.dumps({
+                "workers": [
+                    {"host": "127.0.0.1", "port": port}
+                    for port in worker_ports
+                ],
+                "gateway": {"host": "127.0.0.1", "port": gw_port},
+            }))
+
+            status = run(["fleet", "status", "--fleet", str(manifest)])
+            print(status.stdout)
+            if status.returncode != 0:
+                print(status.stderr, file=sys.stderr)
+                print("FAIL: fleet status exited %d" % status.returncode)
+                return 1
+
+            # Bit-identity: serial local vs fleet-dispatched stdout.
+            base = ["cachesweep", "--workload", WORKLOAD, "--no-cache",
+                    "--max-retries", "3"]
+            t0 = time.monotonic()
+            local = run(base + ["--jobs", "1",
+                                "--trace-dir", str(scratch / "local-traces")])
+            local_s = time.monotonic() - t0
+            t0 = time.monotonic()
+            fleet = run(base + ["--jobs", "2", "--fleet", str(manifest),
+                                "--trace-dir", str(scratch / "fleet-traces")])
+            fleet_s = time.monotonic() - t0
+            for name, proc in (("local", local), ("fleet", fleet)):
+                if proc.returncode != 0:
+                    print(proc.stderr, file=sys.stderr)
+                    print("FAIL: %s cachesweep exited %d"
+                          % (name, proc.returncode))
+                    return 1
+            if fleet.stdout != local.stdout:
+                print("FAIL: fleet sweep diverged from serial sweep")
+                print("--- local ---\n%s" % local.stdout)
+                print("--- fleet ---\n%s" % fleet.stdout)
+                return 1
+
+            # Shared gateway cache: compute once, hit on the second run.
+            # The hit returns the memoized document verbatim, so its
+            # stdout must be byte-identical to the serial baseline; the
+            # counters prove the data came from the gateway cache.
+            cached = ["cachesweep", "--workload", WORKLOAD, "--jobs", "2",
+                      "--fleet", str(manifest), "--max-retries", "3",
+                      "--trace-dir", str(scratch / "fleet-traces")]
+            warm = run(cached + ["--manifest", str(scratch / "warm-obs")])
+            t0 = time.monotonic()
+            hit = run(cached + ["--manifest", str(scratch / "hit-obs")])
+            hit_s = time.monotonic() - t0
+            for name, proc in (("warm", warm), ("hit", hit)):
+                if proc.returncode != 0:
+                    print(proc.stderr, file=sys.stderr)
+                    print("FAIL: %s cached run exited %d"
+                          % (name, proc.returncode))
+                    return 1
+            if _counters(scratch / "warm-obs").get("fleet.cache.puts", 0) < 1:
+                print("FAIL: warm run never published to the gateway cache")
+                return 1
+            if _counters(scratch / "hit-obs").get("fleet.cache.hits", 0) < 1:
+                print("FAIL: second run did not hit the gateway cache")
+                return 1
+            hit_stdout = "".join(
+                line for line in hit.stdout.splitlines(keepends=True)
+                if not line.startswith("wrote manifest ")
+            )
+            if hit_stdout != local.stdout:
+                print("FAIL: cached answer diverged from serial answer")
+                print("--- local ---\n%s" % local.stdout)
+                print("--- cached ---\n%s" % hit_stdout)
+                return 1
+
+            record = {
+                "workers": 2,
+                "gateway": True,
+                "workload": WORKLOAD,
+                "configs": sum(
+                    1 for line in local.stdout.splitlines()
+                    if line.startswith("  l1=")
+                ),
+                "serial_s": round(local_s, 3),
+                "fleet_s": round(fleet_s, 3),
+                "cache_hit_s": round(hit_s, 3),
+                "identical": True,
+            }
+            RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+            print(
+                "fleet smoke OK: 2 workers + gateway, fleet stdout "
+                "byte-identical to serial, gateway cache hit on rerun "
+                "(serial %.2fs, fleet %.2fs, cached %.2fs; record -> %s)"
+                % (local_s, fleet_s, hit_s, RECORD_PATH.name)
+            )
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

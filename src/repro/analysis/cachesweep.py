@@ -91,6 +91,7 @@ def run_sweep(
     resume: bool = False,
     timing_params=None,
     instructions_per_access: float = 2.0,
+    pool_factory=None,
 ) -> dict:
     """Sweep one workload's trace across cache geometries.
 
@@ -111,8 +112,10 @@ def run_sweep(
         cache: optional :class:`~repro.core.memo.MemoCache`; hits skip
             the replay entirely.  Degraded (quarantine) results are
             never memoized.
-        jobs / retry_policy / checkpoint / resume: forwarded to
-            :class:`~repro.core.runner.ConfigSweep.evaluate`.
+        jobs / retry_policy / checkpoint / resume / pool_factory:
+            forwarded to :class:`~repro.core.runner.ConfigSweep.evaluate`
+            (``pool_factory`` is the executor seam — e.g. a fleet of
+            remote workers via :func:`repro.fleet.fleet_pool_factory`).
     """
     from repro.core.runner import ConfigSweep
     from repro.sim.artifact import TraceStore
@@ -154,6 +157,7 @@ def run_sweep(
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             resume=resume,
+            pool_factory=pool_factory,
         )
         document = {
             "workload": workload,
@@ -199,12 +203,16 @@ def _sweep_workload_in_worker(job):
     from repro.core.resilience import maybe_inject_fault
     from repro.sim.artifact import TraceStore
 
-    name, checkpoint = job
+    name, checkpoint, inner_jobs = job
     maybe_inject_fault(name)
     s = _WORKLOAD_STATE
     store = TraceStore(s["store_dir"], version=s["store_version"])
     cache = None
-    if s["cache_dir"] is not None:
+    if s.get("cache_url") is not None:
+        from repro.fleet.cache import RemoteMemoCache
+
+        cache = RemoteMemoCache(s["cache_url"], version=s["cache_version"])
+    elif s["cache_dir"] is not None:
         cache = MemoCache(
             s["cache_dir"],
             version=s["cache_version"],
@@ -217,7 +225,7 @@ def _sweep_workload_in_worker(job):
             batch=s["batch"],
             store=store,
             cache=cache,
-            jobs=s["inner_jobs"],
+            jobs=inner_jobs,
             retry_policy=s["retry_policy"],
             checkpoint=checkpoint,
             resume=s["resume"],
@@ -238,6 +246,24 @@ def _sweep_workload_in_worker_observed(job):
     return document, recorder.snapshot()
 
 
+def plan_inner_jobs(jobs: int, n_workloads: int) -> list[int]:
+    """Distribute a ``--jobs`` budget across workload fan-out workers.
+
+    Each of the ``n_workloads`` outer workers gets at least one inner
+    job; surplus cores (``jobs > n_workloads``) are spread
+    deterministically, the first ``jobs % n_workloads`` workloads (in
+    list order) receiving one extra.  ``sum(plan) == max(jobs,
+    n_workloads)``, so the sweep never idles cores it was granted nor
+    oversubscribes beyond the rounding a floor split requires.
+    """
+    n_workloads = max(int(n_workloads), 1)
+    jobs = max(int(jobs), 1)
+    if jobs <= n_workloads:
+        return [1] * n_workloads
+    base, extra = divmod(jobs, n_workloads)
+    return [base + 1 if i < extra else base for i in range(n_workloads)]
+
+
 def sweep_all(
     workloads=None,
     socs=None,
@@ -250,6 +276,7 @@ def sweep_all(
     resume: bool = False,
     timing_params=None,
     instructions_per_access: float = 2.0,
+    pool_factory=None,
 ) -> dict[str, dict]:
     """:func:`run_sweep` for several workloads sharing one store.
 
@@ -258,12 +285,18 @@ def sweep_all(
     :class:`~repro.core.resilience.ResilientMap` so crash/hang/retry
     semantics match every other sweep; a workload that exhausts its
     retries contributes a failure document instead of aborting the
-    rest.  With a single workload, ``jobs`` flows into the sharded
-    batch engine (:meth:`~repro.core.runner.ConfigSweep.evaluate`)
-    instead.  ``checkpoint`` is a journal *path prefix*: with several
-    workloads each gets its own ``<prefix>.<workload>`` journal (each
-    sweep has its own artifact hash, and a shared file would rotate
-    itself stale on every workload switch).
+    rest.  Surplus jobs beyond the workload count flow into each
+    workload's sharded batch engine (:func:`plan_inner_jobs`), so
+    ``--workload all --jobs 8`` with 3 workloads still uses 8 cores.
+    With a single workload, ``jobs`` flows into the sharded batch
+    engine (:meth:`~repro.core.runner.ConfigSweep.evaluate`) directly.
+    ``checkpoint`` is a journal *path prefix*: with several workloads
+    each gets its own ``<prefix>.<workload>`` journal (each sweep has
+    its own artifact hash, and a shared file would rotate itself stale
+    on every workload switch).  ``pool_factory`` is the executor seam
+    (forwarded to the fan-out map, or to the shard map for a single
+    workload) — a fleet factory here runs the sweep across remote
+    workers with identical retry/quarantine/checkpoint semantics.
     """
     from repro.sim.artifact import TraceStore
 
@@ -281,6 +314,7 @@ def sweep_all(
         return _sweep_all_parallel(
             names, socs, batch, store, cache, jobs, retry_policy,
             checkpoint_for, resume, timing_params, instructions_per_access,
+            pool_factory,
         )
     return {
         name: run_sweep(
@@ -295,6 +329,7 @@ def sweep_all(
             resume=resume,
             timing_params=timing_params,
             instructions_per_access=instructions_per_access,
+            pool_factory=pool_factory,
         )
         for name in names
     }
@@ -303,39 +338,48 @@ def sweep_all(
 def _sweep_all_parallel(
     names, socs, batch, store, cache, jobs, retry_policy,
     checkpoint_for, resume, timing_params, instructions_per_access,
+    pool_factory=None,
 ):
     from repro.core.resilience import ResilientMap
 
     recorder = get_recorder()
     observe = recorder.enabled
+    cache_url = getattr(cache, "base_url", None)
     settings = {
         "socs": list(socs) if socs is not None else None,
         "batch": batch,
         "store_dir": str(store.directory),
         "store_version": store.version,
-        "cache_dir": str(cache.directory) if cache is not None else None,
+        "cache_url": cache_url,
+        "cache_dir": (
+            str(cache.directory)
+            if cache is not None and cache_url is None else None
+        ),
         "cache_version": cache.version if cache is not None else None,
         "cache_flush_every": (
-            cache._store.flush_every if cache is not None else 1
+            cache._store.flush_every
+            if cache is not None and cache_url is None else 1
         ),
-        # Workload workers already own the cores; nested shard pools
-        # would only thrash.
-        "inner_jobs": 1,
         "retry_policy": retry_policy,
         "resume": resume,
         "timing_params": timing_params,
         "instructions_per_access": instructions_per_access,
     }
     jobs_used = min(jobs, len(names))
+    inner_jobs = plan_inner_jobs(jobs, len(names))
     values, failures = ResilientMap(
         _sweep_workload_in_worker_observed if observe else _sweep_workload_in_worker,
-        [(name, checkpoint_for(name)) for name in names],
+        [
+            (name, checkpoint_for(name), inner)
+            for name, inner in zip(names, inner_jobs)
+        ],
         names=list(names),
         policy=retry_policy,
         jobs=jobs_used,
         initializer=_init_workload_worker,
         initargs=(settings, observe),
         raise_failures=retry_policy is None,
+        pool_factory=pool_factory,
     ).run()
     documents = {}
     for name, value in zip(names, values):

@@ -85,6 +85,7 @@ def all_results(
     retry_policy=None,
     checkpoint=None,
     resume: bool = False,
+    pool_factory=None,
 ) -> list[FigureResult]:
     """Regenerate every experiment.
 
@@ -101,6 +102,10 @@ def all_results(
             appended as they finish.
         resume: reload journal entries (same code version) instead of
             regenerating them.
+        pool_factory: optional executor seam forwarded to
+            :class:`~repro.core.resilience.ResilientMap` (e.g.
+            :func:`repro.fleet.fleet_pool_factory` to regenerate on a
+            worker fleet).
     """
     from repro.core.resilience import SweepCheckpoint, sweep_key
     from repro.obs.recorder import get_recorder
@@ -115,7 +120,7 @@ def all_results(
         )
     try:
         return _all_results(
-            recorder, journal, cache, jobs, retry_policy, resume
+            recorder, journal, cache, jobs, retry_policy, resume, pool_factory
         )
     finally:
         if journal is not None and journal is not checkpoint:
@@ -124,7 +129,9 @@ def all_results(
             cache.flush()
 
 
-def _all_results(recorder, journal, cache, jobs, retry_policy, resume):
+def _all_results(
+    recorder, journal, cache, jobs, retry_policy, resume, pool_factory=None
+):
     from repro.core.resilience import ResilientMap
 
     results: dict[int, FigureResult] = {}
@@ -170,6 +177,7 @@ def _all_results(recorder, journal, cache, jobs, retry_policy, resume):
                 jobs=min(jobs, len(pending)) if parallel else 1,
                 on_success=on_success,
                 raise_failures=retry_policy is None,
+                pool_factory=pool_factory if parallel else None,
             )
             values, failures = mapper.run()
             if parallel and observed:
@@ -286,6 +294,9 @@ def render_markdown(
     store = store if store is not None else load_store_baseline()
     if store:
         lines.append(_render_store_perf_section(store))
+    fleet = load_fleet_baseline()
+    if fleet:
+        lines.append(_render_fleet_section(fleet))
     return "\n".join(lines) + "\n"
 
 
@@ -465,6 +476,69 @@ def _render_store_perf_section(record: dict) -> str:
         "perf-smoke `bench_store.py --quick` gate).\n"
         % record.get("headline_write_speedup", 0.0)
     )
+    return "\n".join(lines)
+
+
+#: Where the fleet smoke records its loopback-fleet verification.
+FLEET_BASELINE_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_fleet_smoke.json"
+)
+
+
+def load_fleet_baseline(path: str | Path | None = None) -> dict | None:
+    """The committed fleet-smoke verification record, if present."""
+    target = Path(path) if path is not None else FLEET_BASELINE_PATH
+    try:
+        with open(target) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def _render_fleet_section(record: dict) -> str:
+    lines = ["## Distributed sweeps — loopback fleet verification\n"]
+    lines.append(
+        "Recorded by `benchmarks/fleet_smoke.py` (re-run it to refresh "
+        "`benchmarks/BENCH_fleet_smoke.json`; CI's `fleet-smoke` job "
+        "runs it on every push).  The smoke boots the whole distributed "
+        "stack through the CLI — %d single-slot HTTP workers plus a "
+        "gateway (`python -m repro fleet {worker,serve,status}`) — then "
+        "requires a `--fleet` sweep of `%s` (%d geometries) to be "
+        "**byte-identical on stdout** to a serial `--jobs 1` run, and a "
+        "rerun to answer from the gateway's shared result cache "
+        "(`fleet.cache.hits` in its manifest) without changing a byte.  "
+        "The fleet here is loopback on one host, so the wall-clock "
+        "column measures dispatch overhead, not distributed speedup — "
+        "the contract under test is identity, and `tests/fleet/` pins "
+        "the same contract over Hypothesis-drawn sweeps plus a fault "
+        "suite (workers SIGKILLed mid-shard, whole fleet dead, gateway "
+        "restart + `--resume`, hung workers past `timeout_s`).\n"
+        % (
+            record.get("workers", 0),
+            record.get("workload", "?"),
+            record.get("configs", 0),
+        )
+    )
+    lines.append("| run | wall clock (s) | identical to serial |")
+    lines.append("|---|---|---|")
+    lines.append("| serial `--jobs 1` | %.2f | — |" % record.get("serial_s", 0.0))
+    lines.append(
+        "| fleet (2 workers + gateway) | %.2f | %s |"
+        % (
+            record.get("fleet_s", 0.0),
+            "yes" if record.get("identical") else "NO",
+        )
+    )
+    lines.append(
+        "| rerun (gateway cache hit) | %.2f | %s |"
+        % (
+            record.get("cache_hit_s", 0.0),
+            "yes" if record.get("identical") else "NO",
+        )
+    )
+    lines.append("")
     return "\n".join(lines)
 
 

@@ -19,6 +19,9 @@
                           [--max-age-days DAYS]
     python -m repro trace {list|prune|clear} [--dir PATH]
                           [--max-age-days DAYS]
+    python -m repro fleet {worker|serve|status} [--fleet PATH]
+                          [--host HOST] [--port N] [--port-file PATH]
+                          [--cache-dir DIR]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -138,10 +141,41 @@ def _retry_policy(args):
     )
 
 
-def _memo_cache(args):
-    """The MemoCache the cache flags ask for (or None with --no-cache)."""
+def _add_fleet_flag(parser) -> None:
+    parser.add_argument(
+        "--fleet", metavar="PATH",
+        help="dispatch parallel work to the worker fleet described by "
+        "this JSON manifest (see 'python -m repro fleet') instead of "
+        "local worker processes; --jobs left at 1 defaults to the "
+        "fleet's worker count",
+    )
+
+
+def _fleet_setup(args):
+    """(pool_factory, manifest) for ``--fleet``, or ``(None, None)``."""
+    if not getattr(args, "fleet", None):
+        return None, None
+    from repro.fleet import FleetManifest, fleet_pool_factory
+
+    manifest = FleetManifest.load(args.fleet)
+    if getattr(args, "jobs", 1) == 1:
+        args.jobs = max(len(manifest.workers), 1)
+    return fleet_pool_factory(manifest), manifest
+
+
+def _memo_cache(args, fleet_manifest=None):
+    """The memo cache the cache flags ask for (or None with --no-cache).
+
+    With a fleet manifest that names a gateway, the cache is the
+    gateway's shared one (:class:`repro.fleet.cache.RemoteMemoCache`),
+    so every fleet client sees every other client's finished sweeps.
+    """
     if args.no_cache:
         return None
+    if fleet_manifest is not None and fleet_manifest.gateway is not None:
+        from repro.fleet.cache import RemoteMemoCache
+
+        return RemoteMemoCache(fleet_manifest.gateway.base_url)
     from repro.core.memo import MemoCache
 
     if getattr(args, "cache_flush_every", None) is not None:
@@ -157,7 +191,8 @@ def _memo_cache(args):
 def _cmd_figures(args) -> int:
     from repro.analysis.report import all_results, render_markdown
 
-    cache = _memo_cache(args)
+    pool_factory, fleet_manifest = _fleet_setup(args)
+    cache = _memo_cache(args, fleet_manifest)
     with _obs_session(args) as recorder:
         results = all_results(
             jobs=args.jobs,
@@ -165,6 +200,7 @@ def _cmd_figures(args) -> int:
             retry_policy=_retry_policy(args),
             checkpoint=args.checkpoint,
             resume=args.resume,
+            pool_factory=pool_factory,
         )
         if args.write:
             with open(args.write, "w") as f:
@@ -228,6 +264,7 @@ def _cmd_evaluate(args) -> int:
         print("unknown workload %r" % args.workload, file=sys.stderr)
         return 2
     retry_policy = _retry_policy(args)
+    pool_factory, _fleet_manifest = _fleet_setup(args)
     with _obs_session(args) as recorder:
         result = ExperimentRunner().evaluate(
             targets,
@@ -235,6 +272,7 @@ def _cmd_evaluate(args) -> int:
             retry_policy=retry_policy,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            pool_factory=pool_factory,
         )
         print(
             "%-26s %8s %8s %9s %9s" % ("kernel", "E core", "E acc", "S core", "S acc")
@@ -317,7 +355,8 @@ def _cmd_cachesweep(args) -> int:
             file=sys.stderr,
         )
         return 2
-    cache = _memo_cache(args)
+    pool_factory, fleet_manifest = _fleet_setup(args)
+    cache = _memo_cache(args, fleet_manifest)
     store = TraceStore(args.trace_dir) if args.trace_dir else TraceStore()
     retry_policy = _retry_policy(args)
     with _obs_session(args) as recorder:
@@ -333,6 +372,7 @@ def _cmd_cachesweep(args) -> int:
             retry_policy=retry_policy,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            pool_factory=pool_factory,
         )
         for name, document in documents.items():
             artifact = document["artifact"] or "(none)"
@@ -407,7 +447,13 @@ def _cmd_cache(args) -> int:
             % (removed, days, cache.directory)
         )
     else:
-        stats = cache.compact(max_age_days=args.max_age_days)
+        from repro.core.store import CompactionBusy
+
+        try:
+            stats = cache.compact(max_age_days=args.max_age_days)
+        except CompactionBusy as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
         print(
             "compacted %s: %d live entries (%d segment(s) merged, "
             "%d legacy file(s) folded), %d file(s) removed, "
@@ -460,6 +506,86 @@ def _cmd_trace(args) -> int:
         removed = store.clear()
         print("cleared %d file(s) from %s" % (removed, store.directory))
     return 0
+
+
+def _cmd_fleet(args) -> int:
+    if args.action == "worker":
+        from repro.fleet.worker import serve_worker
+
+        serve_worker(
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else 0,
+            port_file=args.port_file,
+        )
+        return 0
+    if not args.fleet:
+        print("error: fleet %s requires --fleet PATH" % args.action, file=sys.stderr)
+        return 2
+    from repro.fleet.manifest import FleetManifest
+
+    manifest = FleetManifest.load(args.fleet)
+    if args.action == "serve":
+        from repro.fleet.gateway import serve_gateway
+
+        gw = manifest.gateway
+        serve_gateway(
+            manifest,
+            host=args.host or (gw.host if gw is not None else "127.0.0.1"),
+            port=args.port
+            if args.port is not None
+            else (gw.port if gw is not None else 0),
+            cache_dir=args.cache_dir,
+            port_file=args.port_file,
+        )
+        return 0
+    # status
+    from repro.fleet.wire import FleetTransportError, http_json
+
+    if manifest.gateway is not None:
+        url = manifest.gateway.base_url
+        try:
+            status, doc = http_json("GET", url + "/status", timeout=5.0)
+        except FleetTransportError as exc:
+            print("gateway %s unreachable: %s" % (url, exc), file=sys.stderr)
+            return 1
+        if status != 200 or not doc.get("ok"):
+            print("gateway %s unhealthy: %r" % (url, doc), file=sys.stderr)
+            return 1
+        cache = doc.get("cache", {})
+        print(
+            "gateway %s: pid %s, up %ss, cache entries %s"
+            % (url, doc.get("pid"), doc.get("uptime_s"), cache.get("entries"))
+        )
+        workers = doc.get("workers", [])
+    else:
+        workers = []
+        for spec in manifest.workers:
+            entry = {"url": spec.base_url, "weight": spec.weight, "health": None}
+            try:
+                status, health = http_json("GET", spec.base_url + "/health", timeout=5.0)
+                entry["alive"] = status == 200 and bool(health.get("ok"))
+                entry["health"] = health if entry["alive"] else None
+            except FleetTransportError:
+                entry["alive"] = False
+            workers.append(entry)
+    print("%-28s %6s %6s %6s %8s %10s" % ("worker", "weight", "alive", "busy", "pid", "completed"))
+    dead = 0
+    for entry in workers:
+        health = entry.get("health") or {}
+        alive = bool(entry.get("alive"))
+        dead += 0 if alive else 1
+        print(
+            "%-28s %6d %6s %6s %8s %10s"
+            % (
+                entry["url"],
+                entry.get("weight", 1),
+                "yes" if alive else "NO",
+                {True: "yes", False: "no"}.get(health.get("busy"), "-"),
+                health.get("pid", "-"),
+                health.get("completed", "-"),
+            )
+        )
+    return 1 if dead else 0
 
 
 def _cmd_characterize(args) -> int:
@@ -553,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_batch_flag(figures)
     _add_obs_flags(figures)
     _add_resilience_flags(figures)
+    _add_fleet_flag(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     export = sub.add_parser("export", help="export figure data as JSON")
@@ -569,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(evaluate)
     _add_resilience_flags(evaluate)
+    _add_fleet_flag(evaluate)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
     cachesweep = sub.add_parser(
@@ -604,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_batch_flag(cachesweep)
     _add_obs_flags(cachesweep)
     _add_resilience_flags(cachesweep)
+    _add_fleet_flag(cachesweep)
     cachesweep.set_defaults(fn=_cmd_cachesweep)
 
     cache_cmd = sub.add_parser(
@@ -647,6 +776,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="age cutoff for prune (default 30)",
     )
     trace_cmd.set_defaults(fn=_cmd_trace)
+
+    fleet = sub.add_parser(
+        "fleet", help="run or inspect the distributed sweep fleet"
+    )
+    fleet.add_argument(
+        "action", choices=["worker", "serve", "status"],
+        help="worker: run one single-slot HTTP worker; serve: run the "
+        "gateway (dispatch + shared result cache) for a manifest; "
+        "status: print fleet health",
+    )
+    fleet.add_argument(
+        "--fleet", metavar="PATH",
+        help="fleet manifest JSON (required for serve/status)",
+    )
+    fleet.add_argument(
+        "--host", metavar="HOST", default=None,
+        help="bind address (worker/serve; default 127.0.0.1 or the "
+        "manifest's gateway entry)",
+    )
+    fleet.add_argument(
+        "--port", type=int, metavar="N", default=None,
+        help="bind port (0 = ephemeral; default 0 for worker, the "
+        "manifest's gateway port for serve)",
+    )
+    fleet.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port to PATH once listening (for "
+        "launchers that bind ephemeral ports)",
+    )
+    fleet.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="gateway shared-cache directory (serve; default: "
+        "<package cache>/fleet)",
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
 
     characterize = sub.add_parser(
         "characterize", help="data-movement share per workload"

@@ -79,6 +79,16 @@ def default_cache_dir() -> Path:
 _MISS = object()
 
 
+def memo_key(name: str, config, version: str) -> str:
+    """The content address of a (name, config) entry at ``version``.
+
+    Shared by :class:`MemoCache` and the fleet's remote cache client so a
+    local run and a gateway-backed run address the same entries.
+    """
+    payload = json.dumps([name, config, version], sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
 class MemoCache:
     """A content-addressed store of JSON-serializable results.
 
@@ -123,10 +133,7 @@ class MemoCache:
             counters.add("core.memo.corrupt", n)
 
     def key(self, name: str, config=None) -> str:
-        payload = json.dumps(
-            [name, config, self.version], sort_keys=True, default=repr
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+        return memo_key(name, config, self.version)
 
     def _path(self, name: str, config) -> Path:
         """The legacy (pre-segment) per-entry document path."""
@@ -310,11 +317,17 @@ class MemoCache:
         rewrite ran (counted as ``core.store.auto_compactions``), else
         None.
         """
+        from repro.core.store import CompactionBusy
+
         if self._store.compact_ratio is None:
             return None
         if self._store.dead_ratio() <= self._store.compact_ratio:
             return None
-        stats = self.compact(max_age_days=max_age_days)
+        try:
+            stats = self.compact(max_age_days=max_age_days)
+        except CompactionBusy:
+            self._count("compact_busy")
+            return None
         self._count("auto_compactions")
         return stats
 
@@ -328,9 +341,11 @@ class MemoCache:
         ``*.corrupt`` (like a corrupt legacy document always was), and
         an unreadable legacy document is quarantined on the spot.  With
         ``max_age_days``, aged foreign-version files and debris are
-        pruned as :meth:`prune` would.  Requires no concurrent writers
-        (the same contract :meth:`clear` always had).  Returns the
-        :class:`~repro.core.store.CompactionStats`.
+        pruned as :meth:`prune` would.  Safe under concurrent writers:
+        compactors serialize on a cross-process lock
+        (:class:`~repro.core.store.CompactionBusy` when contended) and
+        blobs a live writer owns are skipped, not rewritten.  Returns
+        the :class:`~repro.core.store.CompactionStats`.
         """
         legacy: dict = {}
         remove: list = []

@@ -360,14 +360,33 @@ class ResilientMap:
         installs a handler that dumps a traceback to stderr before
         exiting — then SIGKILL if they linger.
 
-        Process discovery relies on the private
-        ``ProcessPoolExecutor._processes`` attribute; if a future Python
-        renames it, hung workers would be leaked, so finding no
-        processes is counted (``core.resilience.pool_kill_no_workers``)
-        rather than silently ignored.
+        Custom executors (the ``pool_factory`` seam) opt into teardown
+        explicitly: a callable ``kill()`` on the executor is preferred
+        and owns the whole teardown (e.g. :class:`repro.fleet.executor.
+        FleetExecutor` aborts its poll threads); failing that, a callable
+        ``processes()`` returns the worker handles to terminate.  Only
+        when neither protocol method exists does discovery fall back to
+        the private ``ProcessPoolExecutor._processes`` attribute — and
+        only when *that* is also absent (e.g. a future Python renames
+        it) is the blind teardown counted
+        (``core.resilience.pool_kill_no_workers``) rather than silently
+        ignored; a pool that genuinely has zero live workers is not a
+        discovery failure.
         """
-        processes = list((getattr(pool, "_processes", None) or {}).values())
-        if not processes:
+        kill = getattr(pool, "kill", None)
+        if callable(kill):
+            try:
+                kill()
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            return
+        discover = getattr(pool, "processes", None)
+        if callable(discover):
+            processes = list(discover())
+        elif hasattr(pool, "_processes"):
+            processes = list((pool._processes or {}).values())
+        else:
+            processes = []
             get_recorder().counters.add(
                 "core.resilience.pool_kill_no_workers", 1
             )

@@ -49,8 +49,10 @@ rewrite: committed entries (plus any legacy entries the caller folds
 in) are rewritten into a single fresh segment, segments containing
 corrupt frames are quarantined aside as ``*.corrupt`` instead of
 deleted, and aged foreign-key segments and debris are pruned.
-Compaction requires no concurrent writers (like ``clear()`` always
-has); live appenders write to per-process blobs, so concurrent
+Compaction is safe under concurrent writers: a pid-stamped lock file
+serializes compactors across processes, and segments owned by live
+foreign writers (the pid in the blob filename) are skipped rather than
+rewritten; live appenders write to per-process blobs, so concurrent
 *appends* from many processes never contend on one file.
 
 Everything publishes through the observability registry:
@@ -568,10 +570,37 @@ class CompactionStats:
     files_removed: int = 0  # every file deleted (segments, legacy, debris)
     quarantined: int = 0  # blobs set aside as *.corrupt, not deleted
     pruned: int = 0  # aged foreign-key/debris files removed
+    busy_skipped: int = 0  # blobs left alone: a live writer owns them
 
     @property
     def total_removed(self) -> int:
         return self.files_removed + self.quarantined
+
+
+class CompactionBusy(RuntimeError):
+    """Another process holds the store's compaction lock right now."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (conservative on EPERM)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM), or exotic platform
+    return True
+
+
+def _segment_pid(path) -> int | None:
+    """The writer pid embedded in a ``<prefix>-<seq>-<pid>.seg`` name."""
+    parts = Path(path).stem.split("-")
+    try:
+        return int(parts[-1])
+    except (IndexError, ValueError):
+        return None
 
 
 class SegmentStore:
@@ -807,16 +836,72 @@ class SegmentStore:
         Returns the :class:`CompactionStats` when a compaction ran
         (counted as ``core.store.auto_compactions`` on top of the
         rewrite's own ``compactions``), else None.  A ``compact_ratio``
-        of None disables the trigger.  Keyword arguments are forwarded
-        to :meth:`compact`.
+        of None disables the trigger.  A store another process is
+        already compacting is left alone (counted as
+        ``core.store.compact_busy``) — during a long-lived fleet
+        session any client may trigger maintenance, and exactly one
+        should win.  Keyword arguments are forwarded to :meth:`compact`.
         """
         if self.compact_ratio is None:
             return None
         if self.dead_ratio() <= self.compact_ratio:
             return None
-        stats = self.compact(**kwargs)
+        try:
+            stats = self.compact(**kwargs)
+        except CompactionBusy:
+            self._count("compact_busy")
+            return None
         self._count("auto_compactions")
         return stats
+
+    def _lock_path(self) -> Path:
+        return self.directory / (self.prefix + ".compact.lock")
+
+    def _acquire_compact_lock(self) -> None:
+        """Exclusive cross-process compaction lock (pid-stamped file).
+
+        A lock file whose owner pid is dead is stale — a compactor
+        crashed while holding it — and is broken by atomically renaming
+        it aside (only one breaker can win the rename) before retrying.
+        Raises :class:`CompactionBusy` when a live process holds it.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock = self._lock_path()
+        for _ in range(8):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                try:
+                    owner = int(lock.read_text().strip() or "0")
+                except (OSError, ValueError):
+                    # Mid-write or vanished: re-read on the next pass.
+                    time.sleep(0.01)
+                    continue
+                if _pid_alive(owner):
+                    raise CompactionBusy(
+                        "compaction of %s already running in pid %d"
+                        % (self.directory, owner)
+                    )
+                stale = lock.with_suffix(lock.suffix + ".stale.%d" % os.getpid())
+                try:
+                    os.rename(lock, stale)  # atomic: one breaker wins
+                    stale.unlink()
+                except OSError:
+                    pass
+                time.sleep(0.01)
+                continue
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            return
+        raise CompactionBusy(
+            "could not acquire compaction lock %s" % self._lock_path()
+        )
+
+    def _release_compact_lock(self) -> None:
+        try:
+            self._lock_path().unlink()
+        except OSError:
+            pass
 
     def compact(
         self,
@@ -839,14 +924,33 @@ class SegmentStore:
           files older than the cutoff are pruned (current-key data is
           never age-pruned).
 
-        Requires no concurrent writers (as ``clear()`` always has).
-        Returns a :class:`CompactionStats` with accurate counts.
+        Safe under concurrent writers: one cross-process lock file
+        serializes compactors (:class:`CompactionBusy` is raised when a
+        live process already holds it), and a *busy* segment — one whose
+        filename pid names a live foreign process, i.e. a writer that
+        may still be appending — is never merged, deleted, or
+        quarantined (``busy_skipped``).  A name whose winning write
+        lives in a busy segment is also kept out of the replacement
+        blob, so the fresh (highest-sorting) segment can never demote a
+        concurrent writer's newer value.  Returns a
+        :class:`CompactionStats` with accurate counts.
         """
         stats = CompactionStats()
         self.flush()
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        self._acquire_compact_lock()
+        try:
+            return self._compact_locked(
+                stats, max_age_days, extra_entries, remove_paths, now
+            )
+        finally:
+            self._release_compact_lock()
+
+    def _compact_locked(
+        self, stats, max_age_days, extra_entries, remove_paths, now
+    ) -> CompactionStats:
         self._refresh()
         merged: dict = {}
         for name, payload in (extra_entries or {}).items():
@@ -854,11 +958,28 @@ class SegmentStore:
             stats.legacy_folded += 1
         our_paths = []
         dirty_paths = []
+        busy_names: set = set()
+        own_pid = os.getpid()
         for path in sorted(self._readers):
             reader = self._readers[path]
             if reader.key != self.key:
                 continue
-            merged.update(reader.entries())
+            pid = _segment_pid(path)
+            busy = pid is not None and pid != own_pid and _pid_alive(pid)
+            if busy:
+                # A live writer owns this blob: leave it untouched.  Its
+                # entries sort after everything merged so far, so names
+                # it has committed must not be re-emitted into the fresh
+                # blob (which would sort even later and win wrongly).
+                stats.busy_skipped += 1
+                self._count("compact_busy_segments")
+                busy_names.update(reader.entries())
+                continue
+            entries = reader.entries()
+            merged.update(entries)
+            # This blob sorts after any busy blob seen so far, so its
+            # values are the newer write for every name it carries.
+            busy_names.difference_update(entries)
             our_paths.append(path)
             if (
                 reader.had_corrupt
@@ -866,6 +987,8 @@ class SegmentStore:
                 or reader.uncommitted_bytes > 0
             ):
                 dirty_paths.append(path)
+        for name in busy_names:
+            merged.pop(name, None)
         # Write the replacement blob before removing anything: a crash
         # mid-compaction leaves duplicates (harmless: identical
         # payloads, later-sorting blob wins), never data loss.

@@ -1,0 +1,129 @@
+"""Worker selection: smooth weighted round-robin with eviction + revival.
+
+The dispatcher is the client-side picture of fleet health.  Each
+:class:`~repro.fleet.manifest.WorkerSpec` gets a node with the classic
+smooth-WRR state (current weight accumulates by configured weight; the
+largest current weight wins and pays back the total), which interleaves
+a ``[2, 1]``-weighted fleet as A-B-A rather than A-A-B.
+
+A transport failure evicts the node immediately — every subsequent pick
+skips it, so a dead worker costs one failed request, not one per shard.
+Evicted nodes are re-probed (``GET /health``) at most once per
+``probe_interval_s`` and rejoin the rotation on success, so a restarted
+worker is picked up without restarting the sweep.  When every node is
+dead, :meth:`FleetDispatcher.pick` raises
+:class:`~repro.fleet.wire.FleetNoWorkersError`; the executor surfaces
+that through the item's future, where ResilientMap charges the attempt
+and ultimately quarantines — a fleet-wide outage degrades exactly like a
+repeatedly-crashing local pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.fleet.manifest import FleetManifest, WorkerSpec
+from repro.fleet.wire import FleetNoWorkersError, FleetTransportError, http_json
+from repro.obs.recorder import get_recorder
+
+
+class _Node:
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.current = 0
+        self.alive = True
+        self.last_probe_s = 0.0
+
+
+def _count(event: str, n: float = 1) -> None:
+    get_recorder().counters.add("fleet.dispatch." + event, n)
+
+
+class FleetDispatcher:
+    """Thread-safe worker selection over a manifest's worker list.
+
+    One dispatcher is shared across all :class:`FleetExecutor` respawns
+    of a sweep (see :func:`repro.fleet.executor.fleet_pool_factory`), so
+    eviction knowledge survives pool teardown after a timeout.
+    """
+
+    def __init__(self, manifest: FleetManifest, probe_timeout_s: float = 2.0):
+        self.manifest = manifest
+        self.probe_timeout_s = probe_timeout_s
+        self._nodes = [_Node(spec) for spec in manifest.workers]
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def pick(self) -> WorkerSpec:
+        """The next worker by smooth weighted round-robin.
+
+        Raises :class:`FleetNoWorkersError` when the whole fleet is dead
+        (after attempting due revival probes).
+        """
+        self._revive_due()
+        with self._lock:
+            alive = [node for node in self._nodes if node.alive]
+            if not alive:
+                _count("no_workers")
+                raise FleetNoWorkersError(
+                    "all %d fleet workers are dead" % len(self._nodes)
+                )
+            total = sum(node.spec.weight for node in alive)
+            for node in alive:
+                node.current += node.spec.weight
+            best = max(alive, key=lambda node: node.current)
+            best.current -= total
+            _count("dispatched")
+            return best.spec
+
+    def report_failure(self, spec: WorkerSpec) -> None:
+        """Evict ``spec`` after a transport failure."""
+        with self._lock:
+            for node in self._nodes:
+                if node.spec == spec and node.alive:
+                    node.alive = False
+                    node.last_probe_s = time.monotonic()
+                    node.current = 0
+                    _count("evicted")
+
+    def alive_workers(self) -> list:
+        with self._lock:
+            return [node.spec for node in self._nodes if node.alive]
+
+    def snapshot(self) -> list:
+        """(spec, alive) pairs for status displays."""
+        with self._lock:
+            return [(node.spec, node.alive) for node in self._nodes]
+
+    # ------------------------------------------------------------------
+    def _revive_due(self) -> None:
+        """Probe evicted nodes whose back-off has elapsed.
+
+        Claims each due node under the lock (by stamping
+        ``last_probe_s``) so concurrent picks don't duplicate probes,
+        then probes with the lock released — a slow probe must not stall
+        dispatch to healthy workers.
+        """
+        now = time.monotonic()
+        interval = self.manifest.probe_interval_s
+        due = []
+        with self._lock:
+            for node in self._nodes:
+                if not node.alive and now - node.last_probe_s >= interval:
+                    node.last_probe_s = now
+                    due.append(node)
+        for node in due:
+            try:
+                status, doc = http_json(
+                    "GET",
+                    node.spec.base_url + "/health",
+                    timeout=self.probe_timeout_s,
+                )
+            except FleetTransportError:
+                continue
+            if status == 200 and doc.get("ok"):
+                with self._lock:
+                    node.alive = True
+                    node.current = 0
+                _count("revived")

@@ -1,0 +1,252 @@
+"""FleetExecutor: the remote fleet behind ResilientMap's pool_factory seam.
+
+The executor presents the ``ProcessPoolExecutor`` surface ResilientMap
+drives — ``submit`` returning futures, ``shutdown`` — plus the explicit
+teardown protocol (``kill``/``processes``) that
+:meth:`repro.core.resilience.ResilientMap._kill_pool` prefers over
+private-attribute discovery.  Each submitted item gets a daemon thread
+that places the job on a worker (directly or via the gateway), polls for
+the result, and resolves a standard :class:`concurrent.futures.Future`.
+
+Failure mapping is the whole point — ResilientMap must not be able to
+tell a fleet from a local pool:
+
+- Worker busy (503) or a transport error *before* a job is accepted:
+  retried silently on a sibling; no attempt is charged, just as the
+  local pool queues work it hasn't started.
+- Worker dies *after* accepting (poll hits a transport error): the
+  future raises, the attempt is charged, ResilientMap retries on a
+  sibling — the exact shape of a crashed pool process.
+- Remote exception: unpickled and re-raised as the original type, so
+  failure records and ``raise_failures`` behave identically to local.
+- Whole fleet dead: :class:`FleetNoWorkersError` per attempt until the
+  retry budget exhausts and the item quarantines (degraded aggregates),
+  instead of hanging the sweep.
+- ResilientMap timeout: ``_kill_pool`` calls :meth:`FleetExecutor.kill`,
+  which aborts the poll threads; the respawned executor (same shared
+  dispatcher, so eviction knowledge survives) receives the resubmitted
+  survivors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from urllib.parse import quote
+
+from repro.core.memo import code_version_hash
+from repro.fleet.dispatch import FleetDispatcher
+from repro.fleet.manifest import FleetManifest
+from repro.fleet.wire import (
+    PROTOCOL,
+    FleetError,
+    FleetTransportError,
+    FleetVersionError,
+    FleetWorkerError,
+    decode_obj,
+    encode_obj,
+    http_json,
+)
+
+
+class FleetExecutor:
+    """Executor-protocol adapter from futures to fleet HTTP jobs."""
+
+    def __init__(
+        self,
+        manifest: FleetManifest,
+        dispatcher: FleetDispatcher | None = None,
+        initializer=None,
+        initargs=(),
+    ):
+        self.manifest = manifest
+        self.dispatcher = (
+            dispatcher if dispatcher is not None else FleetDispatcher(manifest)
+        )
+        self._gateway_url = (
+            manifest.gateway.base_url if manifest.gateway is not None else None
+        )
+        self._init_payload = (
+            encode_obj((initializer, tuple(initargs)))
+            if initializer is not None
+            else None
+        )
+        self._abort = threading.Event()
+        self._threads = []
+        self._lock = threading.Lock()
+
+    # -- executor protocol ---------------------------------------------
+    def submit(self, fn, *args, **kwargs) -> Future:
+        future = Future()
+        if not future.set_running_or_notify_cancel():  # pragma: no cover
+            return future
+        thread = threading.Thread(
+            target=self._drive, args=(future, fn, args, kwargs), daemon=True
+        )
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        if cancel_futures:
+            self._abort.set()
+        if wait:
+            with self._lock:
+                threads = list(self._threads)
+            for thread in threads:
+                thread.join()
+
+    def kill(self) -> None:
+        """Teardown protocol: abort every in-flight poll thread.
+
+        Called by ResilientMap's ``_kill_pool`` on timeout.  The remote
+        workers themselves are left alone — a worker still chewing on an
+        abandoned job finishes it and frees its slot; its result is
+        simply never fetched.
+        """
+        self._abort.set()
+
+    def processes(self) -> list:
+        """Teardown protocol: no local worker processes to terminate."""
+        return []
+
+    # -- job lifecycle -------------------------------------------------
+    def _drive(self, future: Future, fn, args, kwargs) -> None:
+        try:
+            value = self._run_job(fn, args, kwargs)
+        except BaseException as exc:  # noqa: BLE001 - delivered via future
+            future.set_exception(exc)
+        else:
+            future.set_result(value)
+
+    def _check_abort(self) -> None:
+        if self._abort.is_set():
+            raise FleetError("fleet executor torn down")
+
+    def _run_job(self, fn, args, kwargs):
+        envelope = {
+            "protocol": PROTOCOL,
+            "version": code_version_hash(),
+            "init": self._init_payload,
+            "fn": encode_obj(fn),
+            "args": encode_obj(args),
+            "kwargs": encode_obj(kwargs),
+        }
+        timeout = self.manifest.request_timeout_s
+        poll = self.manifest.poll_interval_s
+        while True:
+            self._check_abort()
+            placed = self._place(envelope, timeout)
+            if placed is None:  # every slot busy right now
+                time.sleep(poll)
+                continue
+            result_url, spec = placed
+            return self._poll(result_url, spec, timeout, poll)
+
+    def _place(self, envelope: dict, timeout: float):
+        """Try to start the job somewhere.
+
+        Returns ``(result_url, evict_spec)`` once a worker accepted it,
+        or ``None`` when the fleet is alive but fully busy (caller
+        sleeps and retries).  Raises when the attempt should be charged.
+        """
+        if self._gateway_url is not None:
+            status, doc = http_json(
+                "POST", self._gateway_url + "/run", envelope, timeout=timeout
+            )
+            if status == 503:
+                return None
+            if status == 409:
+                raise FleetVersionError(str(doc.get("error")))
+            if status != 200:
+                raise FleetWorkerError(
+                    "gateway refused job (%d): %s" % (status, doc.get("error"))
+                )
+            result_url = "%s/result?worker=%s&job=%s" % (
+                self._gateway_url,
+                quote(str(doc["worker"]), safe=""),
+                doc["job"],
+            )
+            return result_url, None
+        while True:
+            self._check_abort()
+            spec = self.dispatcher.pick()  # raises FleetNoWorkersError when dead
+            try:
+                status, doc = http_json(
+                    "POST", spec.base_url + "/run", envelope, timeout=timeout
+                )
+            except FleetTransportError:
+                # Job never started; evict and try a sibling, uncharged.
+                self.dispatcher.report_failure(spec)
+                continue
+            if status == 503:
+                return None
+            if status == 409:
+                raise FleetVersionError(str(doc.get("error")))
+            if status != 200:
+                raise FleetWorkerError(
+                    "worker %s refused job (%d): %s"
+                    % (spec.base_url, status, doc.get("error"))
+                )
+            return spec.base_url + "/result?job=%s" % doc["job"], spec
+
+    def _poll(self, result_url: str, spec, timeout: float, poll: float):
+        while True:
+            self._check_abort()
+            time.sleep(poll)
+            try:
+                status, record = http_json("GET", result_url, timeout=timeout)
+            except FleetTransportError as exc:
+                if spec is not None:
+                    self.dispatcher.report_failure(spec)
+                raise FleetWorkerError(
+                    "worker died while running job: %s" % exc
+                ) from exc
+            if status != 200:
+                raise FleetWorkerError(
+                    "result fetch failed (%d): %s" % (status, record.get("error"))
+                )
+            state = record.get("status")
+            if state == "pending":
+                continue
+            if state == "done":
+                return decode_obj(record["value"])
+            if state == "error":
+                payload = record.get("error")
+                if payload:
+                    try:
+                        exc = decode_obj(payload)
+                    except Exception:
+                        exc = None
+                    if isinstance(exc, BaseException):
+                        raise exc
+                raise FleetWorkerError(
+                    "remote job failed: %s" % record.get("repr")
+                )
+            raise FleetWorkerError("unexpected result record %r" % (record,))
+
+
+def fleet_pool_factory(manifest):
+    """A ``pool_factory`` for ResilientMap backed by a worker fleet.
+
+    ``manifest`` is a :class:`FleetManifest` or a path to one.  The
+    returned factory shares one :class:`FleetDispatcher` across every
+    (re)spawn, so worker-eviction state survives timeout teardowns
+    instead of re-discovering dead workers after each respawn.
+    """
+    if isinstance(manifest, (str, Path)):
+        manifest = FleetManifest.load(manifest)
+    dispatcher = FleetDispatcher(manifest)
+
+    def factory(mapper) -> FleetExecutor:
+        return FleetExecutor(
+            manifest,
+            dispatcher=dispatcher,
+            initializer=getattr(mapper, "initializer", None),
+            initargs=getattr(mapper, "initargs", ()) or (),
+        )
+
+    return factory

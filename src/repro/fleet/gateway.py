@@ -1,0 +1,298 @@
+"""The fleet gateway: one front door for dispatch, results, and the cache.
+
+Clients that pass a manifest with a ``gateway`` entry talk only to the
+gateway; it owns the authoritative :class:`FleetDispatcher` (weighted
+round-robin, eviction, revival) so every client shares one view of fleet
+health, and it hosts the shared result cache — a
+:class:`repro.core.store.SegmentStore` the fleet's
+:class:`~repro.fleet.cache.RemoteMemoCache` clients read and write, so a
+sweep finished by one client short-circuits the same sweep started by
+another.
+
+Endpoints:
+
+- ``GET /health`` — gateway liveness.
+- ``GET /status`` — live fleet picture: per-worker health + cache size.
+- ``POST /run`` — forward a job envelope to the next worker.  Replies
+  ``{"job", "worker"}`` on placement; 503 when every live worker's slot
+  is busy (clients wait); 502 when no live worker remains (clients
+  charge the attempt — the fleet-wide-outage path to quarantine); 409
+  passes a worker's code-version rejection through.
+- ``GET /result?worker=<url>&job=<id>`` — proxy a result poll, so
+  clients never need direct worker connectivity.
+- ``GET /cache/get?key=<k>`` / ``POST /cache/put`` — the shared memo
+  cache (``key`` is :func:`repro.core.memo.memo_key` output; values are
+  JSON documents).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.memo import default_cache_dir
+from repro.core.store import SegmentStore
+from repro.fleet.dispatch import FleetDispatcher
+from repro.fleet.manifest import FleetManifest
+from repro.fleet.wire import (
+    FleetNoWorkersError,
+    FleetTransportError,
+    http_json,
+)
+from repro.obs.recorder import get_recorder
+
+CACHE_STORE_KEY = "repro-fleet-cache/v1"
+
+_MISS = object()
+
+
+def _count(event: str, n: float = 1) -> None:
+    get_recorder().counters.add("fleet.gateway." + event, n)
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):
+        server = self.server
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        if url.path == "/health":
+            self._reply(
+                200,
+                {
+                    "ok": True,
+                    "role": "gateway",
+                    "pid": os.getpid(),
+                    "workers": len(server.manifest.workers),
+                },
+            )
+            return
+        if url.path == "/status":
+            self._reply(200, server.status_document())
+            return
+        if url.path == "/result":
+            worker = (query.get("worker") or [None])[0]
+            job = (query.get("job") or [None])[0]
+            self._proxy_result(worker, job)
+            return
+        if url.path == "/cache/get":
+            key = (query.get("key") or [None])[0]
+            if not key:
+                self._reply(400, {"error": "missing 'key'"})
+                return
+            with server.cache_lock:
+                value = server.cache.get(key, _MISS)
+            if value is _MISS:
+                _count("cache_misses")
+                self._reply(404, {"error": "miss"})
+                return
+            _count("cache_hits")
+            self._reply(200, {"value": value})
+            return
+        self._reply(404, {"error": "unknown path %r" % url.path})
+
+    def do_POST(self):
+        server = self.server
+        url = urlparse(self.path)
+        if url.path == "/run":
+            envelope = self._read_json()
+            if not isinstance(envelope, dict):
+                self._reply(400, {"error": "malformed job envelope"})
+                return
+            self._forward_run(envelope)
+            return
+        if url.path == "/cache/put":
+            doc = self._read_json()
+            if not isinstance(doc, dict) or not doc.get("key"):
+                self._reply(400, {"error": "need {'key', 'value'}"})
+                return
+            with server.cache_lock:
+                server.cache.append(doc["key"], doc.get("value"))
+                server.cache.flush()
+            _count("cache_puts")
+            self._reply(200, {"ok": True})
+            return
+        self._reply(404, {"error": "unknown path %r" % url.path})
+
+    # -- forwarding ----------------------------------------------------
+    def _forward_run(self, envelope: dict) -> None:
+        server = self.server
+        dispatcher = server.dispatcher
+        timeout = server.manifest.request_timeout_s
+        busy = set()
+        while True:
+            try:
+                spec = dispatcher.pick()
+            except FleetNoWorkersError:
+                _count("no_workers")
+                self._reply(502, {"error": "no live workers in the fleet"})
+                return
+            alive = {s.base_url for s in dispatcher.alive_workers()}
+            if spec.base_url in busy:
+                if busy >= alive:
+                    _count("all_busy")
+                    self._reply(503, {"error": "all workers busy"})
+                    return
+                continue
+            try:
+                status, doc = http_json(
+                    "POST", spec.base_url + "/run", envelope, timeout=timeout
+                )
+            except FleetTransportError:
+                dispatcher.report_failure(spec)
+                continue
+            if status == 503:
+                busy.add(spec.base_url)
+                if busy >= {s.base_url for s in dispatcher.alive_workers()}:
+                    _count("all_busy")
+                    self._reply(503, {"error": "all workers busy"})
+                    return
+                continue
+            if status == 200:
+                _count("forwarded")
+                self._reply(200, {"job": doc["job"], "worker": spec.base_url})
+                return
+            # 409 version mismatch and other worker verdicts pass through.
+            self._reply(status, doc)
+            return
+
+    def _proxy_result(self, worker, job) -> None:
+        server = self.server
+        if not worker or not job:
+            self._reply(400, {"error": "need 'worker' and 'job'"})
+            return
+        known = {spec.base_url for spec in server.manifest.workers}
+        if worker not in known:
+            self._reply(400, {"error": "unknown worker %r" % worker})
+            return
+        try:
+            status, doc = http_json(
+                "GET",
+                "%s/result?job=%s" % (worker, job),
+                timeout=server.manifest.request_timeout_s,
+            )
+        except FleetTransportError as exc:
+            for spec in server.manifest.workers:
+                if spec.base_url == worker:
+                    server.dispatcher.report_failure(spec)
+            self._reply(502, {"error": "worker unreachable: %s" % exc})
+            return
+        self._reply(status, doc)
+
+
+class GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        manifest: FleetManifest,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir=None,
+    ):
+        super().__init__((host, port), _GatewayHandler)
+        self.manifest = manifest
+        self.dispatcher = FleetDispatcher(manifest)
+        directory = (
+            Path(cache_dir) if cache_dir is not None else default_cache_dir() / "fleet"
+        )
+        self.cache = SegmentStore(
+            directory, key=CACHE_STORE_KEY, prefix="fleet", flush_every=1, fsync=False
+        )
+        self.cache_lock = threading.Lock()
+        self.started_s = time.monotonic()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def status_document(self) -> dict:
+        workers = []
+        for spec, alive in self.dispatcher.snapshot():
+            health = None
+            if alive:
+                try:
+                    status, doc = http_json(
+                        "GET", spec.base_url + "/health", timeout=2.0
+                    )
+                    if status == 200:
+                        health = doc
+                except FleetTransportError:
+                    alive = False
+            workers.append(
+                {
+                    "url": spec.base_url,
+                    "weight": spec.weight,
+                    "alive": alive,
+                    "health": health,
+                }
+            )
+        with self.cache_lock:
+            cache_entries = len(self.cache.entries())
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self.started_s, 3),
+            "workers": workers,
+            "cache": {
+                "entries": cache_entries,
+                "directory": str(self.cache.directory),
+            },
+        }
+
+
+def serve_gateway(
+    manifest,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir=None,
+    port_file=None,
+) -> None:
+    """Run the gateway until interrupted.  ``port=0`` binds ephemeral."""
+    from repro.fleet.worker import write_port_file
+
+    if isinstance(manifest, (str, Path)):
+        manifest = FleetManifest.load(manifest)
+    server = GatewayServer(manifest, host=host, port=port, cache_dir=cache_dir)
+    if port_file is not None:
+        write_port_file(port_file, server.port)
+    print(
+        "fleet gateway pid=%d listening on http://%s:%d (%d workers)"
+        % (os.getpid(), host, server.port, len(manifest.workers)),
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        with server.cache_lock:
+            server.cache.close()
+        server.server_close()

@@ -1,0 +1,106 @@
+"""Wire protocol for the sweep fleet: JSON over HTTP, pickles in base64.
+
+A job envelope (``POST /run``) looks like::
+
+    {"protocol": "repro-fleet-job/v1",
+     "version":  "<code_version_hash()>",
+     "init":     "<b64 pickle of (initializer, initargs) or null>",
+     "fn":       "<b64 pickle of the callable>",
+     "args":     "<b64 pickle of the positional args>",
+     "kwargs":   "<b64 pickle of the keyword args>"}
+
+Pickles travel by *reference* for module-level callables (the normal
+pickle contract), so both ends must import the same code — the
+``version`` field enforces that with a 409 instead of letting divergent
+trees silently disagree on results.
+
+Error taxonomy (all subclass :class:`FleetError`):
+
+- :class:`FleetTransportError` — the HTTP request itself failed
+  (connection refused, reset, socket timeout).  The peer may never have
+  seen the request.
+- :class:`FleetWorkerError` — the worker accepted a job and then died or
+  reported a failure that doesn't unpickle to the original exception.
+- :class:`FleetBusyError` — the worker's single execution slot is taken
+  (HTTP 503); not a failure, the client waits and retries.
+- :class:`FleetVersionError` — code-version handshake mismatch (HTTP 409).
+- :class:`FleetNoWorkersError` — every worker in the manifest is dead.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import urllib.error
+import urllib.request
+
+PROTOCOL = "repro-fleet-job/v1"
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet failures."""
+
+
+class FleetTransportError(FleetError):
+    """The HTTP request failed below the protocol (refused/reset/timeout)."""
+
+
+class FleetWorkerError(FleetError):
+    """A worker accepted a job and then failed or disappeared."""
+
+
+class FleetBusyError(FleetError):
+    """The worker's execution slot is occupied (HTTP 503)."""
+
+
+class FleetVersionError(FleetError):
+    """Client and worker run different model code (HTTP 409)."""
+
+
+class FleetNoWorkersError(FleetError):
+    """No live worker remains to dispatch to."""
+
+
+def encode_obj(obj) -> str:
+    """Pickle ``obj`` and wrap it in URL/JSON-safe base64 text."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_obj(text: str):
+    """Inverse of :func:`encode_obj`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def http_json(method: str, url: str, payload=None, timeout: float = 10.0):
+    """One JSON request/response round trip.
+
+    Returns ``(status, document)``.  Non-2xx responses are returned, not
+    raised — protocol-level errors (busy, version mismatch, unknown job)
+    carry meaning the caller maps to the taxonomy above.  Only failures
+    *below* the protocol raise, as :class:`FleetTransportError`.
+    """
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        # An HTTP status is still an answer from a live peer.
+        body = exc.read()
+        status = exc.code
+    except (urllib.error.URLError, socket.timeout, ConnectionError, OSError) as exc:
+        raise FleetTransportError("%s %s failed: %s" % (method, url, exc)) from exc
+    try:
+        document = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        document = {"error": repr(body[:200])}
+    return status, document

@@ -1,0 +1,229 @@
+"""The fleet worker: one process, one HTTP endpoint, one execution slot.
+
+A worker is the remote analogue of a single ``ProcessPoolExecutor``
+worker process.  It deliberately runs **one job at a time**: the sweep
+worker functions it executes (:mod:`repro.core.runner`,
+:mod:`repro.analysis.cachesweep`) cache their engine/evaluator state in
+per-process globals, so concurrent execution inside one process would
+race.  Scaling happens by running more worker processes, not more
+threads — exactly the replicate-don't-share design of the local pool.
+
+Endpoints:
+
+- ``GET /health`` — liveness + identity: pid, busy flag, code version.
+- ``POST /run`` — accept a job envelope (:mod:`repro.fleet.wire`).
+  Replies 409 when the client's ``code_version_hash`` differs (divergent
+  trees must not silently compute different numbers), 503 when the slot
+  is busy (the client waits — a job is never queued behind another, so a
+  timed-out client can't leave a ghost job racing its retry), else
+  ``{"job": <id>}`` and the job runs on a background thread.
+- ``GET /result?job=<id>`` — poll: ``pending``, ``done`` (+ pickled
+  value), or ``error`` (+ pickled exception, so the client re-raises the
+  original type just like a local future).
+
+The initializer travels with every job but only runs when its pickled
+fingerprint changes — the remote equivalent of the pool running the
+initializer once per worker process, amortized across a whole sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import os
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.memo import code_version_hash
+from repro.fleet.wire import PROTOCOL, decode_obj, encode_obj
+from repro.obs.recorder import get_recorder
+
+
+class _WorkerState:
+    """Mutable slot/job bookkeeping shared across handler threads."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.busy = False
+        self.jobs = {}
+        self.init_fingerprint = None
+        self.started_s = time.monotonic()
+        self.completed = 0
+
+    def _count(self, event: str, n: float = 1) -> None:
+        get_recorder().counters.add("fleet.worker." + event, n)
+
+
+def _run_job(state: _WorkerState, job_id: str, envelope: dict) -> None:
+    """Execute one decoded job envelope; always releases the slot."""
+    try:
+        init_payload = envelope.get("init")
+        if init_payload is not None and init_payload != state.init_fingerprint:
+            initializer, initargs = decode_obj(init_payload)
+            if initializer is not None:
+                initializer(*initargs)
+            state.init_fingerprint = init_payload
+        fn = decode_obj(envelope["fn"])
+        args = decode_obj(envelope.get("args") or encode_obj(()))
+        kwargs = decode_obj(envelope.get("kwargs") or encode_obj({}))
+        value = fn(*args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the client
+        try:
+            error_payload = encode_obj(exc)
+        except Exception:
+            error_payload = None
+        with state.lock:
+            state.jobs[job_id] = {
+                "status": "error",
+                "error": error_payload,
+                "repr": repr(exc),
+            }
+            state.busy = False
+        state._count("errors")
+    else:
+        with state.lock:
+            state.jobs[job_id] = {"status": "done", "value": encode_obj(value)}
+            state.busy = False
+            state.completed += 1
+        state._count("jobs")
+
+
+class _WorkerHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # -- plumbing ------------------------------------------------------
+    def _reply(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):
+        state = self.server.state
+        url = urlparse(self.path)
+        if url.path == "/health":
+            with state.lock:
+                busy = state.busy
+                completed = state.completed
+            self._reply(
+                200,
+                {
+                    "ok": True,
+                    "role": "worker",
+                    "pid": os.getpid(),
+                    "busy": busy,
+                    "slots": 1,
+                    "completed": completed,
+                    "uptime_s": round(time.monotonic() - state.started_s, 3),
+                    "version": code_version_hash(),
+                    "protocol": PROTOCOL,
+                },
+            )
+            return
+        if url.path == "/result":
+            job_id = (parse_qs(url.query).get("job") or [None])[0]
+            with state.lock:
+                record = state.jobs.get(job_id)
+            if record is None:
+                self._reply(404, {"error": "unknown job %r" % job_id})
+                return
+            self._reply(200, record)
+            return
+        self._reply(404, {"error": "unknown path %r" % url.path})
+
+    def do_POST(self):
+        state = self.server.state
+        url = urlparse(self.path)
+        if url.path != "/run":
+            self._reply(404, {"error": "unknown path %r" % url.path})
+            return
+        envelope = self._read_json()
+        if not isinstance(envelope, dict):
+            self._reply(400, {"error": "malformed job envelope"})
+            return
+        if envelope.get("protocol") != PROTOCOL:
+            self._reply(
+                400,
+                {"error": "unsupported protocol %r" % envelope.get("protocol")},
+            )
+            return
+        version = code_version_hash()
+        if envelope.get("version") != version:
+            state._count("version_rejects")
+            self._reply(
+                409,
+                {
+                    "error": "code version mismatch: worker runs %s, client sent %s"
+                    % (version, envelope.get("version")),
+                    "version": version,
+                },
+            )
+            return
+        with state.lock:
+            if state.busy:
+                self._reply(503, {"error": "busy", "slots": 1})
+                state._count("busy_rejects")
+                return
+            state.busy = True
+            job_id = uuid.uuid4().hex
+            state.jobs[job_id] = {"status": "pending"}
+        thread = threading.Thread(
+            target=_run_job, args=(state, job_id, envelope), daemon=True
+        )
+        thread.start()
+        self._reply(200, {"job": job_id})
+
+
+class WorkerServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _WorkerHandler)
+        self.state = _WorkerState()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def write_port_file(path, port: int) -> None:
+    """Publish the bound port atomically (tmp + rename) for launchers."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp.%d" % os.getpid())
+    tmp.write_text("%d\n" % port)
+    os.replace(tmp, path)
+
+
+def serve_worker(host: str = "127.0.0.1", port: int = 0, port_file=None) -> None:
+    """Run a worker until interrupted.  ``port=0`` binds an ephemeral port."""
+    from repro.core.runner import _install_worker_fault_handlers
+
+    _install_worker_fault_handlers()
+    server = WorkerServer(host, port)
+    if port_file is not None:
+        write_port_file(port_file, server.port)
+    print("fleet worker pid=%d listening on http://%s:%d" % (os.getpid(), host, server.port), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

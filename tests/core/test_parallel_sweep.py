@@ -316,6 +316,60 @@ class TestPoolFactorySeam:
         assert len(created) == 1
 
 
+class TestInnerJobsAllocation:
+    """``--workload all --jobs N`` must not idle surplus cores."""
+
+    def test_surplus_jobs_spread_deterministically(self):
+        from repro.analysis.cachesweep import plan_inner_jobs
+
+        assert plan_inner_jobs(8, 3) == [3, 3, 2]
+        assert plan_inner_jobs(9, 3) == [3, 3, 3]
+        assert plan_inner_jobs(3, 3) == [1, 1, 1]
+        assert plan_inner_jobs(2, 4) == [1, 1, 1, 1]
+        assert plan_inner_jobs(1, 1) == [1]
+        assert plan_inner_jobs(7, 2) == [4, 3]
+
+    def test_budget_is_used_never_exceeded_by_more_than_rounding(self):
+        from repro.analysis.cachesweep import plan_inner_jobs
+
+        for jobs in range(1, 33):
+            for n in range(1, 9):
+                plan = plan_inner_jobs(jobs, n)
+                assert len(plan) == n
+                assert all(inner >= 1 for inner in plan)
+                assert sum(plan) == max(jobs, n)
+                # Deterministic remainder spread: non-increasing by index.
+                assert plan == sorted(plan, reverse=True)
+
+    def test_fanout_jobs_carry_allocation_to_workers(self, monkeypatch):
+        """The dispatched job tuples carry the per-workload inner-jobs
+        split — the regression for the hardcoded ``inner_jobs=1``."""
+        import repro.core.resilience as resilience
+        from repro.analysis.cachesweep import sweep_all
+
+        captured = {}
+
+        class _CaptureMap:
+            def __init__(self, fn, items, names=None, **kwargs):
+                captured["items"] = list(items)
+                captured["jobs"] = kwargs.get("jobs")
+                self._names = list(names)
+
+            def run(self):
+                return [None] * len(self._names), []
+
+        monkeypatch.setattr(resilience, "ResilientMap", _CaptureMap)
+        workloads = [
+            "tensorflow.gemm_packed",
+            "tensorflow.gemm_unpacked",
+            "chrome.compositing_tiled",
+        ]
+        sweep_all(workloads=workloads, socs=_GRID[:1], jobs=8)
+        assert captured["jobs"] == 3  # outer fan-out: one per workload
+        assert [item[2] for item in captured["items"]] == [3, 3, 2]
+        assert [item[0] for item in captured["items"]] == workloads
+
+
 class TestSweepAllFanout:
     def test_parallel_workloads_match_serial(self, tmp_path):
         from repro.analysis.cachesweep import sweep_all

@@ -349,6 +349,56 @@ class _PoolWithoutProcesses:
         pass
 
 
+class _FakeWorker:
+    """A terminatable worker handle, as ``processes()`` must return."""
+
+    def __init__(self):
+        self.terminated = False
+        self.killed = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self, timeout=None):
+        pass
+
+    def is_alive(self):
+        return False
+
+
+class _HangExecutor:
+    """A custom executor whose futures never complete.
+
+    Models a remote fleet mid-outage: submissions are accepted but no
+    result ever arrives, so every item trips ``policy.timeout_s`` and
+    ``_kill_pool`` runs against an executor with no ``_processes``.
+    """
+
+    def __init__(self, kill_protocol=True, processes_protocol=False):
+        self.kill_calls = 0
+        self.workers = [_FakeWorker(), _FakeWorker()]
+        if kill_protocol:
+            self.kill = self._kill
+        if processes_protocol:
+            self.processes = self._processes
+
+    def _kill(self):
+        self.kill_calls += 1
+
+    def _processes(self):
+        return list(self.workers)
+
+    def submit(self, fn, item):
+        from concurrent.futures import Future
+
+        future = Future()
+        future.set_running_or_notify_cancel()
+        return future  # never resolved: a hung remote worker
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
 class TestKillPool:
     def test_no_discoverable_processes_is_counted_not_silent(self):
         mapper = ResilientMap(lambda x: x, [])
@@ -363,6 +413,52 @@ class TestKillPool:
         with recording() as rec:
             mapper._kill_pool(pool)
         assert rec.counters.get("core.resilience.pool_kill_no_workers") == 0
+
+    def test_custom_kill_protocol_is_preferred(self):
+        pool = _HangExecutor(kill_protocol=True, processes_protocol=True)
+        mapper = ResilientMap(lambda x: x, [])
+        with recording() as rec:
+            mapper._kill_pool(pool)
+        assert pool.kill_calls == 1
+        # kill() owns teardown: processes() must not also be walked.
+        assert not any(w.terminated for w in pool.workers)
+        assert rec.counters.get("core.resilience.pool_kill_no_workers") == 0
+
+    def test_processes_protocol_discovers_custom_workers(self):
+        pool = _HangExecutor(kill_protocol=False, processes_protocol=True)
+        mapper = ResilientMap(lambda x: x, [])
+        with recording() as rec:
+            mapper._kill_pool(pool)
+        assert all(w.terminated for w in pool.workers)
+        assert rec.counters.get("core.resilience.pool_kill_no_workers") == 0
+
+    def test_hang_teardown_reaches_custom_executor_kill(self):
+        """End to end: a hung custom executor is torn down via kill().
+
+        Before the executor-teardown protocol, any ``pool_factory``
+        executor without ``_processes`` always took the blind
+        ``pool_kill_no_workers`` path and leaked its hung workers.
+        """
+        pools = []
+
+        def factory(mapper):
+            pools.append(_HangExecutor(kill_protocol=True))
+            return pools[-1]
+
+        policy = RetryPolicy(
+            max_attempts=1, backoff_base_s=0.0, jitter=0.0, timeout_s=0.2
+        )
+        with strict_mode(False):
+            with recording() as rec:
+                values, failures = ResilientMap(
+                    _slow_echo, ["a", "b"], names=["a", "b"],
+                    policy=policy, jobs=2, pool_factory=factory,
+                ).run()
+        assert values == [None, None]
+        assert {f.target for f in failures} == {"a", "b"}
+        assert sum(p.kill_calls for p in pools) >= 1
+        assert rec.counters.get("core.resilience.pool_kill_no_workers") == 0
+        assert rec.counters.get("core.resilience.timeouts") == 2
 
 
 class TestWorkerDiagnostics:

@@ -30,6 +30,7 @@ import pytest
 from repro.core.resilience import FAULT_PLAN_ENV
 from repro.core.store import (
     WRITE_CHUNK_ENV,
+    CompactionBusy,
     CompactionStats,
     SegmentReader,
     SegmentStore,
@@ -446,6 +447,159 @@ class TestConcurrentWriters:
         # One blob per writer process: appends never contend on a file.
         assert len(list(tmp_path.glob("seg-*.seg"))) == 3
         assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_compact_while_writing_loses_nothing(self, tmp_path):
+        """The harness's compact-while-writing interleaving: a reader
+        compacting *during* live appends must never lose, duplicate, or
+        demote an entry — busy (live-writer) blobs are skipped and
+        folded only once their owners exit."""
+        count = 50
+        writers = [
+            multiprocessing.Process(
+                target=_hammer_store, args=(str(tmp_path), who, count)
+            )
+            for who in ("a", "b", "c")
+        ]
+        compactor = SegmentStore(tmp_path, key="k", prefix="seg")
+        for w in writers:
+            w.start()
+        compactions = 0
+        try:
+            with recording() as rec:
+                while any(w.is_alive() for w in writers):
+                    stats = compactor.compact()
+                    compactions += 1
+                    for name, value in compactor.entries().items():
+                        who, i = name.split("-")
+                        assert value == {"who": who, "i": int(i)}
+                    assert stats.busy_skipped <= 3
+        finally:
+            for w in writers:
+                w.join()
+        assert all(w.exitcode == 0 for w in writers)
+        assert compactions >= 1
+        assert rec.counters.get("core.store.corrupt") == 0
+        # Writers are gone: one final compact folds the stragglers.
+        final = SegmentStore(tmp_path, key="k", prefix="seg")
+        stats = final.compact()
+        assert stats.busy_skipped == 0
+        entries = final.entries()
+        assert len(entries) == 3 * count  # every entry, exactly once
+        for who in ("a", "b", "c"):
+            for i in range(count):
+                assert entries["%s-%03d" % (who, i)] == {"who": who, "i": i}
+        assert len(list(tmp_path.glob("seg-*.seg"))) == 1
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert not list(tmp_path.glob("*.lock*"))
+
+
+def _hold_store_open(directory, ready, release):
+    """Open a store, commit entries, then idle with the blob claimed."""
+    import time
+
+    store = SegmentStore(Path(directory), key="k", prefix="seg")
+    store.append("held-1", {"v": 1})
+    store.append("held-2", {"v": 2})
+    Path(ready).write_text("ready")
+    while not Path(release).exists():
+        time.sleep(0.01)
+    store.close()
+
+
+class TestCompactUnderConcurrency:
+    def _spawn_holder(self, tmp_path):
+        ready = tmp_path / "ready"
+        release = tmp_path / "release"
+        holder = multiprocessing.Process(
+            target=_hold_store_open,
+            args=(str(tmp_path), str(ready), str(release)),
+        )
+        holder.start()
+        while not ready.exists():
+            assert holder.is_alive()
+        return holder, release
+
+    def test_busy_segment_is_skipped_not_rewritten(self, tmp_path):
+        quiet = SegmentStore(tmp_path, key="k", prefix="seg")
+        quiet.append("quiet", {"v": 0})
+        quiet.close()
+        holder, release = self._spawn_holder(tmp_path)
+        try:
+            busy_paths = [
+                p for p in tmp_path.glob("seg-*.seg")
+                if p.stem.split("-")[-1] == str(holder.pid)
+            ]
+            assert len(busy_paths) == 1
+            with recording() as rec:
+                stats = SegmentStore(tmp_path, key="k", prefix="seg").compact()
+            assert stats.busy_skipped == 1
+            assert rec.counters.get("core.store.compact_busy_segments") == 1
+            # The live writer's blob is untouched; its entries and the
+            # compacted ones all remain readable.
+            assert busy_paths[0].exists()
+            entries = SegmentStore(tmp_path, key="k", prefix="seg").entries()
+            assert entries["quiet"] == {"v": 0}
+            assert entries["held-1"] == {"v": 1}
+            assert entries["held-2"] == {"v": 2}
+        finally:
+            release.write_text("go")
+            holder.join()
+        assert holder.exitcode == 0
+        # Owner gone: the next compact folds its blob normally.
+        stats = SegmentStore(tmp_path, key="k", prefix="seg").compact()
+        assert stats.busy_skipped == 0
+        assert len(list(tmp_path.glob("seg-*.seg"))) == 1
+
+    def test_busy_blob_winner_is_never_demoted(self, tmp_path):
+        """A name whose newest write lives in a busy blob must keep that
+        value after compaction — the fresh blob sorts last and would
+        otherwise resurrect the older write."""
+        old = SegmentStore(tmp_path, key="k", prefix="seg")
+        old.append("held-1", {"v": "stale"})  # superseded by the holder
+        old.close()
+        holder, release = self._spawn_holder(tmp_path)
+        try:
+            store = SegmentStore(tmp_path, key="k", prefix="seg")
+            assert store.entries()["held-1"] == {"v": 1}
+            store.compact()
+            fresh = SegmentStore(tmp_path, key="k", prefix="seg")
+            assert fresh.entries()["held-1"] == {"v": 1}
+        finally:
+            release.write_text("go")
+            holder.join()
+        assert SegmentStore(tmp_path, key="k", prefix="seg").entries()[
+            "held-1"
+        ] == {"v": 1}
+
+    def test_live_lock_raises_busy_and_maybe_compact_declines(self, tmp_path):
+        store = SegmentStore(
+            tmp_path, key="k", prefix="seg", compact_ratio=0.0
+        )
+        for i in range(4):
+            store.append("n", {"i": i})  # rewrites: all-but-one dead
+        store.close()
+        lock = tmp_path / "seg.compact.lock"
+        lock.write_text(str(os.getpid()))  # a live (this!) process owns it
+        with pytest.raises(CompactionBusy):
+            store.compact()
+        with recording() as rec:
+            assert store.maybe_compact() is None
+        assert rec.counters.get("core.store.compact_busy") == 1
+        assert lock.read_text() == str(os.getpid())  # not stolen
+
+    def test_stale_lock_is_broken_and_compaction_proceeds(self, tmp_path):
+        store = SegmentStore(tmp_path, key="k", prefix="seg")
+        store.append("a", 1)
+        store.close()
+        # A dead pid: spawn-and-join a child so the pid is certainly gone.
+        child = multiprocessing.Process(target=int)
+        child.start()
+        child.join()
+        lock = tmp_path / "seg.compact.lock"
+        lock.write_text(str(child.pid))
+        stats = store.compact()
+        assert stats.entries == 1
+        assert not lock.exists()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,213 @@
+"""Fixtures for the distributed sweep fleet tests.
+
+Two tiers of infrastructure:
+
+- In-process servers (:func:`worker_servers`): ``WorkerServer`` /
+  ``GatewayServer`` instances on daemon threads, for protocol-level unit
+  tests where real process isolation isn't the point.
+- Subprocess fleets (:func:`make_fleet`): real ``python -m repro fleet
+  worker`` / ``fleet serve`` processes bound to ephemeral ports, for the
+  fault suite — killing a worker must kill a *process*, and fault plans
+  (``REPRO_FAULT_PLAN``) must be inherited at spawn.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.manifest import FleetManifest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Client-side knobs tuned for loopback latencies.
+FAST_KNOBS = {
+    "poll_interval_s": 0.02,
+    "probe_interval_s": 0.2,
+    "request_timeout_s": 10.0,
+}
+
+
+def fleet_env(extra=None) -> dict:
+    """Subprocess env: repro importable, tests unpicklable-by-reference."""
+    env = dict(os.environ)
+    parts = [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def wait_for_port_file(path: Path, timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.02)
+    raise RuntimeError("no port file at %s after %gs" % (path, timeout))
+
+
+class FleetHarness:
+    """Spawn and manage a loopback fleet of real subprocesses."""
+
+    def __init__(self, tmp_path: Path, env_extra=None):
+        self.tmp_path = Path(tmp_path)
+        self.env = fleet_env(env_extra)
+        self.workers = []  # (Popen, port)
+        self.gateway = None  # (Popen, port)
+        self.gateway_cache_dir = self.tmp_path / "gateway-cache"
+        self._seq = 0
+
+    # -- processes -----------------------------------------------------
+    def _spawn(self, argv, log_name: str) -> subprocess.Popen:
+        log = open(self.tmp_path / log_name, "wb")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro"] + argv,
+            env=self.env,
+            cwd=str(REPO_ROOT),
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+
+    def start_worker(self) -> int:
+        self._seq += 1
+        port_file = self.tmp_path / ("worker-%d.port" % self._seq)
+        proc = self._spawn(
+            ["fleet", "worker", "--port", "0", "--port-file", str(port_file)],
+            "worker-%d.log" % self._seq,
+        )
+        port = wait_for_port_file(port_file)
+        self.workers.append((proc, port))
+        return port
+
+    def start_gateway(self, port: int = 0) -> int:
+        manifest_path = self.write_manifest(name="gateway-manifest.json")
+        self._seq += 1
+        port_file = self.tmp_path / ("gateway-%d.port" % self._seq)
+        proc = self._spawn(
+            [
+                "fleet", "serve", "--fleet", str(manifest_path),
+                "--port", str(port), "--port-file", str(port_file),
+                "--cache-dir", str(self.gateway_cache_dir),
+            ],
+            "gateway-%d.log" % self._seq,
+        )
+        bound = wait_for_port_file(port_file)
+        self.gateway = (proc, bound)
+        return bound
+
+    def kill_worker(self, index: int) -> None:
+        proc, _port = self.workers[index]
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+
+    def kill_gateway(self) -> None:
+        assert self.gateway is not None
+        proc, _port = self.gateway
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        self.gateway = None
+
+    def stop(self) -> None:
+        procs = [proc for proc, _ in self.workers]
+        if self.gateway is not None:
+            procs.append(self.gateway[0])
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+    # -- manifests -----------------------------------------------------
+    def manifest_doc(self, with_gateway: bool = False, **overrides) -> dict:
+        doc = dict(FAST_KNOBS)
+        doc.update(overrides)
+        doc["workers"] = [
+            {"host": "127.0.0.1", "port": port} for _proc, port in self.workers
+        ]
+        if with_gateway:
+            assert self.gateway is not None, "start_gateway() first"
+            doc["gateway"] = {"host": "127.0.0.1", "port": self.gateway[1]}
+        return doc
+
+    def manifest(self, with_gateway: bool = False, **overrides) -> FleetManifest:
+        return FleetManifest.from_dict(self.manifest_doc(with_gateway, **overrides))
+
+    def write_manifest(
+        self, with_gateway: bool = False, name: str = "fleet.json", **overrides
+    ) -> Path:
+        import json
+
+        path = self.tmp_path / name
+        path.write_text(json.dumps(self.manifest_doc(with_gateway, **overrides)))
+        return path
+
+
+@pytest.fixture
+def make_fleet(tmp_path):
+    """Factory: ``make_fleet(n_workers, env_extra=..., gateway=...)``."""
+    harnesses = []
+
+    def factory(n_workers: int, env_extra=None, gateway: bool = False) -> FleetHarness:
+        harness = FleetHarness(tmp_path, env_extra=env_extra)
+        harnesses.append(harness)
+        for _ in range(n_workers):
+            harness.start_worker()
+        if gateway:
+            harness.start_gateway()
+        return harness
+
+    yield factory
+    for harness in harnesses:
+        harness.stop()
+
+
+@pytest.fixture
+def worker_servers():
+    """Factory for in-process WorkerServers on daemon threads."""
+    from repro.fleet.worker import WorkerServer
+
+    servers = []
+
+    def factory(n: int = 1):
+        batch = []
+        for _ in range(n):
+            server = WorkerServer("127.0.0.1", 0)
+            threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.02},
+                daemon=True,
+            ).start()
+            servers.append(server)
+            batch.append(server)
+        return batch
+
+    yield factory
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def inprocess_manifest(servers, gateway_port=None, **overrides) -> FleetManifest:
+    doc = dict(FAST_KNOBS)
+    doc.update(overrides)
+    doc["workers"] = [
+        {"host": "127.0.0.1", "port": server.port} for server in servers
+    ]
+    if gateway_port is not None:
+        doc["gateway"] = {"host": "127.0.0.1", "port": gateway_port}
+    return FleetManifest.from_dict(doc)

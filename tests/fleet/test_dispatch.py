@@ -1,0 +1,100 @@
+"""Dispatcher tests: weighted rotation, eviction, revival."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fleet.dispatch import FleetDispatcher
+from repro.fleet.manifest import FleetManifest
+from repro.fleet.wire import FleetNoWorkersError
+from repro.obs import recording
+from tests.fleet.conftest import inprocess_manifest
+
+
+def _manifest(ports_weights, **overrides):
+    doc = {
+        "workers": [
+            {"host": "127.0.0.1", "port": port, "weight": weight}
+            for port, weight in ports_weights
+        ],
+        "probe_interval_s": 0.1,
+    }
+    doc.update(overrides)
+    return FleetManifest.from_dict(doc)
+
+
+class TestWeightedRoundRobin:
+    def test_equal_weights_alternate(self):
+        dispatcher = FleetDispatcher(_manifest([(1, 1), (2, 1)]))
+        picks = [dispatcher.pick().port for _ in range(6)]
+        assert picks == [1, 2, 1, 2, 1, 2]
+
+    def test_smooth_weighting_interleaves(self):
+        # Classic smooth-WRR: weight 2:1 yields A B A, not A A B.
+        dispatcher = FleetDispatcher(_manifest([(1, 2), (2, 1)]))
+        picks = [dispatcher.pick().port for _ in range(6)]
+        assert picks == [1, 2, 1, 1, 2, 1]
+        assert picks.count(1) == 4 and picks.count(2) == 2
+
+    def test_rotation_is_deterministic(self):
+        a = FleetDispatcher(_manifest([(1, 3), (2, 2), (3, 1)]))
+        b = FleetDispatcher(_manifest([(1, 3), (2, 2), (3, 1)]))
+        assert [a.pick().port for _ in range(12)] == [
+            b.pick().port for _ in range(12)
+        ]
+
+
+class TestEviction:
+    def test_failed_worker_is_skipped(self):
+        dispatcher = FleetDispatcher(_manifest([(1, 1), (2, 1)]))
+        first = dispatcher.pick()
+        dispatcher.report_failure(first)
+        assert all(
+            dispatcher.pick().port != first.port for _ in range(6)
+        )
+        assert [spec.port for spec in dispatcher.alive_workers()] != []
+
+    def test_all_dead_raises_no_workers(self):
+        # Ports point at nothing, so revival probes fail fast too.
+        manifest = _manifest([(1, 1), (2, 1)], probe_interval_s=1e9)
+        dispatcher = FleetDispatcher(manifest)
+        with recording() as rec:
+            for spec in list(dispatcher.alive_workers()):
+                dispatcher.report_failure(spec)
+            with pytest.raises(FleetNoWorkersError):
+                dispatcher.pick()
+            assert rec.counters.get("fleet.dispatch.no_workers") == 1
+            assert rec.counters.get("fleet.dispatch.evicted") == 2
+
+    def test_double_report_evicts_once(self):
+        dispatcher = FleetDispatcher(_manifest([(1, 1), (2, 1)]))
+        spec = dispatcher.pick()
+        with recording() as rec:
+            dispatcher.report_failure(spec)
+            dispatcher.report_failure(spec)
+            assert rec.counters.get("fleet.dispatch.evicted") == 1
+
+
+class TestRevival:
+    def test_restarted_worker_rejoins_after_probe_interval(self, worker_servers):
+        (server,) = worker_servers(1)
+        manifest = inprocess_manifest([server], probe_interval_s=0.05)
+        dispatcher = FleetDispatcher(manifest)
+        spec = dispatcher.pick()
+        dispatcher.report_failure(spec)
+        with pytest.raises(FleetNoWorkersError):
+            dispatcher.pick()
+        time.sleep(0.1)  # past the probe interval; /health answers again
+        with recording() as rec:
+            assert dispatcher.pick() == spec
+            assert rec.counters.get("fleet.dispatch.revived") == 1
+
+    def test_dead_worker_stays_dead_after_probe(self):
+        manifest = _manifest([(1, 1)], probe_interval_s=0.01)
+        dispatcher = FleetDispatcher(manifest)
+        dispatcher.report_failure(dispatcher.pick())
+        time.sleep(0.05)
+        with pytest.raises(FleetNoWorkersError):
+            dispatcher.pick()

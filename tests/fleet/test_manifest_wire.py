@@ -1,0 +1,88 @@
+"""Unit tests for the fleet manifest and wire encoding."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.fleet.manifest import FleetManifest, WorkerSpec
+from repro.fleet.wire import decode_obj, encode_obj
+
+
+class TestManifest:
+    def test_load_full_document(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({
+            "gateway": {"host": "127.0.0.1", "port": 8700},
+            "workers": [
+                {"host": "127.0.0.1", "port": 8701, "weight": 2},
+                {"host": "10.0.0.9", "port": 8702},
+            ],
+            "probe_interval_s": 0.5,
+            "poll_interval_s": 0.01,
+            "request_timeout_s": 3.0,
+        }))
+        manifest = FleetManifest.load(path)
+        assert manifest.gateway == WorkerSpec("127.0.0.1", 8700)
+        assert manifest.workers == [
+            WorkerSpec("127.0.0.1", 8701, weight=2),
+            WorkerSpec("10.0.0.9", 8702, weight=1),
+        ]
+        assert manifest.worker_urls() == [
+            "http://127.0.0.1:8701", "http://10.0.0.9:8702",
+        ]
+        assert manifest.probe_interval_s == 0.5
+        assert manifest.poll_interval_s == 0.01
+        assert manifest.request_timeout_s == 3.0
+
+    def test_gateway_is_optional(self):
+        manifest = FleetManifest.from_dict(
+            {"workers": [{"host": "h", "port": 1}]}
+        )
+        assert manifest.gateway is None
+
+    def test_round_trips_through_to_dict(self):
+        doc = {
+            "gateway": {"host": "g", "port": 9},
+            "workers": [{"host": "h", "port": 1, "weight": 3}],
+        }
+        manifest = FleetManifest.from_dict(doc)
+        assert FleetManifest.from_dict(manifest.to_dict()) == manifest
+
+    @pytest.mark.parametrize("doc", [
+        {},
+        {"workers": []},
+        {"workers": "nope"},
+        {"workers": [{"host": "h"}]},
+        {"workers": [{"port": 1}]},
+        {"workers": [{"host": "h", "port": "zesty"}]},
+        {"workers": [{"host": "h", "port": 1, "weight": 0}]},
+        {"workers": [{"host": "h", "port": 1}], "gateway": {"host": "g"}},
+    ])
+    def test_malformed_documents_raise_value_error(self, doc):
+        with pytest.raises(ValueError):
+            FleetManifest.from_dict(doc)
+
+    def test_bad_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            FleetManifest.load(path)
+
+    def test_base_url(self):
+        assert WorkerSpec("127.0.0.1", 8701).base_url == "http://127.0.0.1:8701"
+
+
+class TestWire:
+    def test_round_trips_callables_and_values(self):
+        fn = decode_obj(encode_obj(math.sqrt))
+        assert fn is math.sqrt
+        payload = {"rows": [1, 2.5], "name": "x", "t": (1, 2)}
+        assert decode_obj(encode_obj(payload)) == payload
+
+    def test_round_trips_exceptions(self):
+        exc = decode_obj(encode_obj(KeyError("missing")))
+        assert isinstance(exc, KeyError)
+        assert exc.args == ("missing",)

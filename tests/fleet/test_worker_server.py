@@ -1,0 +1,141 @@
+"""Protocol tests against an in-process WorkerServer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.memo import code_version_hash
+from repro.fleet.wire import PROTOCOL, decode_obj, encode_obj, http_json
+
+
+def _envelope(fn, *args, init=None, **kwargs):
+    return {
+        "protocol": PROTOCOL,
+        "version": code_version_hash(),
+        "init": init,
+        "fn": encode_obj(fn),
+        "args": encode_obj(args),
+        "kwargs": encode_obj(kwargs),
+    }
+
+
+def _poll(url, job, timeout_s: float = 10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, record = http_json("GET", "%s/result?job=%s" % (url, job))
+        assert status == 200
+        if record["status"] != "pending":
+            return record
+        time.sleep(0.01)
+    raise AssertionError("job %s still pending after %gs" % (job, timeout_s))
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(message):
+    raise KeyError(message)
+
+
+def _nap(seconds):
+    time.sleep(seconds)
+    return "rested"
+
+
+_INIT_WITNESS = []
+
+
+def _record_init(tag):
+    _INIT_WITNESS.append(tag)
+
+
+class TestWorkerServer:
+    def test_health_reports_identity(self, worker_servers):
+        (server,) = worker_servers(1)
+        status, doc = http_json("GET", "http://127.0.0.1:%d/health" % server.port)
+        assert status == 200
+        assert doc["ok"] is True
+        assert doc["role"] == "worker"
+        assert doc["busy"] is False
+        assert doc["slots"] == 1
+        assert doc["version"] == code_version_hash()
+        assert doc["protocol"] == PROTOCOL
+
+    def test_run_and_result_round_trip(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        status, doc = http_json("POST", url + "/run", _envelope(_double, 21))
+        assert status == 200
+        record = _poll(url, doc["job"])
+        assert record["status"] == "done"
+        assert decode_obj(record["value"]) == 42
+
+    def test_remote_exception_ships_original_type(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        status, doc = http_json("POST", url + "/run", _envelope(_boom, "gone"))
+        assert status == 200
+        record = _poll(url, doc["job"])
+        assert record["status"] == "error"
+        exc = decode_obj(record["error"])
+        assert isinstance(exc, KeyError)
+        assert exc.args == ("gone",)
+        assert "gone" in record["repr"]
+
+    def test_single_slot_rejects_busy_with_503(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        status, first = http_json("POST", url + "/run", _envelope(_nap, 0.5))
+        assert status == 200
+        status, doc = http_json("POST", url + "/run", _envelope(_double, 1))
+        assert status == 503
+        assert doc["error"] == "busy"
+        # The slot frees once the first job finishes.
+        assert _poll(url, first["job"])["status"] == "done"
+        status, doc = http_json("POST", url + "/run", _envelope(_double, 3))
+        assert status == 200
+        assert decode_obj(_poll(url, doc["job"])["value"]) == 6
+
+    def test_version_mismatch_is_409(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        envelope = _envelope(_double, 1)
+        envelope["version"] = "somebody-elses-tree"
+        status, doc = http_json("POST", url + "/run", envelope)
+        assert status == 409
+        assert "version mismatch" in doc["error"]
+        assert doc["version"] == code_version_hash()
+
+    def test_wrong_protocol_is_400_and_unknown_paths_404(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        envelope = _envelope(_double, 1)
+        envelope["protocol"] = "repro-fleet-job/v999"
+        status, _doc = http_json("POST", url + "/run", envelope)
+        assert status == 400
+        status, _doc = http_json("GET", url + "/result?job=nope")
+        assert status == 404
+        status, _doc = http_json("GET", url + "/nope")
+        assert status == 404
+
+    def test_initializer_runs_once_per_fingerprint(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        del _INIT_WITNESS[:]
+        init = encode_obj((_record_init, ("alpha",)))
+        for _ in range(3):
+            status, doc = http_json(
+                "POST", url + "/run", _envelope(_double, 1, init=init)
+            )
+            assert status == 200
+            _poll(url, doc["job"])
+        assert _INIT_WITNESS == ["alpha"]
+        # A different initializer payload re-initializes.
+        other = encode_obj((_record_init, ("beta",)))
+        status, doc = http_json(
+            "POST", url + "/run", _envelope(_double, 1, init=other)
+        )
+        assert status == 200
+        _poll(url, doc["job"])
+        assert _INIT_WITNESS == ["alpha", "beta"]
