@@ -1,17 +1,21 @@
-"""Fleet smoke: a loopback gateway + worker fleet must match a serial run.
+"""Fleet smoke: an elastic, authenticated fleet must match a serial run.
 
 CI runs this as a standalone script::
 
     PYTHONPATH=src python benchmarks/fleet_smoke.py
 
-It boots the whole distributed stack through the CLI — two single-slot
-HTTP workers (``repro fleet worker``), a gateway over them (``repro
-fleet serve``) — then asserts:
+It boots the whole distributed stack through the CLI the way an elastic
+deployment would — gateway first with **zero** static workers, then two
+single-slot HTTP workers that announce themselves with ``--register``,
+every request signed with a shared ``REPRO_FLEET_SECRET`` — then
+asserts:
 
-* ``repro fleet status`` exits 0 with every worker alive;
-* a ``cachesweep --fleet`` run over the fleet is **byte-identical** on
-  stdout to the same sweep run serially with ``--jobs 1`` — the
-  bit-identity contract at the CLI level;
+* the gateway's member table reaches two alive registered workers;
+* ``repro fleet status`` exits 0 against the elastic manifest;
+* a ``cachesweep --fleet`` run is **byte-identical** on stdout to the
+  same sweep run serially with ``--jobs 1``, even though one worker is
+  gracefully drained (``repro fleet drain --url``) mid-run and exits 0
+  — drain is the uncharged decommission path;
 * a second fleet run with the shared gateway cache enabled answers from
   the cache (``fleet.cache.hits`` in its manifest) with byte-identical
   stdout — the promoted MemoCache short-circuits recomputation without
@@ -25,12 +29,16 @@ import subprocess
 import sys
 import tempfile
 import time
-import urllib.request
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fleet.wire import FleetTransportError, http_json  # noqa: E402
+
 RECORD_PATH = REPO / "benchmarks" / "BENCH_fleet_smoke.json"
 WORKLOAD = "chrome.compositing_linear"
+SECRET = "fleet-smoke-shared-secret"
 
 
 def _wait_for_port_file(path: Path, timeout_s: float = 30.0) -> int:
@@ -44,18 +52,26 @@ def _wait_for_port_file(path: Path, timeout_s: float = 30.0) -> int:
     raise RuntimeError("no port file at %s after %gs" % (path, timeout_s))
 
 
-def _wait_healthy(port: int, timeout_s: float = 30.0) -> None:
-    url = "http://127.0.0.1:%d/health" % port
+def _wait_members(gw_port: int, n: int, timeout_s: float = 30.0) -> None:
+    """Poll the gateway's (signed) /status until ``n`` members are alive."""
+    url = "http://127.0.0.1:%d/status" % gw_port
     deadline = time.monotonic() + timeout_s
+    last = None
     while time.monotonic() < deadline:
         try:
-            with urllib.request.urlopen(url, timeout=2.0) as response:
-                if json.loads(response.read())["ok"]:
-                    return
-        except Exception:
-            pass
+            status, doc = http_json("GET", url, timeout=2.0, secret=SECRET)
+        except FleetTransportError:
+            time.sleep(0.05)
+            continue
+        if status == 200:
+            last = doc
+            alive = [w for w in doc.get("workers", []) if w.get("alive")]
+            if len(alive) == n:
+                return
         time.sleep(0.05)
-    raise RuntimeError("no /health from port %d after %gs" % (port, timeout_s))
+    raise RuntimeError(
+        "gateway never reported %d alive members; last: %r" % (n, last)
+    )
 
 
 def _counters(manifest_dir: Path) -> dict:
@@ -68,6 +84,7 @@ def main() -> int:
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO / "src")
         env["REPRO_CACHE_DIR"] = str(scratch / "cache")
+        env["REPRO_FLEET_SECRET"] = SECRET
         env.pop("REPRO_STRICT", None)
         env.pop("REPRO_FAULT_PLAN", None)
         procs = []
@@ -89,43 +106,43 @@ def main() -> int:
             )
 
         try:
-            # Two real single-slot workers on ephemeral ports.
-            worker_ports = []
-            for i in range(2):
-                port_file = scratch / ("worker-%d.port" % i)
-                spawn(
-                    ["fleet", "worker", "--port", "0",
-                     "--port-file", str(port_file)],
-                    "worker-%d.log" % i,
-                )
-                worker_ports.append(_wait_for_port_file(port_file))
-            for port in worker_ports:
-                _wait_healthy(port)
-
-            # A gateway over them, then the full manifest clients use.
-            workers_manifest = scratch / "workers.json"
-            workers_manifest.write_text(json.dumps({
-                "workers": [
-                    {"host": "127.0.0.1", "port": port}
-                    for port in worker_ports
-                ],
+            # Gateway first: an elastic manifest with no static workers.
+            # Its fleet is whatever registers (port 0 is a placeholder
+            # for its own bound address).
+            manifest = scratch / "fleet.json"
+            manifest.write_text(json.dumps({
+                "workers": [],
+                "gateway": {"host": "127.0.0.1", "port": 0},
+                "lease_s": 5,
             }))
             gw_port_file = scratch / "gateway.port"
             spawn(
-                ["fleet", "serve", "--fleet", str(workers_manifest),
+                ["fleet", "serve", "--fleet", str(manifest),
                  "--port", "0", "--port-file", str(gw_port_file),
                  "--cache-dir", str(scratch / "gateway-cache")],
                 "gateway.log",
             )
             gw_port = _wait_for_port_file(gw_port_file)
-            _wait_healthy(gw_port)
-            manifest = scratch / "fleet.json"
+
+            # Two workers join by announcing themselves — no static list.
+            worker_procs, worker_ports = [], []
+            for i in range(2):
+                port_file = scratch / ("worker-%d.port" % i)
+                proc = spawn(
+                    ["fleet", "worker", "--port", "0",
+                     "--port-file", str(port_file),
+                     "--register", "http://127.0.0.1:%d" % gw_port],
+                    "worker-%d.log" % i,
+                )
+                worker_procs.append(proc)
+                worker_ports.append(_wait_for_port_file(port_file))
+            _wait_members(gw_port, 2)
+
+            # Clients only ever need the gateway's address.
             manifest.write_text(json.dumps({
-                "workers": [
-                    {"host": "127.0.0.1", "port": port}
-                    for port in worker_ports
-                ],
+                "workers": [],
                 "gateway": {"host": "127.0.0.1", "port": gw_port},
+                "lease_s": 5,
             }))
 
             status = run(["fleet", "status", "--fleet", str(manifest)])
@@ -135,7 +152,8 @@ def main() -> int:
                 print("FAIL: fleet status exited %d" % status.returncode)
                 return 1
 
-            # Bit-identity: serial local vs fleet-dispatched stdout.
+            # Bit-identity: serial local vs fleet-dispatched stdout, with
+            # one worker gracefully drained while the fleet run is going.
             base = ["cachesweep", "--workload", WORKLOAD, "--no-cache",
                     "--max-retries", "3"]
             t0 = time.monotonic()
@@ -143,26 +161,53 @@ def main() -> int:
                                 "--trace-dir", str(scratch / "local-traces")])
             local_s = time.monotonic() - t0
             t0 = time.monotonic()
-            fleet = run(base + ["--jobs", "2", "--fleet", str(manifest),
-                                "--trace-dir", str(scratch / "fleet-traces")])
+            fleet_proc = subprocess.Popen(
+                [sys.executable, "-m", "repro"] + base
+                + ["--jobs", "2", "--fleet", str(manifest),
+                   "--trace-dir", str(scratch / "fleet-traces")],
+                cwd=REPO, env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True,
+            )
+            time.sleep(1.0)
+            drain = run(["fleet", "drain",
+                         "--url", "http://127.0.0.1:%d" % worker_ports[0]])
+            fleet_out, fleet_err = fleet_proc.communicate(timeout=600)
             fleet_s = time.monotonic() - t0
-            for name, proc in (("local", local), ("fleet", fleet)):
-                if proc.returncode != 0:
-                    print(proc.stderr, file=sys.stderr)
-                    print("FAIL: %s cachesweep exited %d"
-                          % (name, proc.returncode))
-                    return 1
-            if fleet.stdout != local.stdout:
+            if local.returncode != 0:
+                print(local.stderr, file=sys.stderr)
+                print("FAIL: local cachesweep exited %d" % local.returncode)
+                return 1
+            if fleet_proc.returncode != 0:
+                print(fleet_err, file=sys.stderr)
+                print("FAIL: fleet cachesweep exited %d"
+                      % fleet_proc.returncode)
+                return 1
+            if drain.returncode != 0 or "draining" not in drain.stdout:
+                print(drain.stdout + drain.stderr, file=sys.stderr)
+                print("FAIL: fleet drain exited %d" % drain.returncode)
+                return 1
+            if fleet_out != local.stdout:
                 print("FAIL: fleet sweep diverged from serial sweep")
                 print("--- local ---\n%s" % local.stdout)
-                print("--- fleet ---\n%s" % fleet.stdout)
+                print("--- fleet ---\n%s" % fleet_out)
+                return 1
+            # The drained worker finished its hand-off and exited 0 —
+            # graceful decommission, not a crash.
+            try:
+                drained_rc = worker_procs[0].wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                print("FAIL: drained worker never exited")
+                return 1
+            if drained_rc != 0:
+                print("FAIL: drained worker exited %d" % drained_rc)
                 return 1
 
-            # Shared gateway cache: compute once, hit on the second run.
-            # The hit returns the memoized document verbatim, so its
-            # stdout must be byte-identical to the serial baseline; the
-            # counters prove the data came from the gateway cache.
-            cached = ["cachesweep", "--workload", WORKLOAD, "--jobs", "2",
+            # Shared gateway cache: compute once, hit on the second run
+            # (the surviving worker carries it).  The hit returns the
+            # memoized document verbatim, so its stdout must be
+            # byte-identical to the serial baseline; the counters prove
+            # the data came from the gateway cache.
+            cached = ["cachesweep", "--workload", WORKLOAD, "--jobs", "1",
                       "--fleet", str(manifest), "--max-retries", "3",
                       "--trace-dir", str(scratch / "fleet-traces")]
             warm = run(cached + ["--manifest", str(scratch / "warm-obs")])
@@ -193,7 +238,10 @@ def main() -> int:
 
             record = {
                 "workers": 2,
+                "registered": True,
                 "gateway": True,
+                "authenticated": True,
+                "drained_mid_run": 1,
                 "workload": WORKLOAD,
                 "configs": sum(
                     1 for line in local.stdout.splitlines()
@@ -206,18 +254,22 @@ def main() -> int:
             }
             RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
             print(
-                "fleet smoke OK: 2 workers + gateway, fleet stdout "
-                "byte-identical to serial, gateway cache hit on rerun "
-                "(serial %.2fs, fleet %.2fs, cached %.2fs; record -> %s)"
+                "fleet smoke OK: elastic 2-worker fleet (registered, "
+                "HMAC-signed), one worker drained mid-run (exit 0), fleet "
+                "stdout byte-identical to serial, gateway cache hit on "
+                "rerun (serial %.2fs, fleet %.2fs, cached %.2fs; "
+                "record -> %s)"
                 % (local_s, fleet_s, hit_s, RECORD_PATH.name)
             )
         finally:
+            # SIGTERM now *drains* workers: idle ones exit promptly, the
+            # gateway just shuts down.
             for proc in procs:
                 if proc.poll() is None:
                     proc.send_signal(signal.SIGTERM)
             for proc in procs:
                 try:
-                    proc.wait(timeout=5)
+                    proc.wait(timeout=15)
                 except subprocess.TimeoutExpired:
                     proc.kill()
     return 0

@@ -19,9 +19,12 @@
                           [--max-age-days DAYS]
     python -m repro trace {list|prune|clear} [--dir PATH]
                           [--max-age-days DAYS]
-    python -m repro fleet {worker|serve|status} [--fleet PATH]
+    python -m repro fleet {worker|serve|status|drain} [--fleet PATH]
                           [--host HOST] [--port N] [--port-file PATH]
-                          [--cache-dir DIR]
+                          [--cache-dir DIR] [--register URL]
+                          [--advertise-host HOST] [--weight N]
+                          [--secret-file PATH] [--url URL]
+                          [--jobs-ttl S] [--drain-grace S]
     python -m repro characterize
     python -m repro codec [--width W --height H --frames N --qstep Q]
     python -m repro scorecard
@@ -159,7 +162,25 @@ def _fleet_setup(args):
 
     manifest = FleetManifest.load(args.fleet)
     if getattr(args, "jobs", 1) == 1:
-        args.jobs = max(len(manifest.workers), 1)
+        workers = len(manifest.workers)
+        if not workers and manifest.gateway is not None:
+            # Elastic fleet: the gateway knows the live member count.
+            from repro.fleet.wire import FleetTransportError, http_json
+
+            try:
+                status, doc = http_json(
+                    "GET",
+                    manifest.gateway.base_url + "/status",
+                    timeout=5.0,
+                    secret=manifest.load_secret(),
+                )
+                if status == 200:
+                    workers = sum(
+                        1 for w in doc.get("workers", []) if w.get("alive")
+                    )
+            except FleetTransportError:
+                pass  # gateway down: run serial; retries still reach it
+        args.jobs = max(workers, 1)
     return fleet_pool_factory(manifest), manifest
 
 
@@ -175,7 +196,10 @@ def _memo_cache(args, fleet_manifest=None):
     if fleet_manifest is not None and fleet_manifest.gateway is not None:
         from repro.fleet.cache import RemoteMemoCache
 
-        return RemoteMemoCache(fleet_manifest.gateway.base_url)
+        return RemoteMemoCache(
+            fleet_manifest.gateway.base_url,
+            secret=fleet_manifest.load_secret(),
+        )
     from repro.core.memo import MemoCache
 
     if getattr(args, "cache_flush_every", None) is not None:
@@ -508,6 +532,73 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _drain_discover(manifest, secret) -> list:
+    """Worker URLs to drain: the manifest's static list, or for an
+    elastic fleet whatever the gateway currently reports alive."""
+    urls = [spec.base_url for spec in manifest.workers]
+    if urls or manifest.gateway is None:
+        return urls
+    from repro.fleet.wire import FleetTransportError, http_json
+
+    try:
+        status, doc = http_json(
+            "GET",
+            manifest.gateway.base_url + "/status",
+            timeout=5.0,
+            secret=secret,
+        )
+    except FleetTransportError as exc:
+        print("gateway unreachable: %s" % exc, file=sys.stderr)
+        return []
+    if status != 200:
+        return []
+    return [w["url"] for w in doc.get("workers", []) if w.get("alive")]
+
+
+def _drain_targets(urls, secret) -> int:
+    """POST /drain to each worker URL; 0 = all acknowledged."""
+    from repro.fleet.wire import FleetTransportError, http_json
+
+    if not urls:
+        print("no workers to drain", file=sys.stderr)
+        return 2
+    failures = 0
+    for url in urls:
+        try:
+            status, doc = http_json(
+                "POST", url.rstrip("/") + "/drain", {}, timeout=5.0, secret=secret
+            )
+        except FleetTransportError as exc:
+            print("%s: unreachable (%s)" % (url, exc), file=sys.stderr)
+            failures += 1
+            continue
+        if status == 200 and doc.get("ok"):
+            print("%s: draining" % url)
+        else:
+            print("%s: refused (%d): %s" % (url, status, doc.get("error")), file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def _worker_secret(args):
+    """The signing secret for a bare worker (no manifest in hand):
+    ``REPRO_FLEET_SECRET`` wins, else ``--secret-file``."""
+    import os
+    from pathlib import Path
+
+    from repro.fleet.wire import FLEET_SECRET_ENV
+
+    env = os.environ.get(FLEET_SECRET_ENV)
+    if env:
+        return env
+    if getattr(args, "secret_file", None):
+        secret = Path(args.secret_file).read_text().strip()
+        if not secret:
+            raise ValueError("fleet secret_file %s is empty" % args.secret_file)
+        return secret
+    return None
+
+
 def _cmd_fleet(args) -> int:
     if args.action == "worker":
         from repro.fleet.worker import serve_worker
@@ -516,14 +607,25 @@ def _cmd_fleet(args) -> int:
             host=args.host or "127.0.0.1",
             port=args.port if args.port is not None else 0,
             port_file=args.port_file,
+            register=args.register,
+            advertise_host=args.advertise_host,
+            weight=args.weight,
+            secret=_worker_secret(args),
+            jobs_ttl_s=args.jobs_ttl,
+            drain_grace_s=args.drain_grace,
         )
         return 0
+    if args.action == "drain" and args.url:
+        return _drain_targets([args.url], _worker_secret(args))
     if not args.fleet:
         print("error: fleet %s requires --fleet PATH" % args.action, file=sys.stderr)
         return 2
     from repro.fleet.manifest import FleetManifest
 
     manifest = FleetManifest.load(args.fleet)
+    if args.secret_file:
+        manifest.secret_file = args.secret_file
+    secret = manifest.load_secret()
     if args.action == "serve":
         from repro.fleet.gateway import serve_gateway
 
@@ -536,15 +638,18 @@ def _cmd_fleet(args) -> int:
             else (gw.port if gw is not None else 0),
             cache_dir=args.cache_dir,
             port_file=args.port_file,
+            secret=secret,
         )
         return 0
+    if args.action == "drain":
+        return _drain_targets(_drain_discover(manifest, secret), secret)
     # status
     from repro.fleet.wire import FleetTransportError, http_json
 
     if manifest.gateway is not None:
         url = manifest.gateway.base_url
         try:
-            status, doc = http_json("GET", url + "/status", timeout=5.0)
+            status, doc = http_json("GET", url + "/status", timeout=5.0, secret=secret)
         except FleetTransportError as exc:
             print("gateway %s unreachable: %s" % (url, exc), file=sys.stderr)
             return 1
@@ -552,9 +657,17 @@ def _cmd_fleet(args) -> int:
             print("gateway %s unhealthy: %r" % (url, doc), file=sys.stderr)
             return 1
         cache = doc.get("cache", {})
+        membership = doc.get("membership") or {}
         print(
-            "gateway %s: pid %s, up %ss, cache entries %s"
-            % (url, doc.get("pid"), doc.get("uptime_s"), cache.get("entries"))
+            "gateway %s: pid %s, up %ss, cache entries %s, members %s (lease %ss)"
+            % (
+                url,
+                doc.get("pid"),
+                doc.get("uptime_s"),
+                cache.get("entries"),
+                membership.get("members", 0),
+                membership.get("lease_s", "-"),
+            )
         )
         workers = doc.get("workers", [])
     else:
@@ -562,7 +675,9 @@ def _cmd_fleet(args) -> int:
         for spec in manifest.workers:
             entry = {"url": spec.base_url, "weight": spec.weight, "health": None}
             try:
-                status, health = http_json("GET", spec.base_url + "/health", timeout=5.0)
+                status, health = http_json(
+                    "GET", spec.base_url + "/health", timeout=5.0, secret=secret
+                )
                 entry["alive"] = status == 200 and bool(health.get("ok"))
                 entry["health"] = health if entry["alive"] else None
             except FleetTransportError:
@@ -781,14 +896,16 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="run or inspect the distributed sweep fleet"
     )
     fleet.add_argument(
-        "action", choices=["worker", "serve", "status"],
+        "action", choices=["worker", "serve", "status", "drain"],
         help="worker: run one single-slot HTTP worker; serve: run the "
-        "gateway (dispatch + shared result cache) for a manifest; "
-        "status: print fleet health",
+        "gateway (dispatch + membership + shared result cache) for a "
+        "manifest; status: print fleet health; drain: gracefully "
+        "decommission workers (finish in-flight job, deregister, exit 0)",
     )
     fleet.add_argument(
         "--fleet", metavar="PATH",
-        help="fleet manifest JSON (required for serve/status)",
+        help="fleet manifest JSON (required for serve/status, and for "
+        "drain without --url)",
     )
     fleet.add_argument(
         "--host", metavar="HOST", default=None,
@@ -808,7 +925,42 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="gateway shared-cache directory (serve; default: "
-        "<package cache>/fleet)",
+        "<package cache>/fleet); also holds the persisted membership "
+        "table a restarted gateway rehydrates from",
+    )
+    fleet.add_argument(
+        "--register", metavar="URL", default=None,
+        help="worker: announce to this gateway URL at boot and renew a "
+        "heartbeat lease, instead of appearing in a static manifest",
+    )
+    fleet.add_argument(
+        "--advertise-host", metavar="HOST", default=None,
+        help="worker: hostname to register (when the bind address is a "
+        "wildcard peers can't dial)",
+    )
+    fleet.add_argument(
+        "--weight", type=int, metavar="N", default=1,
+        help="worker: round-robin weight to register with (default 1)",
+    )
+    fleet.add_argument(
+        "--secret-file", metavar="PATH", default=None,
+        help="file holding the fleet's shared request-signing secret "
+        "(REPRO_FLEET_SECRET overrides; no secret = unsigned loopback)",
+    )
+    fleet.add_argument(
+        "--url", metavar="URL", default=None,
+        help="drain: target one worker URL directly instead of the "
+        "manifest/gateway fleet",
+    )
+    fleet.add_argument(
+        "--jobs-ttl", type=float, metavar="S", default=600.0,
+        help="worker: expire unfetched finished-job records after S "
+        "seconds (default 600)",
+    )
+    fleet.add_argument(
+        "--drain-grace", type=float, metavar="S", default=30.0,
+        help="worker: max seconds a drain waits for the in-flight job "
+        "and its result hand-off (default 30)",
     )
     fleet.set_defaults(fn=_cmd_fleet)
 

@@ -23,6 +23,11 @@ from repro.fleet.cache import RemoteMemoCache
 from repro.fleet.dispatch import FleetDispatcher
 from repro.fleet.executor import FleetExecutor, fleet_pool_factory
 from repro.fleet.manifest import FleetManifest, WorkerSpec
+from repro.fleet.membership import (
+    MemberRecord,
+    MembershipRegistry,
+    RegistrationClient,
+)
 from repro.fleet.wire import (
     FleetBusyError,
     FleetError,
@@ -42,6 +47,9 @@ __all__ = [
     "FleetTransportError",
     "FleetVersionError",
     "FleetWorkerError",
+    "MemberRecord",
+    "MembershipRegistry",
+    "RegistrationClient",
     "RemoteMemoCache",
     "WorkerSpec",
     "fleet_pool_factory",

@@ -33,10 +33,17 @@ def _count(event: str, n: float = 1) -> None:
 class RemoteMemoCache:
     """A MemoCache-compatible client for the gateway's ``/cache`` endpoints."""
 
-    def __init__(self, base_url: str, version: str | None = None, timeout_s: float = 10.0):
+    def __init__(
+        self,
+        base_url: str,
+        version: str | None = None,
+        timeout_s: float = 10.0,
+        secret: str | None = None,
+    ):
         self.base_url = str(base_url).rstrip("/")
         self.version = version if version is not None else code_version_hash()
         self.timeout_s = timeout_s
+        self.secret = secret
 
     def key(self, name: str, config=None) -> str:
         return memo_key(name, config, self.version)
@@ -44,7 +51,9 @@ class RemoteMemoCache:
     def get(self, name: str, config=None, default=None):
         url = "%s/cache/get?key=%s" % (self.base_url, quote(self.key(name, config)))
         try:
-            status, doc = http_json("GET", url, timeout=self.timeout_s)
+            status, doc = http_json(
+                "GET", url, timeout=self.timeout_s, secret=self.secret
+            )
         except FleetTransportError:
             _count("degraded")
             return default
@@ -58,7 +67,11 @@ class RemoteMemoCache:
         payload = {"key": self.key(name, config), "value": value}
         try:
             status, _doc = http_json(
-                "POST", self.base_url + "/cache/put", payload, timeout=self.timeout_s
+                "POST",
+                self.base_url + "/cache/put",
+                payload,
+                timeout=self.timeout_s,
+                secret=self.secret,
             )
         except FleetTransportError:
             _count("degraded")

@@ -10,12 +10,20 @@ A transport failure evicts the node immediately — every subsequent pick
 skips it, so a dead worker costs one failed request, not one per shard.
 Evicted nodes are re-probed (``GET /health``) at most once per
 ``probe_interval_s`` and rejoin the rotation on success, so a restarted
-worker is picked up without restarting the sweep.  When every node is
-dead, :meth:`FleetDispatcher.pick` raises
+worker is picked up without restarting the sweep.  A probe that answers
+with a *different* ``code_version_hash`` keeps the node evicted
+(``fleet.dispatch.version_skew``) — a worker restarted on a divergent
+tree would otherwise rejoin and 409 every job it's handed; same for a
+worker that reports itself ``draining``.  When every node is dead,
+:meth:`FleetDispatcher.pick` raises
 :class:`~repro.fleet.wire.FleetNoWorkersError`; the executor surfaces
 that through the item's future, where ResilientMap charges the attempt
 and ultimately quarantines — a fleet-wide outage degrades exactly like a
 repeatedly-crashing local pool.
+
+Elastic fleets grow and shrink the node table at runtime: the gateway
+calls :meth:`FleetDispatcher.add_worker` on registration and
+:meth:`FleetDispatcher.remove_worker` on drain or lease expiry.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.core.memo import code_version_hash
 from repro.fleet.manifest import FleetManifest, WorkerSpec
 from repro.fleet.wire import FleetNoWorkersError, FleetTransportError, http_json
 from repro.obs.recorder import get_recorder
@@ -48,9 +57,15 @@ class FleetDispatcher:
     eviction knowledge survives pool teardown after a timeout.
     """
 
-    def __init__(self, manifest: FleetManifest, probe_timeout_s: float = 2.0):
+    def __init__(
+        self,
+        manifest: FleetManifest,
+        probe_timeout_s: float = 2.0,
+        secret: str | None = None,
+    ):
         self.manifest = manifest
         self.probe_timeout_s = probe_timeout_s
+        self.secret = secret
         self._nodes = [_Node(spec) for spec in manifest.workers]
         self._lock = threading.Lock()
 
@@ -87,6 +102,42 @@ class FleetDispatcher:
                     node.current = 0
                     _count("evicted")
 
+    def add_worker(self, spec: WorkerSpec) -> None:
+        """Admit (or refresh) a dynamically-registered worker.
+
+        Matching is by host+port: a re-registration updates the weight
+        and revives the node with smooth-WRR state reset, so a restarted
+        member rejoins the rotation immediately instead of waiting out a
+        probe interval.
+        """
+        with self._lock:
+            for node in self._nodes:
+                if node.spec.host == spec.host and node.spec.port == spec.port:
+                    node.spec = spec
+                    node.alive = True
+                    node.current = 0
+                    node.last_probe_s = 0.0
+                    _count("readded")
+                    return
+            self._nodes.append(_Node(spec))
+            _count("added")
+
+    def remove_worker(self, spec: WorkerSpec) -> None:
+        """Drop a worker from the rotation entirely (drain/lease expiry).
+
+        Unlike eviction, a removed node is not probed for revival — it
+        must re-register to come back.
+        """
+        with self._lock:
+            before = len(self._nodes)
+            self._nodes = [
+                node
+                for node in self._nodes
+                if not (node.spec.host == spec.host and node.spec.port == spec.port)
+            ]
+            if len(self._nodes) < before:
+                _count("removed")
+
     def alive_workers(self) -> list:
         with self._lock:
             return [node.spec for node in self._nodes if node.alive]
@@ -119,11 +170,20 @@ class FleetDispatcher:
                     "GET",
                     node.spec.base_url + "/health",
                     timeout=self.probe_timeout_s,
+                    secret=self.secret,
                 )
             except FleetTransportError:
                 continue
-            if status == 200 and doc.get("ok"):
-                with self._lock:
-                    node.alive = True
-                    node.current = 0
-                _count("revived")
+            if status != 200 or not doc.get("ok"):
+                continue
+            if doc.get("draining"):
+                continue  # finishing up on its way out; don't hand it work
+            version = doc.get("version")
+            if version is not None and version != code_version_hash():
+                # A divergent tree would 409 every job — stay evicted.
+                _count("version_skew")
+                continue
+            with self._lock:
+                node.alive = True
+                node.current = 0
+            _count("revived")

@@ -60,10 +60,14 @@ class FleetExecutor:
         dispatcher: FleetDispatcher | None = None,
         initializer=None,
         initargs=(),
+        secret: str | None = None,
     ):
         self.manifest = manifest
+        self.secret = secret
         self.dispatcher = (
-            dispatcher if dispatcher is not None else FleetDispatcher(manifest)
+            dispatcher
+            if dispatcher is not None
+            else FleetDispatcher(manifest, secret=secret)
         )
         self._gateway_url = (
             manifest.gateway.base_url if manifest.gateway is not None else None
@@ -155,7 +159,11 @@ class FleetExecutor:
         """
         if self._gateway_url is not None:
             status, doc = http_json(
-                "POST", self._gateway_url + "/run", envelope, timeout=timeout
+                "POST",
+                self._gateway_url + "/run",
+                envelope,
+                timeout=timeout,
+                secret=self.secret,
             )
             if status == 503:
                 return None
@@ -176,13 +184,22 @@ class FleetExecutor:
             spec = self.dispatcher.pick()  # raises FleetNoWorkersError when dead
             try:
                 status, doc = http_json(
-                    "POST", spec.base_url + "/run", envelope, timeout=timeout
+                    "POST",
+                    spec.base_url + "/run",
+                    envelope,
+                    timeout=timeout,
+                    secret=self.secret,
                 )
             except FleetTransportError:
                 # Job never started; evict and try a sibling, uncharged.
                 self.dispatcher.report_failure(spec)
                 continue
             if status == 503:
+                if doc.get("draining"):
+                    # Graceful decommission: the worker never took the
+                    # job, so re-place on a sibling uncharged.
+                    self.dispatcher.report_failure(spec)
+                    continue
                 return None
             if status == 409:
                 raise FleetVersionError(str(doc.get("error")))
@@ -198,7 +215,9 @@ class FleetExecutor:
             self._check_abort()
             time.sleep(poll)
             try:
-                status, record = http_json("GET", result_url, timeout=timeout)
+                status, record = http_json(
+                    "GET", result_url, timeout=timeout, secret=self.secret
+                )
             except FleetTransportError as exc:
                 if spec is not None:
                     self.dispatcher.report_failure(spec)
@@ -239,7 +258,8 @@ def fleet_pool_factory(manifest):
     """
     if isinstance(manifest, (str, Path)):
         manifest = FleetManifest.load(manifest)
-    dispatcher = FleetDispatcher(manifest)
+    secret = manifest.load_secret()
+    dispatcher = FleetDispatcher(manifest, secret=secret)
 
     def factory(mapper) -> FleetExecutor:
         return FleetExecutor(
@@ -247,6 +267,7 @@ def fleet_pool_factory(manifest):
             dispatcher=dispatcher,
             initializer=getattr(mapper, "initializer", None),
             initargs=getattr(mapper, "initargs", ()) or (),
+            secret=secret,
         )
 
     return factory

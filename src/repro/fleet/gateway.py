@@ -9,39 +9,62 @@ health, and it hosts the shared result cache — a
 sweep finished by one client short-circuits the same sweep started by
 another.
 
+The gateway also owns **elastic membership**
+(:class:`repro.fleet.membership.MembershipRegistry`): workers started
+with ``--register`` join at runtime, renew a heartbeat lease every
+``lease_s / 3``, and are dropped from dispatch when the lease lapses —
+so a hung or partitioned worker is detected within ``lease_s`` instead
+of costing a transport timeout per shard.  Membership is persisted to a
+second SegmentStore next to the cache, so a restarted gateway rehydrates
+its fleet and in-flight sweeps resume.
+
 Endpoints:
 
 - ``GET /health`` — gateway liveness.
-- ``GET /status`` — live fleet picture: per-worker health + cache size.
+- ``GET /status`` — live fleet picture: per-worker health + lease,
+  membership summary, gateway counters, cache size.
 - ``POST /run`` — forward a job envelope to the next worker.  Replies
   ``{"job", "worker"}`` on placement; 503 when every live worker's slot
   is busy (clients wait); 502 when no live worker remains (clients
   charge the attempt — the fleet-wide-outage path to quarantine); 409
-  passes a worker's code-version rejection through.
+  passes a worker's code-version rejection through.  A worker answering
+  "draining" is evicted from rotation and the job moves to a sibling.
 - ``GET /result?worker=<url>&job=<id>`` — proxy a result poll, so
-  clients never need direct worker connectivity.
+  clients never need direct worker connectivity.  Polling a recently
+  removed member (drained or lease-expired) answers 502 so the client
+  requeues the shard instead of spinning on 400s.
+- ``POST /register`` / ``/renew`` / ``/deregister`` — the membership
+  lifecycle (see :mod:`repro.fleet.membership`).
 - ``GET /cache/get?key=<k>`` / ``POST /cache/put`` — the shared memo
   cache (``key`` is :func:`repro.core.memo.memo_key` output; values are
   JSON documents).
+
+With a shared secret configured every endpoint requires a valid request
+signature (401 otherwise); see :mod:`repro.fleet.wire`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
-from repro.core.memo import default_cache_dir
+from repro.core.memo import code_version_hash, default_cache_dir
 from repro.core.store import SegmentStore
 from repro.fleet.dispatch import FleetDispatcher
 from repro.fleet.manifest import FleetManifest
+from repro.fleet.membership import (
+    MEMBERS_STORE_KEY,
+    MemberRecord,
+    MembershipRegistry,
+)
 from repro.fleet.wire import (
     FleetNoWorkersError,
     FleetTransportError,
+    JsonRequestHandler,
     http_json,
 )
 from repro.obs.recorder import get_recorder
@@ -55,30 +78,11 @@ def _count(event: str, n: float = 1) -> None:
     get_recorder().counters.add("fleet.gateway." + event, n)
 
 
-class _GatewayHandler(BaseHTTPRequestHandler):
-    protocol_version = "HTTP/1.1"
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass
-
-    def _reply(self, status: int, document: dict) -> None:
-        body = json.dumps(document).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _read_json(self):
-        length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length) if length else b""
-        try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return None
+class _GatewayHandler(JsonRequestHandler):
+    counter_ns = "fleet.gateway."
 
     # -- routes --------------------------------------------------------
-    def do_GET(self):
+    def route_get(self, body: bytes) -> None:
         server = self.server
         url = urlparse(self.path)
         query = parse_qs(url.query)
@@ -89,7 +93,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     "ok": True,
                     "role": "gateway",
                     "pid": os.getpid(),
-                    "workers": len(server.manifest.workers),
+                    "version": code_version_hash(),
+                    "workers": len(server.dispatcher.snapshot()),
                 },
             )
             return
@@ -117,18 +122,27 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return
         self._reply(404, {"error": "unknown path %r" % url.path})
 
-    def do_POST(self):
+    def route_post(self, body: bytes) -> None:
         server = self.server
         url = urlparse(self.path)
         if url.path == "/run":
-            envelope = self._read_json()
+            envelope = self._json(body)
             if not isinstance(envelope, dict):
                 self._reply(400, {"error": "malformed job envelope"})
                 return
             self._forward_run(envelope)
             return
+        if url.path == "/register":
+            self._register(self._json(body))
+            return
+        if url.path == "/renew":
+            self._renew(self._json(body))
+            return
+        if url.path == "/deregister":
+            self._deregister(self._json(body))
+            return
         if url.path == "/cache/put":
-            doc = self._read_json()
+            doc = self._json(body)
             if not isinstance(doc, dict) or not doc.get("key"):
                 self._reply(400, {"error": "need {'key', 'value'}"})
                 return
@@ -139,6 +153,65 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._reply(200, {"ok": True})
             return
         self._reply(404, {"error": "unknown path %r" % url.path})
+
+    # -- membership ----------------------------------------------------
+    def _register(self, doc) -> None:
+        server = self.server
+        if not isinstance(doc, dict):
+            self._reply(400, {"error": "malformed registration"})
+            return
+        try:
+            record = MemberRecord.from_dict(doc)
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        version = code_version_hash()
+        if record.version is not None and record.version != version:
+            _count("register_version_rejects")
+            self._reply(
+                409,
+                {
+                    "error": "code version mismatch: gateway runs %s, worker sent %s"
+                    % (version, record.version),
+                    "version": version,
+                },
+            )
+            return
+        joined = server.membership.register(record)
+        server.dispatcher.add_worker(record.spec)
+        _count("registered" if joined else "reregistered")
+        self._reply(200, {"ok": True, "lease_s": server.membership.lease_s})
+
+    def _renew(self, doc) -> None:
+        server = self.server
+        if not isinstance(doc, dict) or "host" not in doc or "port" not in doc:
+            self._reply(400, {"error": "need {'host', 'port'}"})
+            return
+        try:
+            host, port = str(doc["host"]), int(doc["port"])
+        except (TypeError, ValueError):
+            self._reply(400, {"error": "need {'host', 'port'}"})
+            return
+        if server.membership.renew(host, port):
+            self._reply(200, {"ok": True, "lease_s": server.membership.lease_s})
+            return
+        self._reply(404, {"error": "unknown member; re-register"})
+
+    def _deregister(self, doc) -> None:
+        server = self.server
+        if not isinstance(doc, dict) or "host" not in doc or "port" not in doc:
+            self._reply(400, {"error": "need {'host', 'port'}"})
+            return
+        try:
+            host, port = str(doc["host"]), int(doc["port"])
+        except (TypeError, ValueError):
+            self._reply(400, {"error": "need {'host', 'port'}"})
+            return
+        record = server.membership.deregister(host, port)
+        if record is not None:
+            server.dispatcher.remove_worker(record.spec)
+            _count("deregistered")
+        self._reply(200, {"ok": True, "known": record is not None})
 
     # -- forwarding ----------------------------------------------------
     def _forward_run(self, envelope: dict) -> None:
@@ -162,12 +235,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 continue
             try:
                 status, doc = http_json(
-                    "POST", spec.base_url + "/run", envelope, timeout=timeout
+                    "POST",
+                    spec.base_url + "/run",
+                    envelope,
+                    timeout=timeout,
+                    secret=server.secret,
                 )
             except FleetTransportError:
                 dispatcher.report_failure(spec)
                 continue
             if status == 503:
+                if doc.get("draining"):
+                    # On its way out: take it off rotation and move on.
+                    _count("drain_evictions")
+                    dispatcher.report_failure(spec)
+                    continue
                 busy.add(spec.base_url)
                 if busy >= {s.base_url for s in dispatcher.alive_workers()}:
                     _count("all_busy")
@@ -188,7 +270,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "need 'worker' and 'job'"})
             return
         known = {spec.base_url for spec in server.manifest.workers}
-        if worker not in known:
+        if worker not in known and not server.membership.is_member(worker):
+            reason = server.membership.removal_reason(worker)
+            if reason is not None:
+                # The member left (drain/lease expiry) with this job in
+                # flight: fail the poll so the client requeues the shard.
+                _count("dead_member_polls")
+                self._reply(502, {"error": "worker removed: %s" % reason})
+                return
             self._reply(400, {"error": "unknown worker %r" % worker})
             return
         try:
@@ -196,9 +285,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 "GET",
                 "%s/result?job=%s" % (worker, job),
                 timeout=server.manifest.request_timeout_s,
+                secret=server.secret,
             )
         except FleetTransportError as exc:
-            for spec in server.manifest.workers:
+            for spec, _alive in server.dispatcher.snapshot():
                 if spec.base_url == worker:
                     server.dispatcher.report_failure(spec)
             self._reply(502, {"error": "worker unreachable: %s" % exc})
@@ -216,10 +306,12 @@ class GatewayServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         cache_dir=None,
+        secret: str | None = None,
     ):
         super().__init__((host, port), _GatewayHandler)
         self.manifest = manifest
-        self.dispatcher = FleetDispatcher(manifest)
+        self.secret = secret
+        self.dispatcher = FleetDispatcher(manifest, secret=secret)
         directory = (
             Path(cache_dir) if cache_dir is not None else default_cache_dir() / "fleet"
         )
@@ -227,30 +319,76 @@ class GatewayServer(ThreadingHTTPServer):
             directory, key=CACHE_STORE_KEY, prefix="fleet", flush_every=1, fsync=False
         )
         self.cache_lock = threading.Lock()
+        # Membership persists next to the cache (fsync'd: joins are rare
+        # and a crashed gateway must rehydrate the exact member set).
+        self.membership = MembershipRegistry(
+            lease_s=manifest.lease_s,
+            store=SegmentStore(
+                directory,
+                key=MEMBERS_STORE_KEY,
+                prefix="members",
+                flush_every=1,
+                fsync=True,
+            ),
+        )
+        for record in self.membership.rehydrate():
+            self.dispatcher.add_worker(record.spec)
+            _count("rehydrated")
         self.started_s = time.monotonic()
+        self._closed = False
+        self._lease_stop = threading.Event()
+        self._lease_thread = threading.Thread(
+            target=self._lease_loop, daemon=True, name="fleet-leases"
+        )
+        self._lease_thread.start()
 
     @property
     def port(self) -> int:
         return self.server_address[1]
 
+    def _lease_loop(self) -> None:
+        tick = max(0.05, self.membership.lease_s / 5.0)
+        while not self._lease_stop.wait(tick):
+            for record in self.membership.expire_due():
+                self.dispatcher.remove_worker(record.spec)
+                _count("lease_expired")
+
+    def server_close(self) -> None:
+        self._lease_stop.set()
+        super().server_close()
+        if not self._closed:
+            self._closed = True
+            self.membership.close()
+
     def status_document(self) -> dict:
+        leases = {
+            record.url: remaining for record, remaining in self.membership.members()
+        }
         workers = []
         for spec, alive in self.dispatcher.snapshot():
             health = None
             if alive:
                 try:
                     status, doc = http_json(
-                        "GET", spec.base_url + "/health", timeout=2.0
+                        "GET",
+                        spec.base_url + "/health",
+                        timeout=2.0,
+                        secret=self.secret,
                     )
                     if status == 200:
                         health = doc
                 except FleetTransportError:
                     alive = False
+            registered = spec.base_url in leases
             workers.append(
                 {
                     "url": spec.base_url,
                     "weight": spec.weight,
                     "alive": alive,
+                    "registered": registered,
+                    "lease_remaining_s": (
+                        round(leases[spec.base_url], 3) if registered else None
+                    ),
                     "health": health,
                 }
             )
@@ -261,6 +399,11 @@ class GatewayServer(ThreadingHTTPServer):
             "pid": os.getpid(),
             "uptime_s": round(time.monotonic() - self.started_s, 3),
             "workers": workers,
+            "membership": {
+                "members": len(self.membership),
+                "lease_s": self.membership.lease_s,
+            },
+            "counters": get_recorder().counters.as_dict(),
             "cache": {
                 "entries": cache_entries,
                 "directory": str(self.cache.directory),
@@ -274,18 +417,31 @@ def serve_gateway(
     port: int = 0,
     cache_dir=None,
     port_file=None,
+    secret: str | None = None,
 ) -> None:
     """Run the gateway until interrupted.  ``port=0`` binds ephemeral."""
     from repro.fleet.worker import write_port_file
+    from repro.obs.recorder import Recorder, set_recorder
 
     if isinstance(manifest, (str, Path)):
         manifest = FleetManifest.load(manifest)
-    server = GatewayServer(manifest, host=host, port=port, cache_dir=cache_dir)
+    # Arm a real recorder so /status can expose fleet.gateway.* counters
+    # (a bare subprocess otherwise defaults to the no-op recorder).
+    set_recorder(Recorder())
+    server = GatewayServer(
+        manifest, host=host, port=port, cache_dir=cache_dir, secret=secret
+    )
     if port_file is not None:
         write_port_file(port_file, server.port)
     print(
-        "fleet gateway pid=%d listening on http://%s:%d (%d workers)"
-        % (os.getpid(), host, server.port, len(manifest.workers)),
+        "fleet gateway pid=%d listening on http://%s:%d (%d static workers, %d members)"
+        % (
+            os.getpid(),
+            host,
+            server.port,
+            len(manifest.workers),
+            len(server.membership),
+        ),
         flush=True,
     )
     try:

@@ -25,18 +25,40 @@ Error taxonomy (all subclass :class:`FleetError`):
   (HTTP 503); not a failure, the client waits and retries.
 - :class:`FleetVersionError` — code-version handshake mismatch (HTTP 409).
 - :class:`FleetNoWorkersError` — every worker in the manifest is dead.
+
+Authentication: when a fleet leaves the loopback, every request —
+worker, gateway, and cache endpoints alike — is signed with a shared
+secret (``REPRO_FLEET_SECRET`` or the manifest's ``secret_file``).  The
+signature is an HMAC-SHA256 over ``method \\n selector \\n body`` in the
+``X-Repro-Fleet-Auth`` header, verified constant-time; a configured
+server answers unsigned or wrongly-signed requests with 401 and a
+``fleet.*.unauthorized`` counter.  With no secret configured nothing is
+signed or checked, so loopback fleets keep working unchanged.  The
+scheme authenticates peers and protects request integrity; it is not
+transport encryption — non-loopback fleets should still ride a trusted
+network or tunnel.
 """
 
 from __future__ import annotations
 
-import base64
+import hashlib
+import hmac
 import json
 import pickle
 import socket
 import urllib.error
 import urllib.request
+from base64 import b64decode, b64encode
+from http.server import BaseHTTPRequestHandler
+from urllib.parse import urlsplit
 
 PROTOCOL = "repro-fleet-job/v1"
+
+#: Environment variable that provides the fleet's shared secret.
+FLEET_SECRET_ENV = "REPRO_FLEET_SECRET"
+
+#: Header carrying the request signature.
+AUTH_HEADER = "X-Repro-Fleet-Auth"
 
 
 class FleetError(RuntimeError):
@@ -65,29 +87,67 @@ class FleetNoWorkersError(FleetError):
 
 def encode_obj(obj) -> str:
     """Pickle ``obj`` and wrap it in URL/JSON-safe base64 text."""
-    return base64.b64encode(
+    return b64encode(
         pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     ).decode("ascii")
 
 
 def decode_obj(text: str):
     """Inverse of :func:`encode_obj`."""
-    return pickle.loads(base64.b64decode(text.encode("ascii")))
+    return pickle.loads(b64decode(text.encode("ascii")))
 
 
-def http_json(method: str, url: str, payload=None, timeout: float = 10.0):
+def _selector(url: str) -> str:
+    """The request-line selector (path + query) the peer will see."""
+    split = urlsplit(url)
+    selector = split.path or "/"
+    if split.query:
+        selector += "?" + split.query
+    return selector
+
+
+def sign_request(secret: str, method: str, selector: str, body: bytes) -> str:
+    """HMAC-SHA256 signature over one request's identity and content."""
+    message = b"\n".join(
+        [method.encode("utf-8"), selector.encode("utf-8"), body or b""]
+    )
+    return hmac.new(secret.encode("utf-8"), message, hashlib.sha256).hexdigest()
+
+
+def verify_signature(
+    secret: str, method: str, selector: str, body: bytes, header: str
+) -> bool:
+    """Constant-time check of a request signature."""
+    expected = sign_request(secret, method, selector, body)
+    return hmac.compare_digest(expected, str(header))
+
+
+def http_json(
+    method: str,
+    url: str,
+    payload=None,
+    timeout: float = 10.0,
+    secret: str | None = None,
+):
     """One JSON request/response round trip.
 
     Returns ``(status, document)``.  Non-2xx responses are returned, not
     raised — protocol-level errors (busy, version mismatch, unknown job)
     carry meaning the caller maps to the taxonomy above.  Only failures
     *below* the protocol raise, as :class:`FleetTransportError`.
+
+    With a ``secret`` the request is signed (see module docstring); the
+    server must share the same secret or it answers 401.
     """
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
+    if secret:
+        headers[AUTH_HEADER] = sign_request(
+            secret, method, _selector(url), data or b""
+        )
     request = urllib.request.Request(url, data=data, headers=headers, method=method)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
@@ -104,3 +164,108 @@ def http_json(method: str, url: str, payload=None, timeout: float = 10.0):
     except (UnicodeDecodeError, json.JSONDecodeError):
         document = {"error": repr(body[:200])}
     return status, document
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for the fleet's HTTP servers (worker + gateway).
+
+    Owns the hostile-input surface so the route code doesn't have to:
+
+    - JSON replies with correct ``Content-Length`` (keep-alive safe);
+    - body reads guarded against absent, garbage, or absurd
+      ``Content-Length`` headers (400, never a blocked ``read``);
+    - a socket ``timeout`` so a peer that stalls mid-body can't pin a
+      handler thread forever;
+    - optional shared-secret verification (401 + ``*.unauthorized``
+      counter) before any route logic runs, when ``server.secret`` is
+      set;
+    - a catch-all that turns an unexpected route exception into a JSON
+      500 instead of a traceback-and-dropped-connection.
+
+    Subclasses implement :meth:`route_get` / :meth:`route_post` and set
+    ``counter_ns``.
+    """
+
+    protocol_version = "HTTP/1.1"
+    timeout = 60.0
+    counter_ns = "fleet.server."
+    max_body_bytes = 256 * 1024 * 1024
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _count(self, event: str, n: float = 1) -> None:
+        from repro.obs.recorder import get_recorder
+
+        get_recorder().counters.add(self.counter_ns + event, n)
+
+    def _reply(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        """The request body, or None when Content-Length is unusable."""
+        raw = self.headers.get("Content-Length")
+        try:
+            length = int(raw) if raw is not None else 0
+        except (TypeError, ValueError):
+            return None
+        if length < 0 or length > self.max_body_bytes:
+            return None
+        return self.rfile.read(length) if length else b""
+
+    @staticmethod
+    def _json(body: bytes):
+        """Parse a JSON body; None for undecodable bytes."""
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    def _authorized(self, body: bytes) -> bool:
+        secret = getattr(self.server, "secret", None)
+        if not secret:
+            return True
+        header = self.headers.get(AUTH_HEADER)
+        if header and verify_signature(
+            secret, self.command, self.path, body, header
+        ):
+            return True
+        self._count("unauthorized")
+        self._reply(401, {"error": "unauthorized"})
+        return False
+
+    def do_GET(self):
+        self._dispatch(self.route_get, b"")
+
+    def do_POST(self):
+        body = self._read_body()
+        if body is None:
+            self._reply(400, {"error": "missing or malformed Content-Length"})
+            return
+        self._dispatch(self.route_post, body)
+
+    def _dispatch(self, route, body: bytes) -> None:
+        try:
+            if not self._authorized(body):
+                return
+            route(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # peer went away mid-reply; nobody left to tell
+        except Exception:  # noqa: BLE001 - a request must never kill a thread
+            self._count("internal_errors")
+            try:
+                self._reply(500, {"error": "internal error"})
+            except OSError:
+                pass
+
+    # Routes: subclasses override.
+    def route_get(self, body: bytes) -> None:
+        self._reply(404, {"error": "unknown path %r" % self.path})
+
+    def route_post(self, body: bytes) -> None:
+        self._reply(404, {"error": "unknown path %r" % self.path})

@@ -2,13 +2,17 @@
 
 Two tiers of infrastructure:
 
-- In-process servers (:func:`worker_servers`): ``WorkerServer`` /
-  ``GatewayServer`` instances on daemon threads, for protocol-level unit
-  tests where real process isolation isn't the point.
+- In-process servers (:func:`worker_servers`, :func:`gateway_server`):
+  ``WorkerServer`` / ``GatewayServer`` instances on daemon threads, for
+  protocol-level unit tests where real process isolation isn't the point.
 - Subprocess fleets (:func:`make_fleet`): real ``python -m repro fleet
   worker`` / ``fleet serve`` processes bound to ephemeral ports, for the
   fault suite — killing a worker must kill a *process*, and fault plans
-  (``REPRO_FAULT_PLAN``) must be inherited at spawn.
+  (``REPRO_FAULT_PLAN``) must be inherited at spawn.  Workers can be
+  started static (listed in the manifest) or elastic
+  (``start_worker(register=True)`` → ``--register`` against the
+  gateway), and SIGSTOP/SIGCONT helpers simulate partitions for the
+  lease-expiry tests.
 """
 
 from __future__ import annotations
@@ -80,19 +84,31 @@ class FleetHarness:
             stderr=subprocess.STDOUT,
         )
 
-    def start_worker(self) -> int:
+    def start_worker(self, register: bool = False, extra_args=()) -> int:
         self._seq += 1
         port_file = self.tmp_path / ("worker-%d.port" % self._seq)
-        proc = self._spawn(
-            ["fleet", "worker", "--port", "0", "--port-file", str(port_file)],
-            "worker-%d.log" % self._seq,
-        )
+        argv = ["fleet", "worker", "--port", "0", "--port-file", str(port_file)]
+        if register:
+            assert self.gateway is not None, "start_gateway() first"
+            argv += ["--register", "http://127.0.0.1:%d" % self.gateway[1]]
+        argv += list(extra_args)
+        proc = self._spawn(argv, "worker-%d.log" % self._seq)
         port = wait_for_port_file(port_file)
         self.workers.append((proc, port))
         return port
 
-    def start_gateway(self, port: int = 0) -> int:
-        manifest_path = self.write_manifest(name="gateway-manifest.json")
+    def start_gateway(
+        self, port: int = 0, include_workers: bool = True, **overrides
+    ) -> int:
+        manifest_path = self.write_manifest(
+            name="gateway-manifest.json",
+            include_workers=include_workers,
+            # An elastic gateway manifest names itself so validation
+            # passes with zero static workers; port 0 is a placeholder.
+            with_gateway=not include_workers,
+            gateway_port=0,
+            **overrides,
+        )
         self._seq += 1
         port_file = self.tmp_path / ("gateway-%d.port" % self._seq)
         proc = self._spawn(
@@ -112,6 +128,37 @@ class FleetHarness:
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=10)
 
+    def sigstop_worker(self, index: int) -> None:
+        """Freeze a worker process: the loopback analogue of a partition
+        (TCP connects still succeed, nothing answers, leases lapse)."""
+        proc, _port = self.workers[index]
+        proc.send_signal(signal.SIGSTOP)
+
+    def sigcont_worker(self, index: int) -> None:
+        proc, _port = self.workers[index]
+        proc.send_signal(signal.SIGCONT)
+
+    def sigterm_worker(self, index: int) -> None:
+        proc, _port = self.workers[index]
+        proc.send_signal(signal.SIGTERM)
+
+    def drain_worker(self, index: int, secret=None) -> None:
+        from repro.fleet.wire import http_json
+
+        _proc, port = self.workers[index]
+        status, doc = http_json(
+            "POST",
+            "http://127.0.0.1:%d/drain" % port,
+            {},
+            timeout=5.0,
+            secret=secret,
+        )
+        assert status == 200 and doc.get("ok"), doc
+
+    def wait_worker_exit(self, index: int, timeout: float = 30.0) -> int:
+        proc, _port = self.workers[index]
+        return proc.wait(timeout=timeout)
+
     def kill_gateway(self) -> None:
         assert self.gateway is not None
         proc, _port = self.gateway
@@ -119,12 +166,40 @@ class FleetHarness:
         proc.wait(timeout=10)
         self.gateway = None
 
+    def gateway_status(self, secret=None) -> dict:
+        from repro.fleet.wire import http_json
+
+        assert self.gateway is not None
+        status, doc = http_json(
+            "GET",
+            "http://127.0.0.1:%d/status" % self.gateway[1],
+            timeout=5.0,
+            secret=secret,
+        )
+        assert status == 200, doc
+        return doc
+
+    def wait_members(self, n: int, timeout: float = 30.0, secret=None) -> dict:
+        """Block until the gateway reports ``n`` alive members."""
+        deadline = time.monotonic() + timeout
+        last = {}
+        while time.monotonic() < deadline:
+            last = self.gateway_status(secret=secret)
+            alive = [w for w in last.get("workers", []) if w.get("alive")]
+            if len(alive) == n:
+                return last
+            time.sleep(0.1)
+        raise AssertionError(
+            "gateway never reported %d alive members; last status: %r" % (n, last)
+        )
+
     def stop(self) -> None:
         procs = [proc for proc, _ in self.workers]
         if self.gateway is not None:
             procs.append(self.gateway[0])
         for proc in procs:
             if proc.poll() is None:
+                proc.send_signal(signal.SIGCONT)  # un-freeze SIGSTOP'd ones
                 proc.send_signal(signal.SIGKILL)
         for proc in procs:
             try:
@@ -133,15 +208,25 @@ class FleetHarness:
                 pass
 
     # -- manifests -----------------------------------------------------
-    def manifest_doc(self, with_gateway: bool = False, **overrides) -> dict:
+    def manifest_doc(
+        self,
+        with_gateway: bool = False,
+        include_workers: bool = True,
+        gateway_port=None,
+        **overrides,
+    ) -> dict:
         doc = dict(FAST_KNOBS)
         doc.update(overrides)
-        doc["workers"] = [
-            {"host": "127.0.0.1", "port": port} for _proc, port in self.workers
-        ]
+        doc["workers"] = (
+            [{"host": "127.0.0.1", "port": port} for _proc, port in self.workers]
+            if include_workers
+            else []
+        )
         if with_gateway:
-            assert self.gateway is not None, "start_gateway() first"
-            doc["gateway"] = {"host": "127.0.0.1", "port": self.gateway[1]}
+            if gateway_port is None:
+                assert self.gateway is not None, "start_gateway() first"
+                gateway_port = self.gateway[1]
+            doc["gateway"] = {"host": "127.0.0.1", "port": gateway_port}
         return doc
 
     def manifest(self, with_gateway: bool = False, **overrides) -> FleetManifest:
@@ -183,10 +268,10 @@ def worker_servers():
 
     servers = []
 
-    def factory(n: int = 1):
+    def factory(n: int = 1, **kwargs):
         batch = []
         for _ in range(n):
-            server = WorkerServer("127.0.0.1", 0)
+            server = WorkerServer("127.0.0.1", 0, **kwargs)
             threading.Thread(
                 target=server.serve_forever,
                 kwargs={"poll_interval": 0.02},
@@ -202,6 +287,35 @@ def worker_servers():
         server.server_close()
 
 
+@pytest.fixture
+def gateway_server(tmp_path):
+    """Factory for an in-process GatewayServer on a daemon thread."""
+    from repro.fleet.gateway import GatewayServer
+
+    servers = []
+
+    def factory(manifest, secret=None, cache_dir=None) -> "GatewayServer":
+        server = GatewayServer(
+            manifest,
+            "127.0.0.1",
+            0,
+            cache_dir=cache_dir or tmp_path / ("gwcache-%d" % len(servers)),
+            secret=secret,
+        )
+        threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.02},
+            daemon=True,
+        ).start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
 def inprocess_manifest(servers, gateway_port=None, **overrides) -> FleetManifest:
     doc = dict(FAST_KNOBS)
     doc.update(overrides)
@@ -210,4 +324,13 @@ def inprocess_manifest(servers, gateway_port=None, **overrides) -> FleetManifest
     ]
     if gateway_port is not None:
         doc["gateway"] = {"host": "127.0.0.1", "port": gateway_port}
+    return FleetManifest.from_dict(doc)
+
+
+def elastic_manifest(gateway_port: int, **overrides) -> FleetManifest:
+    """A manifest with no static workers — gateway-only, elastic."""
+    doc = dict(FAST_KNOBS)
+    doc.update(overrides)
+    doc["workers"] = []
+    doc["gateway"] = {"host": "127.0.0.1", "port": gateway_port}
     return FleetManifest.from_dict(doc)

@@ -98,3 +98,98 @@ class TestRevival:
         time.sleep(0.05)
         with pytest.raises(FleetNoWorkersError):
             dispatcher.pick()
+
+    def test_version_skewed_worker_stays_evicted(self, worker_servers, monkeypatch):
+        # A worker restarted on a divergent tree answers /health fine,
+        # but handing it jobs would 409 every one — keep it evicted.
+        (server,) = worker_servers(1)
+        manifest = inprocess_manifest([server], probe_interval_s=0.05)
+        dispatcher = FleetDispatcher(manifest)
+        spec = dispatcher.pick()
+        dispatcher.report_failure(spec)
+        monkeypatch.setattr(
+            "repro.fleet.dispatch.code_version_hash", lambda: "somebody-elses-tree"
+        )
+        time.sleep(0.1)
+        with recording() as rec:
+            with pytest.raises(FleetNoWorkersError):
+                dispatcher.pick()
+            assert rec.counters.get("fleet.dispatch.version_skew") == 1
+        # Versions re-converge (e.g. the worker restarts on the synced
+        # tree): the next probe revives it.
+        monkeypatch.undo()
+        time.sleep(0.1)
+        assert dispatcher.pick() == spec
+
+    def test_draining_worker_is_not_revived(self, worker_servers):
+        (server,) = worker_servers(1, drain_grace_s=60.0)
+        # Park a job so the drain keeps the server alive and answering
+        # /health with draining=true for the duration of the test.
+        from repro.core.memo import code_version_hash as real_hash
+        from repro.fleet.wire import PROTOCOL, encode_obj, http_json
+
+        url = "http://127.0.0.1:%d" % server.port
+        status, _doc = http_json(
+            "POST",
+            url + "/run",
+            {
+                "protocol": PROTOCOL,
+                "version": real_hash(),
+                "init": None,
+                "fn": encode_obj(time.sleep),
+                "args": encode_obj((30,)),
+                "kwargs": encode_obj({}),
+            },
+        )
+        assert status == 200
+        status, _doc = http_json("POST", url + "/drain", {})
+        assert status == 200
+        manifest = inprocess_manifest([server], probe_interval_s=0.05)
+        dispatcher = FleetDispatcher(manifest)
+        dispatcher.report_failure(dispatcher.pick())
+        time.sleep(0.1)
+        with pytest.raises(FleetNoWorkersError):
+            dispatcher.pick()
+
+
+class TestElasticNodes:
+    def test_add_worker_joins_rotation(self):
+        dispatcher = FleetDispatcher(_manifest([(1, 1)]))
+        from repro.fleet.manifest import WorkerSpec
+
+        dispatcher.add_worker(WorkerSpec(host="127.0.0.1", port=2))
+        picks = [dispatcher.pick().port for _ in range(4)]
+        assert sorted(set(picks)) == [1, 2]
+
+    def test_readd_revives_and_updates_weight(self):
+        from repro.fleet.manifest import WorkerSpec
+
+        dispatcher = FleetDispatcher(_manifest([(1, 1), (2, 1)], probe_interval_s=1e9))
+        spec = [s for s in dispatcher.alive_workers() if s.port == 1][0]
+        dispatcher.report_failure(spec)
+        assert all(dispatcher.pick().port == 2 for _ in range(3))
+        # Re-registration revives immediately — no probe interval wait.
+        dispatcher.add_worker(WorkerSpec(host="127.0.0.1", port=1, weight=2))
+        picks = [dispatcher.pick().port for _ in range(6)]
+        assert picks.count(1) == 4 and picks.count(2) == 2
+
+    def test_remove_worker_leaves_rotation_entirely(self):
+        from repro.fleet.manifest import WorkerSpec
+
+        dispatcher = FleetDispatcher(_manifest([(1, 1), (2, 1)]))
+        dispatcher.remove_worker(WorkerSpec(host="127.0.0.1", port=1))
+        assert [s.port for s in dispatcher.alive_workers()] == [2]
+        assert all(dispatcher.pick().port == 2 for _ in range(4))
+        # Removing the last node makes the fleet empty, not revivable.
+        dispatcher.remove_worker(WorkerSpec(host="127.0.0.1", port=2))
+        with pytest.raises(FleetNoWorkersError):
+            dispatcher.pick()
+
+    def test_remove_unknown_worker_is_noop(self):
+        from repro.fleet.manifest import WorkerSpec
+
+        dispatcher = FleetDispatcher(_manifest([(1, 1)]))
+        with recording() as rec:
+            dispatcher.remove_worker(WorkerSpec(host="127.0.0.1", port=99))
+            assert rec.counters.get("fleet.dispatch.removed") == 0
+        assert [s.port for s in dispatcher.alive_workers()] == [1]

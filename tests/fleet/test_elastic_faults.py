@@ -1,0 +1,348 @@
+"""Elastic-membership chaos suite: join, drain, lease expiry, rehydration.
+
+The ResilientMap contract from ``test_fleet_faults`` extended to fleets
+whose membership changes *during* the sweep:
+
+- a worker registering mid-sweep picks up shards;
+- a graceful drain mid-sweep stays bit-identical and uncharged;
+- a partitioned (SIGSTOP'd) worker inside a 60s hang is cut loose by
+  lease expiry within ~``lease_s``, not after the hang;
+- a SIGKILL'd gateway restarted on the same port rehydrates its member
+  table from the persisted store and the sweep resumes bit-identically;
+- a client with the wrong secret is locked out end-to-end while the
+  correctly-signed client sweeps normally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.cachesweep import sweep_all
+from repro.config import CacheConfig, SocConfig
+from repro.core.resilience import RetryPolicy
+from repro.fleet.executor import fleet_pool_factory
+from repro.obs import recording
+from repro.sim.artifact import TraceStore
+from repro.validate import strict_mode
+from tests.fleet.conftest import FleetHarness, elastic_manifest
+
+NAMES = ["tensorflow.gemm_unpacked", "chrome.compositing_linear"]
+SOCS = [
+    SocConfig(
+        l1=CacheConfig(size_bytes=1024, associativity=2),
+        l2=CacheConfig(size_bytes=4096, associativity=4),
+    ),
+    SocConfig(
+        l1=CacheConfig(size_bytes=2048, associativity=4),
+        l2=CacheConfig(size_bytes=8192, associativity=8),
+    ),
+]
+FAST = RetryPolicy(max_attempts=3, backoff_base_s=0.05, jitter=0.0)
+#: Join-mid-sweep starts with zero workers: generous budget so retries
+#: are still in flight when the first member registers.
+PATIENT = RetryPolicy(max_attempts=10, backoff_base_s=0.2, jitter=0.0)
+SECRET = "elastic-suite-secret"
+
+
+def canon(document) -> str:
+    return json.dumps(document, sort_keys=True)
+
+
+def canon_data(documents) -> str:
+    """Canon minus the ``batched`` engine-provenance flag (resume rows
+    honestly report ``batched: false``; see test_fleet_faults)."""
+    return json.dumps(
+        {
+            name: {k: v for k, v in doc.items() if k != "batched"}
+            for name, doc in documents.items()
+        },
+        sort_keys=True,
+    )
+
+
+def write_plan(tmp_path, faults: dict) -> str:
+    path = tmp_path / "fault-plan.json"
+    path.write_text(json.dumps({"faults": faults}))
+    return str(path)
+
+
+@pytest.fixture
+def local_docs(tmp_path):
+    """The fault-free serial ground truth for NAMES x SOCS."""
+    store = TraceStore(tmp_path / "local-traces")
+    return sweep_all(NAMES, socs=SOCS, store=store, jobs=1)
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = FleetHarness(tmp_path)
+    yield h
+    h.stop()
+
+
+class TestElasticMembership:
+    def test_worker_joining_mid_sweep_picks_up_shards(
+        self, tmp_path, harness, local_docs
+    ):
+        # Gateway with ZERO workers: every early attempt 502s.  A worker
+        # registering mid-sweep is the only way this sweep can finish —
+        # completion itself proves join-time shard pickup.
+        harness.start_gateway(include_workers=False, lease_s=5.0)
+        manifest = elastic_manifest(harness.gateway[1], lease_s=5.0)
+        store = TraceStore(tmp_path / "fleet-traces")
+        results = {}
+
+        def drive():
+            with strict_mode(False):
+                results["docs"] = sweep_all(
+                    NAMES, socs=SOCS, store=store, jobs=2, retry_policy=PATIENT,
+                    pool_factory=fleet_pool_factory(manifest),
+                )
+
+        sweeper = threading.Thread(target=drive)
+        sweeper.start()
+        time.sleep(1.0)  # let the fleet-dead attempts start burning
+        harness.start_worker(register=True)
+        sweeper.join(timeout=180)
+        assert not sweeper.is_alive(), "sweep never finished after the join"
+        assert canon(results["docs"]) == canon(local_docs)
+
+    def test_drain_mid_sweep_is_bit_identical_and_uncharged(
+        self, tmp_path, harness, local_docs
+    ):
+        # Both workers registered; one gets drained while it chews on a
+        # 2s-hang shard.  The drain path must not charge a retry: the
+        # draining worker finishes its in-flight shard (results are
+        # still collectable), and only *unstarted* placements move to
+        # the sibling.
+        plan = write_plan(tmp_path, {"tensorflow.gemm_unpacked": ["hang:2"]})
+        harness.env.update({"REPRO_FAULT_PLAN": plan})
+        harness.start_gateway(include_workers=False, lease_s=10.0)
+        harness.start_worker(register=True)
+        harness.start_worker(register=True)
+        harness.wait_members(2)
+        manifest = elastic_manifest(harness.gateway[1], lease_s=10.0)
+        store = TraceStore(tmp_path / "fleet-traces")
+
+        stop_drainer = threading.Event()
+
+        def drain_busy_worker():
+            # Wait until a worker reports busy (it holds the hung
+            # shard), then drain it mid-shard.
+            from repro.fleet.wire import FleetTransportError, http_json
+
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline and not stop_drainer.is_set():
+                for index, (_proc, port) in enumerate(harness.workers):
+                    try:
+                        _status, doc = http_json(
+                            "GET", "http://127.0.0.1:%d/health" % port, timeout=2.0
+                        )
+                    except FleetTransportError:
+                        continue
+                    if doc.get("busy"):
+                        harness.drain_worker(index)
+                        return index
+                time.sleep(0.05)
+            return None
+
+        drained = {}
+        drainer = threading.Thread(
+            target=lambda: drained.update(index=drain_busy_worker())
+        )
+        drainer.start()
+        try:
+            with strict_mode(False), recording() as rec:
+                documents = sweep_all(
+                    NAMES, socs=SOCS, store=store, jobs=2, retry_policy=FAST,
+                    pool_factory=fleet_pool_factory(manifest),
+                )
+                # Drain is the uncharged path: no retry was consumed.
+                assert rec.counters.get("core.resilience.retries") == 0
+        finally:
+            stop_drainer.set()
+            drainer.join(timeout=70)
+        assert canon(documents) == canon(local_docs)
+        index = drained.get("index")
+        assert index is not None, "no worker was ever busy to drain"
+        # The drained worker exited 0 (graceful), not a crash code.
+        assert harness.wait_worker_exit(index, timeout=60.0) == 0
+
+    def test_lease_expiry_requeues_hung_workers_shard(
+        self, tmp_path, harness, local_docs
+    ):
+        # A worker SIGSTOP'd inside a hang:60 shard is a partition: the
+        # process holds the TCP socket but answers nothing and stops
+        # renewing.  The lease (1s) must cut it loose and requeue the
+        # shard on the sibling LONG before the 60s hang resolves — and
+        # well before the 30s transport timeout would.
+        plan = write_plan(tmp_path, {"tensorflow.gemm_unpacked": ["hang:60"]})
+        harness.env.update({"REPRO_FAULT_PLAN": plan})
+        harness.start_gateway(include_workers=False, lease_s=1.0)
+        harness.start_worker(register=True)
+        harness.start_worker(register=True)
+        harness.wait_members(2)
+        manifest = elastic_manifest(
+            harness.gateway[1], lease_s=1.0, request_timeout_s=30.0
+        )
+        store = TraceStore(tmp_path / "fleet-traces")
+
+        def freeze_busy_worker():
+            # Both tensorflow shards start near-simultaneously and only
+            # one of them draws the hang from the fault scoreboard — a
+            # worker that is merely *momentarily* busy is computing a
+            # normal sub-second shard.  Freeze the worker that stays
+            # busy (alone, for 2s straight): that one provably holds
+            # the hang.  Freezing the fast sibling instead would queue
+            # the whole retried sweep behind the 60s hang.
+            from repro.fleet.wire import FleetTransportError, http_json
+
+            busy_since = {}
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                now = time.monotonic()
+                busy = []
+                for index, (_proc, port) in enumerate(harness.workers):
+                    try:
+                        _status, doc = http_json(
+                            "GET", "http://127.0.0.1:%d/health" % port, timeout=2.0
+                        )
+                    except FleetTransportError:
+                        busy_since.pop(index, None)
+                        continue
+                    if doc.get("busy"):
+                        busy_since.setdefault(index, now)
+                        busy.append(index)
+                    else:
+                        busy_since.pop(index, None)
+                if len(busy) == 1 and now - busy_since[busy[0]] >= 2.0:
+                    harness.sigstop_worker(busy[0])
+                    return busy[0]
+                time.sleep(0.05)
+            return None
+
+        frozen = {}
+        freezer = threading.Thread(
+            target=lambda: frozen.update(index=freeze_busy_worker())
+        )
+        freezer.start()
+        start = time.monotonic()
+        try:
+            with strict_mode(False), recording() as rec:
+                documents = sweep_all(
+                    NAMES, socs=SOCS, store=store, jobs=2, retry_policy=FAST,
+                    pool_factory=fleet_pool_factory(manifest),
+                )
+                elapsed = time.monotonic() - start
+                # The frozen worker's shard was charged and retried.
+                assert rec.counters.get("core.resilience.retries") >= 1
+        finally:
+            freezer.join(timeout=70)
+            if frozen.get("index") is not None:
+                harness.sigcont_worker(frozen["index"])
+        assert frozen.get("index") is not None, "no worker was ever busy to freeze"
+        # Proactive detection: done in a handful of lease periods, not
+        # the 60s hang (nor the 30s transport timeout).
+        assert elapsed < 25.0, "lease expiry took %.1fs" % elapsed
+        assert canon(documents) == canon(local_docs)
+        status = harness.gateway_status()
+        assert status["counters"].get("fleet.gateway.lease_expired", 0) >= 1
+
+    def test_gateway_restart_rehydrates_membership(
+        self, tmp_path, harness, local_docs
+    ):
+        # Long leases: after the restart the members are rehydrated from
+        # the persisted store, not re-learned from renewals.
+        harness.start_gateway(include_workers=False, lease_s=120.0)
+        harness.start_worker(register=True)
+        harness.start_worker(register=True)
+        harness.wait_members(2)
+        manifest = elastic_manifest(harness.gateway[1], lease_s=120.0)
+        store = TraceStore(tmp_path / "fleet-traces")
+        checkpoint = str(tmp_path / "sweep.ckpt")
+
+        # ``checkpoint`` is a path *prefix*: multi-workload sweeps derive
+        # ``<prefix>.<workload>`` journals, a single-workload sweep uses
+        # the path as-is.  Phase 1 sweeps one workload, so point it at
+        # the derived path phase 2 will look for.
+        with strict_mode(False):
+            phase1 = sweep_all(
+                [NAMES[0]], socs=SOCS, store=store, jobs=2, retry_policy=FAST,
+                checkpoint="%s.%s" % (checkpoint, NAMES[0]),
+                pool_factory=fleet_pool_factory(manifest),
+            )
+        assert canon(phase1[NAMES[0]]) == canon(local_docs[NAMES[0]])
+
+        old_port = harness.gateway[1]
+        harness.kill_gateway()
+        assert harness.start_gateway(
+            port=old_port, include_workers=False, lease_s=120.0
+        ) == old_port
+        # Immediately after boot — before any renewal could possibly
+        # have re-registered anyone (renew cadence is lease/3 = 40s) —
+        # the member table is already full: that's rehydration.
+        status = harness.gateway_status()
+        assert status["membership"]["members"] == 2
+        assert status["counters"].get("fleet.membership.rehydrated") == 2
+
+        with strict_mode(False), recording() as rec:
+            phase2 = sweep_all(
+                NAMES, socs=SOCS, store=store, jobs=2, retry_policy=FAST,
+                checkpoint=checkpoint, resume=True,
+                pool_factory=fleet_pool_factory(manifest),
+            )
+            assert rec.counters.get("core.resilience.resumed") >= 1
+        assert canon_data(phase2) == canon_data(local_docs)
+
+    def test_wrong_secret_is_locked_out_everywhere(
+        self, tmp_path, harness, local_docs, monkeypatch
+    ):
+        # The whole fleet shares a secret via the environment; workers
+        # and gateway inherit it at spawn.
+        harness.env["REPRO_FLEET_SECRET"] = SECRET
+        harness.start_gateway(include_workers=False, lease_s=10.0)
+        harness.start_worker(register=True)
+        harness.start_worker(register=True)
+        monkeypatch.setenv("REPRO_FLEET_SECRET", SECRET)
+        harness.wait_members(2, secret=SECRET)
+        store = TraceStore(tmp_path / "fleet-traces")
+
+        # Correctly-signed client: the sweep is plain and bit-identical.
+        manifest = elastic_manifest(harness.gateway[1], lease_s=10.0)
+        with strict_mode(False):
+            documents = sweep_all(
+                NAMES, socs=SOCS, store=store, jobs=2, retry_policy=FAST,
+                pool_factory=fleet_pool_factory(manifest),
+            )
+        assert canon(documents) == canon(local_docs)
+
+        # Wrong-secret client: every placement answers 401, both shards
+        # (one per SoC) exhaust their attempts against the fleet and are
+        # quarantined; the contained-shard fallback then recomputes them
+        # locally, so the sweep never hangs and never trusts the fleet —
+        # but also never loses data.
+        monkeypatch.setenv("REPRO_FLEET_SECRET", "not-the-fleet-secret")
+        with strict_mode(False), recording() as rec:
+            locked_out = sweep_all(
+                [NAMES[0]],
+                socs=SOCS,
+                store=TraceStore(tmp_path / "locked-traces"),
+                jobs=2,
+                retry_policy=FAST,
+                pool_factory=fleet_pool_factory(manifest),
+            )
+            assert rec.counters.get("core.resilience.quarantined") == 2
+            assert rec.counters.get("core.runner.shard_fallbacks") == 2
+        # The local fallback is bit-identical to the ground truth: the
+        # lockout degraded *where* the shards ran, never the data.
+        # (canon_data: the fallback honestly reports ``batched: false``.)
+        assert canon_data({NAMES[0]: locked_out[NAMES[0]]}) == canon_data(
+            {NAMES[0]: local_docs[NAMES[0]]}
+        )
+        # And the fleet boundary saw (and counted) the rejections.
+        status = harness.gateway_status(secret=SECRET)
+        assert status["counters"].get("fleet.gateway.unauthorized", 0) >= 1

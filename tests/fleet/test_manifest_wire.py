@@ -74,6 +74,68 @@ class TestManifest:
     def test_base_url(self):
         assert WorkerSpec("127.0.0.1", 8701).base_url == "http://127.0.0.1:8701"
 
+    def test_elastic_manifest_needs_no_workers(self):
+        # Workers empty or absent is fine as long as a gateway is named;
+        # the gateway learns its fleet from registrations.
+        for doc in (
+            {"workers": [], "gateway": {"host": "g", "port": 1}},
+            {"gateway": {"host": "g", "port": 1}},
+        ):
+            manifest = FleetManifest.from_dict(doc)
+            assert manifest.workers == []
+            assert manifest.gateway == WorkerSpec("g", 1)
+
+    def test_lease_default_and_validation(self):
+        manifest = FleetManifest.from_dict({"workers": [{"host": "h", "port": 1}]})
+        assert manifest.lease_s == 10.0
+        manifest = FleetManifest.from_dict(
+            {"workers": [{"host": "h", "port": 1}], "lease_s": 2.5}
+        )
+        assert manifest.lease_s == 2.5
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                FleetManifest.from_dict(
+                    {"workers": [{"host": "h", "port": 1}], "lease_s": bad}
+                )
+
+    def test_lease_and_secret_file_round_trip(self):
+        doc = {
+            "workers": [{"host": "h", "port": 1}],
+            "lease_s": 3.0,
+            "secret_file": "/tmp/secret",
+        }
+        manifest = FleetManifest.from_dict(doc)
+        assert FleetManifest.from_dict(manifest.to_dict()) == manifest
+
+
+class TestLoadSecret:
+    def _manifest(self, **kwargs):
+        return FleetManifest.from_dict(
+            dict({"workers": [{"host": "h", "port": 1}]}, **kwargs)
+        )
+
+    def test_no_secret_configured_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_SECRET", raising=False)
+        assert self._manifest().load_secret() is None
+
+    def test_env_wins_over_secret_file(self, tmp_path, monkeypatch):
+        secret_file = tmp_path / "fleet.secret"
+        secret_file.write_text("from-file\n")
+        manifest = self._manifest(secret_file=str(secret_file))
+        monkeypatch.setenv("REPRO_FLEET_SECRET", "from-env")
+        assert manifest.load_secret() == "from-env"
+        monkeypatch.delenv("REPRO_FLEET_SECRET")
+        assert manifest.load_secret() == "from-file"
+
+    def test_missing_or_empty_secret_file_raises(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_SECRET", raising=False)
+        with pytest.raises(ValueError):
+            self._manifest(secret_file=str(tmp_path / "absent")).load_secret()
+        empty = tmp_path / "empty.secret"
+        empty.write_text("  \n")
+        with pytest.raises(ValueError):
+            self._manifest(secret_file=str(empty)).load_secret()
+
 
 class TestWire:
     def test_round_trips_callables_and_values(self):

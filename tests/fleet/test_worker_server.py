@@ -119,6 +119,50 @@ class TestWorkerServer:
         status, _doc = http_json("GET", url + "/nope")
         assert status == 404
 
+    def test_result_fetch_evicts_the_record(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        status, doc = http_json("POST", url + "/run", _envelope(_double, 21))
+        assert status == 200
+        record = _poll(url, doc["job"])
+        assert decode_obj(record["value"]) == 42
+        # Single consumer: the fetch handed the result over, the record
+        # is gone, and the job table stays bounded.
+        status, _doc = http_json("GET", "%s/result?job=%s" % (url, doc["job"]))
+        assert status == 404
+        assert server.state.jobs == {}
+
+    def test_unfetched_results_expire_by_ttl(self, worker_servers):
+        from repro.obs.recorder import recording
+
+        with recording() as recorder:
+            (server,) = worker_servers(1, jobs_ttl_s=0.2)
+            url = "http://127.0.0.1:%d" % server.port
+            status, doc = http_json("POST", url + "/run", _envelope(_double, 21))
+            assert status == 200
+            # Wait for completion WITHOUT fetching the result — the
+            # abandoned-client path (client timed out and re-placed).
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _status, health = http_json("GET", url + "/health")
+                if health["completed"] >= 1:
+                    break
+                time.sleep(0.01)
+            time.sleep(0.3)  # let the TTL lapse
+            # Any request sweeps expired records on the way in.
+            http_json("GET", url + "/health")
+            assert server.state.jobs == {}
+            status, _doc = http_json("GET", "%s/result?job=%s" % (url, doc["job"]))
+            assert status == 404
+            assert recorder.counters.get("fleet.worker.jobs_expired") >= 1
+
+    def test_result_without_job_param_is_400(self, worker_servers):
+        (server,) = worker_servers(1)
+        url = "http://127.0.0.1:%d" % server.port
+        status, doc = http_json("GET", url + "/result")
+        assert status == 400
+        assert "job" in doc["error"]
+
     def test_initializer_runs_once_per_fingerprint(self, worker_servers):
         (server,) = worker_servers(1)
         url = "http://127.0.0.1:%d" % server.port
